@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Benchmarks use smaller workloads than the full experiment drivers
+(``python -m repro.experiments tableN`` prints the complete paper-style
+tables); here the goal is stable, repeatable timing of each pipeline
+stage plus the ablations called out in DESIGN.md.
+"""
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits.registry import get_circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.sequences.random_seq import random_sequence_for
+
+BENCH_LENGTH = 60
+
+
+def prepared(name, length=BENCH_LENGTH, seed=1):
+    """(compiled, fault_list, sequence) for a registry circuit."""
+    compiled = compile_circuit(get_circuit(name))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, length, seed=seed)
+    return compiled, faults, sequence
+
+
+def fresh_set(faults):
+    return FaultSet(faults)

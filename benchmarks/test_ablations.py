@@ -1,0 +1,193 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. event-driven single-fault propagation vs full per-fault re-evaluation,
+2. fault dropping on vs off,
+3. ID_X-red vs SCOAP as the X-redundancy identifier,
+4. interleaved vs blocked x/y variable order for MOT,
+5. hybrid-simulator node-limit sensitivity.
+"""
+
+import pytest
+
+from conftest import fresh_set, prepared
+from repro.engines.algebra import THREE_VALUED
+from repro.engines.evaluate import next_state_of, simulate_frame
+from repro.engines.serial_fault_sim import (
+    _check_sot_detection,
+    fault_simulate_3v,
+)
+from repro.baselines.scoap import scoap_x_redundant
+from repro.faults.model import BRANCH, DBRANCH, STEM
+from repro.symbolic.fault_sim import symbolic_fault_simulate
+from repro.symbolic.hybrid import hybrid_fault_simulate
+from repro.xred.idxred import id_x_red
+
+
+# ----------------------------------------------------------------------
+# 1. event-driven vs full re-evaluation
+# ----------------------------------------------------------------------
+def _full_reeval_fault_sim(compiled, sequence, fault_set):
+    """Reference simulator: every fault re-evaluates the whole frame."""
+    algebra = THREE_VALUED
+    from repro.logic import threeval
+
+    live = list(fault_set.undetected())
+    states = {
+        id(r): [threeval.X] * compiled.num_dffs for r in live
+    }
+    good_state = [threeval.X] * compiled.num_dffs
+    for time, vector in enumerate(sequence, start=1):
+        good_values = simulate_frame(compiled, algebra, vector, good_state)
+        survivors = []
+        for record in live:
+            values = _faulty_frame(
+                compiled, algebra, vector, states[id(record)], record.fault
+            )
+            detected = False
+            for po_pos, sig in enumerate(compiled.pos):
+                good = good_values[sig]
+                faulty = values[sig]
+                if (
+                    algebra.is_known(good)
+                    and algebra.is_known(faulty)
+                    and good != faulty
+                ):
+                    detected = True
+                    break
+            if detected:
+                record.mark_detected("3-valued", time)
+                continue
+            nxt = [values[s] for s in compiled.dff_d]
+            if record.fault.lead[0] == DBRANCH:
+                nxt[record.fault.lead[1]] = algebra.const(
+                    record.fault.value
+                )
+            states[id(record)] = nxt
+            survivors.append(record)
+        live = survivors
+        good_state = next_state_of(compiled, good_values)
+    return fault_set
+
+
+def _faulty_frame(compiled, algebra, vector, state, fault):
+    from repro.engines.evaluate import eval_gate
+
+    values = [None] * compiled.num_signals
+    stem = fault.lead[1] if fault.lead[0] == STEM else None
+    branch = (
+        (fault.lead[1], fault.lead[2]) if fault.lead[0] == BRANCH else None
+    )
+    for sig, bit in zip(compiled.pis, vector):
+        values[sig] = algebra.const(bit)
+    for sig, value in zip(compiled.ppis, state):
+        values[sig] = value
+    if stem is not None and values[stem] is not None:
+        values[stem] = algebra.const(fault.value)
+    for cg in compiled.gates:
+        if stem is not None and cg.out == stem:
+            values[cg.out] = algebra.const(fault.value)
+            continue
+        operands = [values[src] for src in cg.fanins]
+        if branch is not None and cg.pos == branch[0]:
+            operands[branch[1]] = algebra.const(fault.value)
+        values[cg.out] = eval_gate(algebra, cg.kind, operands)
+    return values
+
+
+def test_ablation_event_driven(benchmark):
+    compiled, faults, sequence = prepared("tlc", length=40)
+
+    def run():
+        fs = fresh_set(faults)
+        fault_simulate_3v(compiled, sequence, fs)
+        return fs
+
+    fs = benchmark(run)
+    benchmark.extra_info["engine"] = "event-driven"
+    benchmark.extra_info["detected"] = fs.counts()["detected"]
+
+
+def test_ablation_full_reevaluation(benchmark):
+    compiled, faults, sequence = prepared("tlc", length=40)
+
+    def run():
+        fs = fresh_set(faults)
+        _full_reeval_fault_sim(compiled, sequence, fs)
+        return fs
+
+    fs = benchmark(run)
+    benchmark.extra_info["engine"] = "full-reeval"
+    benchmark.extra_info["detected"] = fs.counts()["detected"]
+
+
+# ----------------------------------------------------------------------
+# 2. fault dropping
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("drop", [True, False],
+                         ids=["dropping", "no-dropping"])
+def test_ablation_fault_dropping(benchmark, drop):
+    compiled, faults, sequence = prepared("shift16", length=60)
+
+    def run():
+        fs = fresh_set(faults)
+        fault_simulate_3v(compiled, sequence, fs, drop_detected=drop)
+        return fs
+
+    fs = benchmark(run)
+    benchmark.extra_info["detected"] = fs.counts()["detected"]
+
+
+# ----------------------------------------------------------------------
+# 3. ID_X-red vs SCOAP
+# ----------------------------------------------------------------------
+def test_ablation_idxred_identifier(benchmark):
+    compiled, faults, sequence = prepared("ctr16", length=60)
+    result = benchmark(lambda: id_x_red(compiled, sequence, faults))
+    identified = sum(1 for f in faults if result.is_x_redundant(f))
+    benchmark.extra_info["identified"] = identified
+    benchmark.extra_info["faults"] = len(faults)
+
+
+def test_ablation_scoap_identifier(benchmark):
+    compiled, faults, _sequence = prepared("ctr16", length=60)
+    red = benchmark(lambda: scoap_x_redundant(compiled, faults))
+    benchmark.extra_info["identified"] = len(red)
+    benchmark.extra_info["faults"] = len(faults)
+
+
+# ----------------------------------------------------------------------
+# 4. variable order for MOT
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ["interleaved", "blocked"])
+def test_ablation_variable_order(benchmark, scheme):
+    compiled, faults, sequence = prepared("ctr8", length=40)
+
+    def run():
+        fs = fresh_set(faults)
+        return symbolic_fault_simulate(
+            compiled, sequence, fs, strategy="MOT",
+            variable_scheme=scheme,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["peak_nodes"] = result.peak_nodes
+
+
+# ----------------------------------------------------------------------
+# 5. node-limit sensitivity of the hybrid simulator
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("limit", [1000, 5000, 30000])
+def test_ablation_node_limit(benchmark, limit):
+    compiled, faults, sequence = prepared("nlfsr12", length=30)
+
+    def run():
+        fs = fresh_set(faults)
+        return hybrid_fault_simulate(
+            compiled, sequence, fs, strategy="MOT", node_limit=limit
+        ), fs
+
+    result, fs = benchmark(run)
+    benchmark.extra_info["node_limit"] = limit
+    benchmark.extra_info["fallbacks"] = result.fallbacks
+    benchmark.extra_info["detected"] = fs.counts()["detected"]

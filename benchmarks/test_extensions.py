@@ -1,0 +1,83 @@
+"""Benchmarks for the extension subsystems built on the paper's core:
+MOT-guided ATPG, synchronizing-sequence search, sequential equivalence
+checking, symbolic diagnosis, and sequence compaction."""
+
+import random
+
+import pytest
+
+from conftest import prepared
+from repro.analysis.equivalence import check_equivalence
+from repro.analysis.synchronizing import find_synchronizing_sequence
+from repro.atpg.generator import generate_mot_tests
+from repro.circuit.netlist import Gate
+from repro.circuits.registry import get_circuit
+from repro.diagnosis import diagnose
+from repro.sequences.compaction import compact_sequence
+from repro.symbolic.evaluation import generate_response
+
+
+def test_atpg_mot_guided(benchmark):
+    compiled, faults, _ = prepared("johnson8")
+    result = benchmark(
+        lambda: generate_mot_tests(
+            compiled, list(faults), strategy="MOT", max_length=40,
+            seed=1, patience=20,
+        )
+    )
+    benchmark.extra_info["length"] = len(result.sequence)
+    benchmark.extra_info["detected"] = len(result.detected)
+
+
+@pytest.mark.parametrize("name", ["s27", "syncc6", "shift8"])
+def test_synchronizing_search(benchmark, name):
+    compiled, _faults, _ = prepared(name)
+    result = benchmark(
+        lambda: find_synchronizing_sequence(
+            compiled, max_length=16, beam_width=16
+        )
+    )
+    benchmark.extra_info["found"] = result.found
+    if result.found:
+        benchmark.extra_info["length"] = len(result.sequence)
+
+
+def test_equivalence_check_positive(benchmark):
+    a = get_circuit("s27")
+    b = get_circuit("s27")
+    result = benchmark(lambda: check_equivalence(a, b))
+    assert result.equivalent
+    benchmark.extra_info["steps"] = result.steps
+
+
+def test_equivalence_check_negative(benchmark):
+    a = get_circuit("s27")
+    b = get_circuit("s27")
+    b.gates["G17"] = Gate("G17", "BUF", ["G11"])
+    result = benchmark(lambda: check_equivalence(a, b))
+    assert not result.equivalent
+    benchmark.extra_info["cex_length"] = len(result.counterexample)
+
+
+def test_diagnosis(benchmark):
+    compiled, faults, sequence = prepared("s27", length=30)
+    rng = random.Random(1)
+    state = [rng.randrange(2) for _ in range(compiled.num_dffs)]
+    response = generate_response(compiled, sequence, state,
+                                 fault=faults[4])
+    result = benchmark(
+        lambda: diagnose(compiled, sequence, response, list(faults))
+    )
+    benchmark.extra_info["candidates"] = len(result.candidates)
+    benchmark.extra_info["exonerated"] = len(result.exonerated)
+
+
+def test_compaction(benchmark):
+    compiled, faults, sequence = prepared("s27", length=30)
+    result = benchmark(
+        lambda: compact_sequence(
+            compiled, sequence, list(faults), strategy="MOT"
+        )
+    )
+    benchmark.extra_info["original"] = result.original_length
+    benchmark.extra_info["compacted"] = result.compacted_length

@@ -1,0 +1,67 @@
+"""Table I benchmark: three-valued fault simulation with and without
+the ID_X-red pre-pass, and the pre-pass itself.
+
+Paper shape to reproduce: X01_p (with pre-pass) is significantly faster
+than X01 on circuits with many X-redundant faults, and the ID_X-red
+time itself is negligible against either.
+"""
+
+import pytest
+
+from conftest import fresh_set, prepared
+from repro.engines.serial_fault_sim import fault_simulate_3v
+from repro.xred.idxred import eliminate_x_redundant
+
+# circuits spanning the X-redundancy spectrum (paper rows in comments)
+CIRCUITS = [
+    "ctr8",      # s208.1: ~90% X-redundant
+    "tlc",       # s298: low X-redundancy
+    "rfsm21a",   # s382: high X-redundancy
+    "syncc6",    # s510: fully X-redundant
+]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_x01_plain_three_valued(benchmark, name):
+    """X01: conventional three-valued fault simulation, full list."""
+    compiled, faults, sequence = prepared(name)
+
+    def run():
+        fs = fresh_set(faults)
+        fault_simulate_3v(compiled, sequence, fs)
+        return fs
+
+    fs = benchmark(run)
+    benchmark.extra_info["paper_row"] = name
+    benchmark.extra_info["faults"] = len(fs)
+    benchmark.extra_info["detected"] = fs.counts()["detected"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_x01p_with_idxred_prepass(benchmark, name):
+    """X01_p: ID_X-red first, then three-valued simulation."""
+    compiled, faults, sequence = prepared(name)
+
+    def run():
+        fs = fresh_set(faults)
+        eliminate_x_redundant(compiled, sequence, fs)
+        fault_simulate_3v(compiled, sequence, fs)
+        return fs
+
+    fs = benchmark(run)
+    benchmark.extra_info["x_redundant"] = fs.counts()["x_redundant"]
+    benchmark.extra_info["detected"] = fs.counts()["detected"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_idxred_alone(benchmark, name):
+    """The pre-pass itself: linear time, negligible."""
+    compiled, faults, sequence = prepared(name)
+
+    def run():
+        fs = fresh_set(faults)
+        eliminate_x_redundant(compiled, sequence, fs)
+        return fs
+
+    fs = benchmark(run)
+    benchmark.extra_info["x_redundant"] = fs.counts()["x_redundant"]

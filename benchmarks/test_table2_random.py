@@ -1,0 +1,42 @@
+"""Table II benchmark: symbolic SOT vs rMOT vs MOT on the faults the
+conventional flow could not classify, random sequences.
+
+Paper shape: SOT and rMOT cost about the same, MOT costs more (extra
+rename + all-output terms); accuracy is SOT <= rMOT <= MOT.
+"""
+
+import pytest
+
+from conftest import fresh_set, prepared
+from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
+from repro.symbolic.hybrid import hybrid_fault_simulate
+from repro.xred.idxred import eliminate_x_redundant
+
+CIRCUITS = ["ctr8", "syncc6", "johnson8", "lfsr8"]
+STRATEGIES = ["SOT", "rMOT", "MOT"]
+
+
+def conventional_pass(compiled, faults, sequence):
+    fs = fresh_set(faults)
+    eliminate_x_redundant(compiled, sequence, fs)
+    fault_simulate_3v_parallel(compiled, sequence, fs)
+    return fs
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_symbolic_strategy(benchmark, name, strategy):
+    compiled, faults, sequence = prepared(name)
+    base = conventional_pass(compiled, faults, sequence)
+    baseline_detected = base.counts()["detected"]
+
+    def run():
+        fs = base.clone()
+        hybrid_fault_simulate(compiled, sequence, fs, strategy=strategy)
+        return fs
+
+    fs = benchmark(run)
+    extra = fs.counts()["detected"] - baseline_detected
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["f_u"] = len(base.symbolic_candidates())
+    benchmark.extra_info["extra_detected"] = extra

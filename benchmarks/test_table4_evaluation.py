@@ -1,0 +1,42 @@
+"""Table IV benchmark: symbolic test evaluation.
+
+Paper shape: building the symbolic output sequence is the expensive
+part; evaluating one observed response against it is fast, and the
+shared OBDD of the whole output sequence stays moderate.
+"""
+
+import random
+
+import pytest
+
+from conftest import prepared
+from repro.symbolic.evaluation import (
+    generate_response,
+    symbolic_output_sequence,
+)
+
+CIRCUITS = ["ctr8", "syncc6", "johnson8"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_build_symbolic_output_sequence(benchmark, name):
+    compiled, _faults, sequence = prepared(name, length=100)
+    symbolic = benchmark(
+        lambda: symbolic_output_sequence(compiled, sequence)
+    )
+    benchmark.extra_info["bdd_size"] = symbolic.bdd_size()
+    benchmark.extra_info["frames"] = len(sequence)
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_evaluate_response(benchmark, name):
+    compiled, _faults, sequence = prepared(name, length=100)
+    symbolic = symbolic_output_sequence(compiled, sequence)
+    rng = random.Random(3)
+    state = [rng.randrange(2) for _ in range(compiled.num_dffs)]
+    response = generate_response(compiled, sequence, state)
+
+    accepted, _ = benchmark(lambda: symbolic.evaluate(response))
+    assert accepted
+    benchmark.extra_info["bdd_size"] = symbolic.bdd_size()
+    benchmark.extra_info["outputs"] = compiled.num_pos

@@ -1,0 +1,70 @@
+"""The s208.1 story: a divider/counter without reset.
+
+An n-bit binary counter with no reset line is the classic circuit on
+which conventional fault simulation collapses: with an unknown initial
+state every flip-flop stays X forever under the three-valued logic, so
+nearly the whole fault universe is "X-redundant" and the reported fault
+coverage is close to zero.  The MOT strategy recovers real coverage:
+even though no single output ever has a well-defined value, the
+*relationship* between output sequences of the fault-free and faulty
+machines is captured symbolically, and many faults provably corrupt it
+for every pair of initial states.
+
+This example sweeps the counter width and prints, per strategy, how
+many faults are detected — reproducing the accuracy ordering
+3-valued < SOT <= rMOT <= MOT of Table II on its purest instance.
+
+Run with:  python examples/counter_without_reset.py
+"""
+
+from repro import (
+    FaultSet,
+    collapse_faults,
+    compile_circuit,
+    eliminate_x_redundant,
+    fault_simulate_3v_parallel,
+    hybrid_fault_simulate,
+    random_sequence_for,
+)
+from repro.circuits.generators import counter
+
+
+def run(bits, length=200, seed=7):
+    compiled = compile_circuit(counter(bits))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, length, seed=seed)
+
+    base = FaultSet(faults)
+    eliminate_x_redundant(compiled, sequence, base)
+    fault_simulate_3v_parallel(compiled, sequence, base)
+    counts = base.counts()
+
+    row = {
+        "bits": bits,
+        "|F|": counts["total"],
+        "X-red": counts["x_redundant"],
+        "3-valued": counts["detected"],
+    }
+    for strategy in ("SOT", "rMOT", "MOT"):
+        fs = base.clone()
+        hybrid_fault_simulate(compiled, sequence, fs, strategy=strategy)
+        row[strategy] = fs.counts()["detected"]
+    return row
+
+
+def main():
+    print("binary counter without reset, 200 random vectors")
+    print(f"{'bits':>5} {'|F|':>5} {'X-red':>6} {'3-valued':>9} "
+          f"{'SOT':>5} {'rMOT':>5} {'MOT':>5}")
+    for bits in (4, 6, 8, 10):
+        row = run(bits)
+        print(f"{row['bits']:>5} {row['|F|']:>5} {row['X-red']:>6} "
+              f"{row['3-valued']:>9} {row['SOT']:>5} {row['rMOT']:>5} "
+              f"{row['MOT']:>5}")
+    print("\nNote how the three-valued column stays near zero while the")
+    print("MOT column grows with the fault universe — the coverage the")
+    print("conventional flow under-reports is real and testable.")
+
+
+if __name__ == "__main__":
+    main()

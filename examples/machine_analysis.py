@@ -1,0 +1,77 @@
+"""Symbolic machine analysis: why some circuits defeat conventional
+fault simulation, quantified.
+
+For a spread of benchmark circuits this example reports:
+
+* whether a synchronizing sequence exists (and its length) — circuits
+  without one can never be driven to a known state, which is the root
+  cause of the paper's X-redundancy numbers;
+* how far a random test sequence shrinks the machine's uncertainty set
+  (the number of states the machine could still be in);
+* how many flip-flops a three-valued simulation of the same sequence
+  initialises — the gap between the two columns is exactly the
+  information the three-valued logic throws away and the symbolic MOT
+  machinery recovers;
+* a sequential equivalence check between the circuit and a deliberately
+  mutated copy, with the distinguishing sequence found by the miter
+  reachability engine.
+
+Run with:  python examples/machine_analysis.py
+"""
+
+from repro import compile_circuit, random_sequence_for
+from repro.analysis import (
+    check_equivalence,
+    find_synchronizing_sequence,
+    uncertainty_after,
+)
+from repro.analysis.observability import three_valued_initialised_bits
+from repro.circuit.netlist import Gate
+from repro.circuits import get_circuit
+
+
+def analyse(name):
+    circuit = get_circuit(name)
+    compiled = compile_circuit(circuit)
+    sync = find_synchronizing_sequence(compiled, max_length=20,
+                                       beam_width=16)
+    sequence = random_sequence_for(compiled, 30, seed=3)
+    _set, uncertainty = uncertainty_after(compiled, sequence)
+    init = three_valued_initialised_bits(compiled, sequence)
+    known = sum(1 for t in init if t is not None)
+    return {
+        "name": name,
+        "dffs": compiled.num_dffs,
+        "sync": len(sync.sequence) if sync.found else None,
+        "uncertainty": uncertainty,
+        "known_3v": known,
+    }
+
+
+def main():
+    print(f"{'circuit':10} {'DFFs':>5} {'sync len':>9} "
+          f"{'|S| after 30 vec':>17} {'3V-known FFs':>13}")
+    for name in ("s27", "shift8", "syncc6", "tlc", "ctr8", "lfsr8"):
+        row = analyse(name)
+        sync = row["sync"] if row["sync"] is not None else "none"
+        print(f"{row['name']:10} {row['dffs']:>5} {str(sync):>9} "
+              f"{row['uncertainty']:>17} {row['known_3v']:>13}")
+
+    print("\nsyncc6: the uncertainty column collapses to 1 while the "
+          "3V column stays 0 — fully synchronizable, yet invisible to "
+          "three-valued logic (the paper's s510 phenomenon).")
+
+    # equivalence check against a mutated copy of s27
+    good = get_circuit("s27")
+    bad = good.copy(name="s27_bug")
+    bad.gates["G17"] = Gate("G17", "BUF", ["G11"])  # dropped inverter
+    result = check_equivalence(good, bad)
+    print(f"\nequivalence vs mutated s27 (inverter dropped on G17): "
+          f"{'EQUIVALENT' if result.equivalent else 'DIFFERENT'}")
+    if not result.equivalent:
+        print(f"  distinguishing sequence from reset: "
+              f"{result.counterexample} (output {result.output_index})")
+
+
+if __name__ == "__main__":
+    main()

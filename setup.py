@@ -1,0 +1,6 @@
+"""Legacy entry point so editable installs work without the ``wheel``
+package (this environment is offline; see README, Installation)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Symbolic machine analyses surrounding the fault simulator:
+transition systems and image computation, synchronizing-sequence
+search, sequence-level observability diagnostics, and miter-based
+sequential equivalence checking."""
+
+from repro.analysis.transition import TransitionSystem
+from repro.analysis.equivalence import (
+    EquivalenceResult,
+    build_miter,
+    check_equivalence,
+)
+from repro.analysis.synchronizing import (
+    SynchronizingResult,
+    find_synchronizing_sequence,
+    is_synchronizable,
+    uncertainty_after,
+)
+from repro.analysis.observability import (
+    observability_summary,
+    three_valued_initialised_bits,
+    well_defined_output_positions,
+)
+
+__all__ = [
+    "TransitionSystem",
+    "EquivalenceResult",
+    "build_miter",
+    "check_equivalence",
+    "SynchronizingResult",
+    "find_synchronizing_sequence",
+    "is_synchronizable",
+    "uncertainty_after",
+    "three_valued_initialised_bits",
+    "well_defined_output_positions",
+    "observability_summary",
+]

@@ -1,0 +1,191 @@
+"""Sequential equivalence checking via a miter + symbolic reachability.
+
+The paper sits in a family of OBDD techniques shared with hardware
+verification (its refs [5, 9]); this module provides the verification
+side: two synchronous machines with the same interface are equivalent
+from given reset states iff no state reachable from the joint reset
+makes any output pair differ for any input.
+
+Construction: a **miter** circuit — both netlists side by side with
+shared primary inputs and one XOR per output pair — fed to the
+:class:`~repro.analysis.transition.TransitionSystem` reachability
+engine.  When a difference is reachable, a concrete distinguishing
+input sequence is extracted by walking the BFS frontiers backwards.
+"""
+
+from repro.analysis.transition import TransitionSystem
+from repro.bdd.manager import FALSE, TRUE
+from repro.circuit.compile import compile_circuit
+from repro.circuit.netlist import Circuit
+
+
+def build_miter(circuit1, circuit2, name=None):
+    """Miter of two circuits with identical PI/PO interfaces.
+
+    Nets of each side are prefixed ``a_`` / ``b_``; primary inputs are
+    shared; output *i* of the miter is ``XOR(a_out_i, b_out_i)``.
+    Returns ``(miter, dff_map)`` where *dff_map* records which miter
+    flip-flop positions belong to which side (``("a", i)`` etc.).
+    """
+    if circuit1.num_inputs != circuit2.num_inputs:
+        raise ValueError("input counts differ")
+    if circuit1.num_outputs != circuit2.num_outputs:
+        raise ValueError("output counts differ")
+    miter = Circuit(name or f"miter_{circuit1.name}_{circuit2.name}")
+    for pi in range(circuit1.num_inputs):
+        miter.add_input(f"pi{pi}")
+
+    def absorb(circuit, prefix):
+        rename = {
+            net: f"pi{idx}" for idx, net in enumerate(circuit.inputs)
+        }
+        for net in circuit.gates:
+            rename[net] = f"{prefix}{net}"
+        for net in circuit.dffs:
+            rename[net] = f"{prefix}{net}"
+        for q, d in circuit.dffs.items():
+            miter.add_dff(rename[q], rename[d])
+        for gate in circuit.gates.values():
+            miter.add_gate(
+                rename[gate.output],
+                gate.kind,
+                [rename[s] for s in gate.fanins],
+            )
+        return [rename[net] for net in circuit.outputs]
+
+    outs1 = absorb(circuit1, "a_")
+    outs2 = absorb(circuit2, "b_")
+    for pos, (o1, o2) in enumerate(zip(outs1, outs2)):
+        miter.add_gate(f"diff{pos}", "XOR", [o1, o2])
+        miter.add_output(f"diff{pos}")
+    dff_map = [("a", i) for i in range(circuit1.num_dffs)]
+    dff_map += [("b", i) for i in range(circuit2.num_dffs)]
+    return miter, dff_map
+
+
+class EquivalenceResult:
+    def __init__(self, equivalent, counterexample, output_index, steps):
+        self.equivalent = equivalent
+        self.counterexample = counterexample  # input vectors, or None
+        self.output_index = output_index  # differing PO, or None
+        self.steps = steps  # BFS depth explored
+
+    def __bool__(self):
+        return self.equivalent
+
+    def __repr__(self):
+        if self.equivalent:
+            return f"EquivalenceResult(equivalent, {self.steps} steps)"
+        return (
+            f"EquivalenceResult(DIFFERENT at output "
+            f"{self.output_index} after {self.counterexample})"
+        )
+
+
+def _difference_condition(ts):
+    """BDD over (state, input): some miter output is 1."""
+    condition = FALSE
+    for po_pos in range(len(ts.outputs)):
+        condition = ts.manager.or_(condition, ts.outputs[po_pos])
+    return condition
+
+
+def _find_step(ts, source_set, target_state):
+    """(source_state, input_vector) with next(source, input) == target."""
+    m = ts.manager
+    constraint = source_set
+    for i, bit in enumerate(target_state):
+        delta = ts.next_state[i]
+        constraint = m.and_(
+            constraint, delta if bit else m.not_(delta)
+        )
+        if constraint == FALSE:
+            return None
+    variables = ts.state_vars() + ts.input_vars()
+    assignment = m.pick_assignment(constraint, variables=variables)
+    source = tuple(
+        assignment[ts.state_var(i)] for i in range(ts.num_dffs)
+    )
+    vector = tuple(
+        assignment[ts.input_var(j)] for j in range(ts.num_pis)
+    )
+    return source, vector
+
+
+def check_equivalence(
+    circuit1,
+    circuit2,
+    reset1=None,
+    reset2=None,
+    max_steps=None,
+    node_limit=None,
+):
+    """Sequential equivalence from reset states (default all-zero).
+
+    Returns an :class:`EquivalenceResult`; when inequivalent, its
+    ``counterexample`` is a distinguishing input sequence starting at
+    the resets, and ``output_index`` names the first differing output.
+    """
+    miter, _dff_map = build_miter(circuit1, circuit2)
+    compiled = compile_circuit(miter)
+    ts = TransitionSystem(compiled, node_limit=node_limit)
+    m = ts.manager
+
+    if reset1 is None:
+        reset1 = (0,) * circuit1.num_dffs
+    if reset2 is None:
+        reset2 = (0,) * circuit2.num_dffs
+    joint_reset = tuple(reset1) + tuple(reset2)
+    current = ts.state_set_from_iter([joint_reset])
+
+    difference = _difference_condition(ts)
+
+    frontiers = [current]
+    reached = current
+    steps = 0
+    while True:
+        # does any state in the current frontier show a difference?
+        hit = m.and_(frontiers[-1], difference)
+        if hit != FALSE:
+            return _extract_counterexample(
+                ts, frontiers, hit, joint_reset, steps
+            )
+        if max_steps is not None and steps >= max_steps:
+            return EquivalenceResult(True, None, None, steps)
+        new = m.and_(ts.image(frontiers[-1]), m.not_(reached))
+        if new == FALSE:
+            return EquivalenceResult(True, None, None, steps)
+        frontiers.append(new)
+        reached = m.or_(reached, new)
+        steps += 1
+
+
+def _extract_counterexample(ts, frontiers, hit, joint_reset, steps):
+    m = ts.manager
+    variables = ts.state_vars() + ts.input_vars()
+    assignment = m.pick_assignment(hit, variables=variables)
+    state = tuple(
+        assignment[ts.state_var(i)] for i in range(ts.num_dffs)
+    )
+    last_vector = tuple(
+        assignment[ts.input_var(j)] for j in range(ts.num_pis)
+    )
+    # which output differs under this (state, input)?
+    full_assignment = dict(assignment)
+    output_index = None
+    for po_pos, function in enumerate(ts.outputs):
+        if m.evaluate(function, full_assignment):
+            output_index = po_pos
+            break
+
+    # walk back through the frontiers to the reset
+    path = [last_vector]
+    target = state
+    for depth in range(len(frontiers) - 2, -1, -1):
+        found = _find_step(ts, frontiers[depth], target)
+        assert found is not None, "frontier chain broken"
+        target, vector = found
+        path.append(vector)
+    assert target == joint_reset
+    path.reverse()
+    return EquivalenceResult(False, path, output_index, steps)

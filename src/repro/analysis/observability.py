@@ -1,0 +1,64 @@
+"""Sequence-level observability/initialisation diagnostics.
+
+Small analyses the experiment drivers and users lean on when reading
+fault-simulation results: which state bits does a sequence initialise
+under the three-valued logic, and which outputs are ever well-defined
+(the positions the rMOT strategy can observe)?
+"""
+
+from repro.bdd import BddManager, StateVariables
+from repro.engines.algebra import THREE_VALUED, BddAlgebra
+from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
+from repro.logic import threeval as tv
+
+
+def three_valued_initialised_bits(compiled, sequence):
+    """Per-flip-flop: the first frame after which its three-valued
+    state value is known (0/1), or None if it stays X throughout."""
+    state = [tv.X] * compiled.num_dffs
+    first_known = [None] * compiled.num_dffs
+    for time, vector in enumerate(sequence, start=1):
+        values = simulate_frame(compiled, THREE_VALUED, vector, state)
+        state = next_state_of(compiled, values)
+        for i, value in enumerate(state):
+            if value != tv.X and first_known[i] is None:
+                first_known[i] = time
+    return first_known
+
+
+def well_defined_output_positions(compiled, sequence):
+    """Symbolically exact set of (frame, po) positions whose fault-free
+    value is the same Boolean for every initial state — the positions
+    rMOT may observe.  Returns ``{(t, po_pos): bit}`` with t 1-based.
+    """
+    state_vars = StateVariables(compiled.num_dffs)
+    manager = BddManager(num_vars=compiled.num_dffs)
+    algebra = BddAlgebra(manager)
+    state = [
+        manager.mk_var(state_vars.x(i)) for i in range(compiled.num_dffs)
+    ]
+    positions = {}
+    for time, vector in enumerate(sequence, start=1):
+        pi_values = [algebra.const(b) for b in vector]
+        values = simulate_frame(compiled, algebra, pi_values, state)
+        for po_pos, bdd in enumerate(outputs_of(compiled, values)):
+            value = manager.const_value(bdd)
+            if value is not None:
+                positions[(time, po_pos)] = value
+        state = next_state_of(compiled, values)
+    return positions
+
+
+def observability_summary(compiled, sequence):
+    """One dict with the headline diagnostics for a sequence."""
+    init = three_valued_initialised_bits(compiled, sequence)
+    defined = well_defined_output_positions(compiled, sequence)
+    total_positions = len(sequence) * compiled.num_pos
+    return {
+        "frames": len(sequence),
+        "dffs_initialised_3v": sum(1 for t in init if t is not None),
+        "dffs_total": compiled.num_dffs,
+        "well_defined_outputs": len(defined),
+        "output_positions": total_positions,
+        "first_known_frame": init,
+    }

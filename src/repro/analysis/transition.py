@@ -1,0 +1,156 @@
+"""Symbolic transition-system view of a sequential circuit.
+
+The fault simulator of the paper only ever *simulates* — it applies a
+concrete input vector per frame.  For the surrounding analyses the
+literature leans on (synchronizing sequences [5, 11], reachability),
+one needs the next-state functions as BDDs over both the present-state
+variables and symbolic *input* variables.  This module builds exactly
+that view.
+
+Variable order (root to leaf): interleaved present/next state pairs
+``x_0, x'_0, x_1, x'_1, ...`` followed by the primary-input variables.
+The interleaving makes the next-to-present rename (``x'_i -> x_i``)
+after an image computation a monotone, linear-time operation.
+"""
+
+from repro.bdd import BddManager
+from repro.bdd.manager import FALSE, TRUE
+from repro.engines.algebra import BddAlgebra
+from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
+
+
+class TransitionSystem:
+    """Next-state and output functions as BDDs over (state, input)."""
+
+    def __init__(self, compiled, node_limit=None):
+        self.compiled = compiled
+        m = compiled.num_dffs
+        k = compiled.num_pis
+        self.manager = BddManager(num_vars=2 * m + k,
+                                  node_limit=node_limit)
+        self.num_dffs = m
+        self.num_pis = k
+
+        algebra = BddAlgebra(self.manager)
+        state = [self.manager.mk_var(self.state_var(i)) for i in range(m)]
+        inputs = [self.manager.mk_var(self.input_var(j)) for j in range(k)]
+        values = simulate_frame(compiled, algebra, inputs, state)
+        self.next_state = next_state_of(compiled, values)
+        self.outputs = outputs_of(compiled, values)
+
+    # ------------------------------------------------------------------
+    # variable layout
+    # ------------------------------------------------------------------
+    def state_var(self, i):
+        """Present-state variable of flip-flop *i*."""
+        return 2 * i
+
+    def next_var(self, i):
+        """Next-state variable of flip-flop *i*."""
+        return 2 * i + 1
+
+    def input_var(self, j):
+        """Variable of primary input *j*."""
+        return 2 * self.num_dffs + j
+
+    def state_vars(self):
+        return [self.state_var(i) for i in range(self.num_dffs)]
+
+    def next_vars(self):
+        return [self.next_var(i) for i in range(self.num_dffs)]
+
+    def input_vars(self):
+        return [self.input_var(j) for j in range(self.num_pis)]
+
+    # ------------------------------------------------------------------
+    # set construction helpers
+    # ------------------------------------------------------------------
+    def state_set_from_iter(self, states):
+        """Characteristic function of an iterable of state tuples."""
+        m = self.manager
+        result = FALSE
+        for state in states:
+            cube = TRUE
+            for i, bit in enumerate(state):
+                var = m.mk_var(self.state_var(i))
+                cube = m.and_(cube, var if bit else m.not_(var))
+            result = m.or_(result, cube)
+        return result
+
+    def all_states(self):
+        """Characteristic function of the full state space."""
+        return TRUE
+
+    def count_states(self, state_set):
+        """Number of states in a characteristic function over x vars."""
+        return self.manager.sat_count(state_set, self.state_vars())
+
+    def pick_state(self, state_set):
+        """One concrete state tuple from the set, or None if empty."""
+        assignment = self.manager.pick_assignment(
+            state_set, variables=self.state_vars()
+        )
+        if assignment is None:
+            return None
+        return tuple(
+            assignment[self.state_var(i)] for i in range(self.num_dffs)
+        )
+
+    # ------------------------------------------------------------------
+    # image computation
+    # ------------------------------------------------------------------
+    def _restrict_input(self, function, vector):
+        m = self.manager
+        for j, bit in enumerate(vector):
+            function = m.restrict(function, self.input_var(j), bit)
+        return function
+
+    def image(self, state_set, input_vector=None):
+        """States reachable in exactly one step from *state_set*.
+
+        With *input_vector* given (a tuple of bits) the step applies
+        that fixed vector; otherwise the inputs are free (existentially
+        quantified).
+        """
+        m = self.manager
+        relation = state_set
+        for i, delta in enumerate(self.next_state):
+            if input_vector is not None:
+                delta = self._restrict_input(delta, input_vector)
+            nxt = m.mk_var(self.next_var(i))
+            relation = m.and_(relation, m.xnor(nxt, delta))
+            if relation == FALSE:
+                return FALSE
+        quantify = list(self.state_vars())
+        if input_vector is None:
+            quantify += self.input_vars()
+        relation = m.exists(relation, quantify)
+        # rename x'_i -> x_i (monotone under the interleaved order)
+        rename = {self.next_var(i): self.state_var(i)
+                  for i in range(self.num_dffs)}
+        return m.rename(relation, rename)
+
+    def reachable(self, initial_set=None, max_steps=None):
+        """Least fixpoint of the image from *initial_set* (default: the
+        whole state space, i.e. states reachable from anywhere)."""
+        if initial_set is None:
+            initial_set = TRUE
+        m = self.manager
+        reached = initial_set
+        frontier = initial_set
+        steps = 0
+        while frontier != FALSE:
+            if max_steps is not None and steps >= max_steps:
+                break
+            new = self.manager.and_(self.image(frontier), m.not_(reached))
+            frontier = new
+            reached = m.or_(reached, new)
+            steps += 1
+        return reached
+
+    def output_function(self, po_pos, input_vector=None):
+        """Output *po_pos* as a function of state (and inputs)."""
+        function = self.outputs[po_pos]
+        if input_vector is not None:
+            function = self._restrict_input(function, input_vector)
+        return function

@@ -1,0 +1,5 @@
+"""MOT-guided test generation on top of the symbolic fault simulator."""
+
+from repro.atpg.generator import AtpgResult, generate_mot_tests
+
+__all__ = ["AtpgResult", "generate_mot_tests"]

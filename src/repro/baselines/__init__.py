@@ -1,0 +1,32 @@
+"""Baselines and oracles: explicit-enumeration MOT/rMOT/SOT fault
+simulation (Pomeranz-Reddy style [13]) and SCOAP testability [6]."""
+
+from repro.baselines.enumeration import (
+    MAX_DFFS,
+    all_states,
+    mot_detectable,
+    response_set,
+    rmot_detectable,
+    simulate_concrete,
+    sot_detectable,
+    well_defined_positions,
+)
+from repro.baselines.scoap import (
+    controllabilities,
+    observabilities,
+    scoap_x_redundant,
+)
+
+__all__ = [
+    "MAX_DFFS",
+    "all_states",
+    "simulate_concrete",
+    "response_set",
+    "mot_detectable",
+    "rmot_detectable",
+    "sot_detectable",
+    "well_defined_positions",
+    "controllabilities",
+    "observabilities",
+    "scoap_x_redundant",
+]

@@ -1,0 +1,160 @@
+"""Explicit-enumeration fault simulation — baseline and oracle.
+
+Pomeranz and Reddy's MOT fault simulator [13] enumerates initial states
+explicitly (the paper notes they restrict themselves to at most 6
+memory elements, i.e. 64 states).  This module reimplements that
+approach exactly — two-valued simulation from *every* initial state of
+the fault-free and the faulty machine — which makes it:
+
+* the baseline the symbolic approach is measured against, and
+* a ground-truth oracle: on small circuits the symbolic SOT/rMOT/MOT
+  verdicts must coincide with these definitions (tested extensively).
+
+Everything here is exponential in the number of flip-flops by design;
+:data:`MAX_DFFS` guards against accidental blow-ups.
+"""
+
+from itertools import product
+
+from repro.circuit import gates as gatelib
+from repro.engines.algebra import BOOL
+from repro.engines.evaluate import eval_gate, next_state_of, outputs_of
+from repro.faults.model import BRANCH, DBRANCH, STEM
+
+MAX_DFFS = 14
+
+
+def _check_size(compiled):
+    if compiled.num_dffs > MAX_DFFS:
+        raise ValueError(
+            f"explicit enumeration over {compiled.num_dffs} flip-flops "
+            f"(> {MAX_DFFS}) refused; use the symbolic simulator"
+        )
+
+
+def _faulty_frame(compiled, vector, state, fault):
+    """Full two-valued evaluation of one frame with the fault injected."""
+    values = [None] * compiled.num_signals
+    stem_force = None
+    branch_gate = branch_pin = None
+    if fault is not None:
+        kind = fault.lead[0]
+        if kind == STEM:
+            stem_force = (fault.lead[1], fault.value)
+        elif kind == BRANCH:
+            branch_gate, branch_pin = fault.lead[1], fault.lead[2]
+
+    for sig, bit in zip(compiled.pis, vector):
+        values[sig] = 1 if bit else 0
+    for sig, bit in zip(compiled.ppis, state):
+        values[sig] = 1 if bit else 0
+    if stem_force is not None and (
+        stem_force[0] in compiled.pis or stem_force[0] in compiled.ppis
+    ):
+        values[stem_force[0]] = stem_force[1]
+
+    for cg in compiled.gates:
+        if stem_force is not None and cg.out == stem_force[0]:
+            values[cg.out] = stem_force[1]
+            continue
+        operands = [values[src] for src in cg.fanins]
+        if cg.pos == branch_gate:
+            operands[branch_pin] = fault.value
+        values[cg.out] = eval_gate(BOOL, cg.kind, operands)
+    return values
+
+
+def simulate_concrete(compiled, sequence, initial_state, fault=None):
+    """Two-valued output sequence from a concrete initial state.
+
+    With *fault* given, the faulty machine is simulated (full
+    re-evaluation with the fault injected — deliberately an independent
+    implementation from the event-driven engine).
+    """
+    state = [1 if b else 0 for b in initial_state]
+    response = []
+    for vector in sequence:
+        values = _faulty_frame(compiled, vector, state, fault)
+        response.append(tuple(outputs_of(compiled, values)))
+        state = next_state_of(compiled, values)
+        if fault is not None and fault.lead[0] == DBRANCH:
+            state[fault.lead[1]] = fault.value
+    return tuple(response)
+
+
+def all_states(num_dffs):
+    """All 2^m initial states as tuples."""
+    return list(product((0, 1), repeat=num_dffs))
+
+
+def response_set(compiled, sequence, fault=None):
+    """The set of output sequences over all initial states."""
+    _check_size(compiled)
+    return {
+        simulate_concrete(compiled, sequence, state, fault)
+        for state in all_states(compiled.num_dffs)
+    }
+
+
+def mot_detectable(compiled, sequence, fault):
+    """Definition 3: every (p, q) pair yields different output sequences.
+
+    Equivalent to the fault-free and faulty response sets being
+    disjoint — the Pomeranz-Reddy formulation.
+    """
+    good = response_set(compiled, sequence, fault=None)
+    faulty = response_set(compiled, sequence, fault=fault)
+    return good.isdisjoint(faulty)
+
+
+def well_defined_positions(compiled, sequence):
+    """Positions (t, i) where the fault-free output is the same Boolean
+    value for every initial state, with that value.
+
+    These are the positions the rMOT strategy may observe.
+    """
+    _check_size(compiled)
+    responses = [
+        simulate_concrete(compiled, sequence, state)
+        for state in all_states(compiled.num_dffs)
+    ]
+    positions = {}
+    n = len(sequence)
+    l = compiled.num_pos
+    for t in range(n):
+        for i in range(l):
+            values = {resp[t][i] for resp in responses}
+            if len(values) == 1:
+                positions[(t, i)] = values.pop()
+    return positions
+
+
+def sot_detectable(compiled, sequence, fault):
+    """Definition 2: some (t, i) where the fault-free output is a fixed
+    b for all p and the faulty output is ~b for all q."""
+    _check_size(compiled)
+    good = well_defined_positions(compiled, sequence)
+    if not good:
+        return False
+    faulty_responses = [
+        simulate_concrete(compiled, sequence, state, fault)
+        for state in all_states(compiled.num_dffs)
+    ]
+    for (t, i), b in good.items():
+        if all(resp[t][i] == 1 - b for resp in faulty_responses):
+            return True
+    return False
+
+
+def rmot_detectable(compiled, sequence, fault):
+    """rMOT: every faulty initial state q disagrees with the fault-free
+    machine on at least one well-defined output position."""
+    _check_size(compiled)
+    good = well_defined_positions(compiled, sequence)
+    if not good:
+        return False
+    for state in all_states(compiled.num_dffs):
+        resp = simulate_concrete(compiled, sequence, state, fault)
+        if all(resp[t][i] == b for (t, i), b in good.items()):
+            return False  # this q mimics the fault-free machine
+    return True

@@ -1,0 +1,170 @@
+"""Sequential SCOAP testability analysis (Goldstein [6]).
+
+The paper cites SCOAP as the prior art for identifying faults that no
+test sequence can detect under the three-valued logic: a fault whose
+activation value is uncontrollable (infinite controllability) or whose
+site is unobservable (infinite observability) is X-redundant for every
+sequence.  ``ID_X-red`` is strictly more powerful because it exploits
+the *given* sequence; the ablation benchmark quantifies the gap.
+
+Controllabilities here count combinational depth (+1 per gate) and +1
+per flip-flop crossing; ``math.inf`` marks "cannot be set at all",
+which is the only property the X-redundancy check uses — the finite
+magnitudes are the usual SCOAP heuristics.
+"""
+
+import math
+
+from repro.circuit import gates as gatelib
+from repro.faults.model import BRANCH, DBRANCH, STEM
+
+INF = math.inf
+
+
+def _gate_controllability(kind, cc_pairs):
+    """(CC0, CC1) of a gate output from its inputs' (CC0, CC1) pairs."""
+    base, inverted = gatelib.base_op(kind)
+    if base == "CONST":
+        cc0, cc1 = (INF, 1) if inverted else (1, INF)
+        return cc0, cc1
+    if base == "ID":
+        cc0, cc1 = cc_pairs[0]
+        result = (cc0 + 1, cc1 + 1)
+    elif base == "AND":
+        cc0 = min(p[0] for p in cc_pairs) + 1
+        cc1 = sum(p[1] for p in cc_pairs) + 1
+        result = (cc0, cc1)
+    elif base == "OR":
+        cc0 = sum(p[0] for p in cc_pairs) + 1
+        cc1 = min(p[1] for p in cc_pairs) + 1
+        result = (cc0, cc1)
+    else:  # XOR: parity over all inputs; cheapest consistent assignment
+        even = 0
+        odd = INF
+        for cc0, cc1 in cc_pairs:
+            new_even = min(even + cc0, odd + cc1)
+            new_odd = min(even + cc1, odd + cc0)
+            even, odd = new_even, new_odd
+        result = (even + 1, odd + 1)
+    if inverted:
+        result = (result[1], result[0])
+    return result
+
+
+def _improve_pair(table, sig, new):
+    """Componentwise minimum update; True when something improved."""
+    old = table[sig]
+    merged = (min(old[0], new[0]), min(old[1], new[1]))
+    if merged != old:
+        table[sig] = merged
+        return True
+    return False
+
+
+def controllabilities(compiled):
+    """Per-signal (CC0, CC1), iterated to a fixpoint across flip-flops."""
+    cc = [(INF, INF)] * compiled.num_signals
+    for sig in compiled.pis:
+        cc[sig] = (1, 1)
+    changed = True
+    while changed:
+        changed = False
+        for dff_idx, d_sig in enumerate(compiled.dff_d):
+            q_sig = compiled.ppis[dff_idx]
+            new = (cc[d_sig][0] + 1, cc[d_sig][1] + 1)
+            if _improve_pair(cc, q_sig, new):
+                changed = True
+        for cg in compiled.gates:
+            pairs = [cc[src] for src in cg.fanins]
+            new = _gate_controllability(cg.kind, pairs)
+            if _improve_pair(cc, cg.out, new):
+                changed = True
+    return cc
+
+
+def observabilities(compiled, cc=None):
+    """Per-signal observability CO (and per-branch, see return value).
+
+    Returns ``(co_stem, co_pin)`` where *co_pin* maps ``(gate_pos,
+    pin)`` to the observability of that gate input.
+    """
+    if cc is None:
+        cc = controllabilities(compiled)
+    co = [INF] * compiled.num_signals
+    co_pin = {}
+    for sig in compiled.pos:
+        co[sig] = 0
+
+    def pin_observability(cg, pin):
+        base, _inverted = gatelib.base_op(cg.kind)
+        out_co = co[cg.out]
+        if out_co == INF:
+            return INF
+        cost = out_co + 1
+        for other, src in enumerate(cg.fanins):
+            if other == pin:
+                continue
+            cc0, cc1 = cc[src]
+            if base == "AND":
+                cost += cc1
+            elif base == "OR":
+                cost += cc0
+            elif base == "XOR":
+                cost += min(cc0, cc1)
+            # ID gates have no side inputs
+        return cost
+
+    changed = True
+    while changed:
+        changed = False
+        for dff_idx, d_sig in enumerate(compiled.dff_d):
+            q_sig = compiled.ppis[dff_idx]
+            if co[q_sig] != INF:
+                new = co[q_sig] + 1
+                if new < co[d_sig]:
+                    co[d_sig] = new
+                    changed = True
+        for cg in reversed(compiled.gates):
+            for pin, src in enumerate(cg.fanins):
+                new = pin_observability(cg, pin)
+                old = co_pin.get((cg.pos, pin), INF)
+                if new < old:
+                    co_pin[(cg.pos, pin)] = new
+                if new < co[src]:
+                    co[src] = new
+                    changed = True
+    return co, co_pin
+
+
+def scoap_x_redundant(compiled, faults):
+    """Faults provably undetectable by *any* sequence (SCOAP view).
+
+    A stuck-at-v fault needs the complementary value ~v... precisely:
+    stuck-at-0 needs the line at 1 (activation) and an observable site;
+    infinite CC1 or CO means no three-valued test sequence exists.
+    Returns the set of fault keys.
+    """
+    cc = controllabilities(compiled)
+    co, co_pin = observabilities(compiled, cc)
+    redundant = set()
+    for fault in faults:
+        kind = fault.lead[0]
+        if kind == STEM:
+            sig = fault.lead[1]
+            site_cc = cc[sig]
+            site_co = co[sig]
+        elif kind == BRANCH:
+            gate_pos, pin = fault.lead[1], fault.lead[2]
+            sig = compiled.gates[gate_pos].fanins[pin]
+            site_cc = cc[sig]
+            site_co = co_pin.get((gate_pos, pin), INF)
+        else:  # DBRANCH
+            dff_idx = fault.lead[1]
+            sig = compiled.dff_d[dff_idx]
+            site_cc = cc[sig]
+            q_sig = compiled.ppis[dff_idx]
+            site_co = co[q_sig] + 1 if co[q_sig] != INF else INF
+        activation = site_cc[1] if fault.value == 0 else site_cc[0]
+        if activation == INF or site_co == INF:
+            redundant.add(fault.key())
+    return redundant

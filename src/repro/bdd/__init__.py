@@ -1,0 +1,30 @@
+"""Reduced ordered binary decision diagrams (the paper's symbolic core).
+
+Public surface:
+
+* :class:`~repro.bdd.manager.BddManager` with constants ``FALSE``/``TRUE``,
+* :class:`~repro.bdd.ordering.StateVariables` — x/y variable numbering,
+* :class:`~repro.bdd.errors.SpaceLimitExceeded` — node-limit signal the
+  hybrid fault simulator reacts to,
+* :func:`~repro.bdd.dot.to_dot` — Graphviz export.
+"""
+
+from repro.bdd.errors import BddError, SpaceLimitExceeded, VariableOrderError
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.ordering import StateVariables
+from repro.bdd.reorder import reorder, transfer, window_search
+from repro.bdd.dot import to_dot
+
+__all__ = [
+    "BddManager",
+    "FALSE",
+    "TRUE",
+    "BddError",
+    "SpaceLimitExceeded",
+    "VariableOrderError",
+    "StateVariables",
+    "reorder",
+    "transfer",
+    "window_search",
+    "to_dot",
+]

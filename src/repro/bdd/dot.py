@@ -1,0 +1,34 @@
+"""Graphviz DOT export for OBDDs (debugging / documentation aid)."""
+
+
+def to_dot(manager, roots, var_names=None, graph_name="bdd"):
+    """Render the BDDs in *roots* (dict label -> node) as DOT text."""
+    if isinstance(roots, int):
+        roots = {"f": roots}
+    if var_names is None:
+        var_names = {}
+
+    lines = [f"digraph {graph_name} {{", "  rankdir=TB;"]
+    lines.append('  n0 [shape=box,label="0"];')
+    lines.append('  n1 [shape=box,label="1"];')
+
+    seen = set()
+    stack = list(roots.values())
+    while stack:
+        node = stack.pop()
+        if node in seen or manager.is_terminal(node):
+            continue
+        seen.add(node)
+        var = manager.var(node)
+        label = var_names.get(var, f"v{var}")
+        lines.append(f'  n{node} [shape=circle,label="{label}"];')
+        lines.append(f"  n{node} -> n{manager.low(node)} [style=dashed];")
+        lines.append(f"  n{node} -> n{manager.high(node)};")
+        stack.append(manager.low(node))
+        stack.append(manager.high(node))
+
+    for label, node in roots.items():
+        lines.append(f'  r_{label} [shape=plaintext,label="{label}"];')
+        lines.append(f"  r_{label} -> n{node};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

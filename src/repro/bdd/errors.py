@@ -1,0 +1,25 @@
+"""Errors raised by the OBDD package."""
+
+
+class BddError(Exception):
+    """Base class for OBDD errors."""
+
+
+class SpaceLimitExceeded(BddError):
+    """The unique table grew past the configured node limit.
+
+    The hybrid fault simulator (Section IV.A of the paper) catches this
+    to fall back to three-valued simulation for a few frames.
+    """
+
+    def __init__(self, limit, requested):
+        self.limit = limit
+        self.requested = requested
+        super().__init__(
+            f"OBDD node limit exceeded: {requested} nodes requested, "
+            f"limit is {limit}"
+        )
+
+
+class VariableOrderError(BddError):
+    """A rename/compose would violate the fixed variable order."""

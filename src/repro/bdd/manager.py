@@ -1,0 +1,457 @@
+"""A reduced ordered binary decision diagram (ROBDD) manager.
+
+This is a from-scratch pure-Python implementation of the OBDD package
+the paper builds on [Bryant 1986]:
+
+* nodes live in flat parallel arrays (``_var``, ``_low``, ``_high``);
+  a BDD is an integer index into those arrays,
+* node 0 is the constant FALSE, node 1 the constant TRUE,
+* a unique table guarantees canonicity — two functions are equal iff
+  their indices are equal,
+* all operations go through :meth:`ite` with a computed table,
+* the manager enforces a configurable **node limit** and raises
+  :class:`~repro.bdd.errors.SpaceLimitExceeded` when a new node would
+  exceed it (the paper uses a 30,000-node limit to trigger the hybrid
+  simulator's three-valued fallback),
+* garbage collection is *rebuild-based*: :meth:`collect` keeps only the
+  nodes reachable from caller-supplied roots and returns an old->new
+  index translation.
+
+Variable identity is a plain integer; smaller integers are closer to
+the root.  :mod:`repro.bdd.ordering` provides the interleaved x/y
+numbering used by the MOT strategy.
+"""
+
+import sys
+
+from repro.bdd.errors import SpaceLimitExceeded, VariableOrderError
+
+FALSE = 0
+TRUE = 1
+
+_TERMINAL_VAR = 1 << 40
+
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+
+class BddManager:
+    """Owner of a node store, unique table and computed table."""
+
+    def __init__(self, num_vars=0, node_limit=None):
+        self.num_vars = num_vars
+        self.node_limit = node_limit
+        self._var = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low = [FALSE, TRUE]
+        self._high = [FALSE, TRUE]
+        self._unique = {}
+        self._cache = {}
+        self.peak_nodes = 2
+
+    # ------------------------------------------------------------------
+    # node store
+    # ------------------------------------------------------------------
+    def mk(self, var, low, high):
+        """Find-or-create the node ``(var, low, high)`` (reduced)."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        idx = len(self._var)
+        if self.node_limit is not None and idx + 1 > self.node_limit:
+            raise SpaceLimitExceeded(self.node_limit, idx + 1)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = idx
+        if idx + 1 > self.peak_nodes:
+            self.peak_nodes = idx + 1
+        return idx
+
+    def var(self, index):
+        """Decision variable of node *index* (terminals: a huge sentinel)."""
+        return self._var[index]
+
+    def low(self, index):
+        return self._low[index]
+
+    def high(self, index):
+        return self._high[index]
+
+    def is_terminal(self, index):
+        return index < 2
+
+    @property
+    def num_nodes(self):
+        """Total number of live nodes including the two terminals."""
+        return len(self._var)
+
+    def fresh_var(self):
+        """Allocate a new variable index at the bottom of the order."""
+        var = self.num_vars
+        self.num_vars += 1
+        return var
+
+    def mk_var(self, var):
+        """The projection function of variable *var*."""
+        if var >= self.num_vars:
+            self.num_vars = var + 1
+        return self.mk(var, FALSE, TRUE)
+
+    def mk_nvar(self, var):
+        """The negated projection function of variable *var*."""
+        if var >= self.num_vars:
+            self.num_vars = var + 1
+        return self.mk(var, TRUE, FALSE)
+
+    def const(self, value):
+        """TRUE or FALSE for a truthy/falsy *value*."""
+        return TRUE if value else FALSE
+
+    def is_const(self, f):
+        """True when *f* is one of the two constant functions."""
+        return f < 2
+
+    def const_value(self, f):
+        """0/1 for a constant function, None otherwise."""
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1
+        return None
+
+    # ------------------------------------------------------------------
+    # core operation: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f, g, h):
+        """``(f AND g) OR (NOT f AND h)`` — the universal connective."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = ("ite", f, g, h)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        var_f = self._var[f]
+        var_g = self._var[g]
+        var_h = self._var[h]
+        top = min(var_f, var_g, var_h)
+        f1, f0 = (self._high[f], self._low[f]) if var_f == top else (f, f)
+        g1, g0 = (self._high[g], self._low[g]) if var_g == top else (g, g)
+        h1, h0 = (self._high[h], self._low[h]) if var_h == top else (h, h)
+        r1 = self.ite(f1, g1, h1)
+        r0 = self.ite(f0, g0, h0)
+        result = self.mk(top, r0, r1)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Boolean connectives
+    # ------------------------------------------------------------------
+    def not_(self, f):
+        return self.ite(f, FALSE, TRUE)
+
+    def and_(self, f, g):
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f, g):
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f, g):
+        return self.ite(f, self.not_(g), g)
+
+    def xnor(self, f, g):
+        """The equivalence ``f == g`` used by the detection functions."""
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f, g):
+        return self.ite(f, g, TRUE)
+
+    def and_many(self, fs):
+        result = TRUE
+        for f in fs:
+            result = self.and_(result, f)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def or_many(self, fs):
+        result = FALSE
+        for f in fs:
+            result = self.or_(result, f)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def restrict(self, f, var, value):
+        """Cofactor of *f* with *var* fixed to *value* (0 or 1)."""
+        if self.is_terminal(f):
+            return f
+        key = ("res", f, var, value)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        var_f = self._var[f]
+        if var_f > var:
+            result = f
+        elif var_f == var:
+            result = self._high[f] if value else self._low[f]
+        else:
+            r1 = self.restrict(self._high[f], var, value)
+            r0 = self.restrict(self._low[f], var, value)
+            result = self.mk(var_f, r0, r1)
+        self._cache[key] = result
+        return result
+
+    def compose(self, f, var, g):
+        """Substitute function *g* for variable *var* inside *f*."""
+        if self.is_terminal(f):
+            return f
+        var_f = self._var[f]
+        if var_f > var:
+            return f
+        key = ("cmp", f, var, g)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        if var_f == var:
+            result = self.ite(g, self._high[f], self._low[f])
+        else:
+            r1 = self.compose(self._high[f], var, g)
+            r0 = self.compose(self._low[f], var, g)
+            result = self.ite(self.mk(var_f, FALSE, TRUE), r1, r0)
+        self._cache[key] = result
+        return result
+
+    def rename(self, f, mapping):
+        """Rename variables according to the dict *mapping*.
+
+        The mapping must be monotone with respect to the variable order
+        (the MOT x->y rename under interleaved ordering is).  Raises
+        :class:`VariableOrderError` when the order would be violated.
+        """
+        if not mapping:
+            return f
+        items = sorted(mapping.items())
+        for (a1, b1), (a2, b2) in zip(items, items[1:]):
+            if not (a1 < a2 and b1 < b2):
+                raise VariableOrderError(
+                    f"rename is not monotone: {a1}->{b1}, {a2}->{b2}"
+                )
+        frozen = tuple(items)
+        return self._rename_rec(f, mapping, frozen)
+
+    def _rename_rec(self, f, mapping, frozen):
+        if self.is_terminal(f):
+            return f
+        key = ("ren", f, frozen)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        var_f = self._var[f]
+        new_var = mapping.get(var_f, var_f)
+        r1 = self._rename_rec(self._high[f], mapping, frozen)
+        r0 = self._rename_rec(self._low[f], mapping, frozen)
+        for child in (r1, r0):
+            if not self.is_terminal(child) and self._var[child] <= new_var:
+                raise VariableOrderError(
+                    f"rename {var_f}->{new_var} breaks the order"
+                )
+        result = self.mk(new_var, r0, r1)
+        self._cache[key] = result
+        return result
+
+    def exists(self, f, variables):
+        """Existential quantification over an iterable of variables."""
+        result = f
+        for var in sorted(set(variables), reverse=True):
+            result = self._quant_one(result, var, True)
+        return result
+
+    def forall(self, f, variables):
+        """Universal quantification over an iterable of variables."""
+        result = f
+        for var in sorted(set(variables), reverse=True):
+            result = self._quant_one(result, var, False)
+        return result
+
+    def _quant_one(self, f, var, existential):
+        if self.is_terminal(f):
+            return f
+        key = ("ex" if existential else "fa", f, var)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        var_f = self._var[f]
+        if var_f > var:
+            result = f
+        elif var_f == var:
+            hi, lo = self._high[f], self._low[f]
+            result = self.or_(hi, lo) if existential else self.and_(hi, lo)
+        else:
+            r1 = self._quant_one(self._high[f], var, existential)
+            r0 = self._quant_one(self._low[f], var, existential)
+            result = self.mk(var_f, r0, r1)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def evaluate(self, f, assignment):
+        """Evaluate *f* under ``assignment`` (mapping var -> 0/1)."""
+        node = f
+        while not self.is_terminal(node):
+            node = (
+                self._high[node]
+                if assignment[self._var[node]]
+                else self._low[node]
+            )
+        return node  # FALSE == 0, TRUE == 1
+
+    def support(self, f):
+        """The set of variables *f* depends on."""
+        seen = set()
+        result = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            result.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return result
+
+    def size(self, roots):
+        """Shared node count reachable from *roots* (terminals included)."""
+        if isinstance(roots, int):
+            roots = [roots]
+        seen = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if not self.is_terminal(node):
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def sat_count(self, f, variables=None):
+        """Number of satisfying assignments over *variables*.
+
+        *variables* defaults to ``range(num_vars)`` and must cover the
+        support of *f*.
+        """
+        if variables is None:
+            variables = range(self.num_vars)
+        order = sorted(set(variables))
+        position = {v: i for i, v in enumerate(order)}
+        missing = self.support(f) - set(order)
+        if missing:
+            raise ValueError(f"variables {missing} in support but not counted")
+        total = len(order)
+        cache = {}
+
+        def count(node, depth):
+            # number of sat assignments over order[depth:]
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1 << (total - depth)
+            key = (node, depth)
+            found = cache.get(key)
+            if found is not None:
+                return found
+            var_pos = position[self._var[node]]
+            skipped = var_pos - depth
+            result = (
+                count(self._low[node], var_pos + 1)
+                + count(self._high[node], var_pos + 1)
+            ) << skipped
+            cache[key] = result
+            return result
+
+        return count(f, 0)
+
+    def pick_assignment(self, f, variables=None):
+        """One satisfying assignment of *f* as a dict, or None if f==0.
+
+        Variables outside the support are assigned 0 when *variables*
+        is given, otherwise omitted.
+        """
+        if f == FALSE:
+            return None
+        assignment = {}
+        node = f
+        while not self.is_terminal(node):
+            var = self._var[node]
+            if self._high[node] != FALSE:
+                assignment[var] = 1
+                node = self._high[node]
+            else:
+                assignment[var] = 0
+                node = self._low[node]
+        if variables is not None:
+            for var in variables:
+                assignment.setdefault(var, 0)
+        return assignment
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+    def clear_cache(self):
+        """Drop the computed table (keeps all nodes)."""
+        self._cache.clear()
+
+    def collect(self, roots):
+        """Rebuild the store keeping only nodes reachable from *roots*.
+
+        Returns a dict translating old node indices (for the supplied
+        roots and everything reachable from them) to new indices.  All
+        other old indices become invalid; the computed table is cleared.
+        """
+        reachable = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in reachable or node < 2:
+                continue
+            reachable.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+
+        order = sorted(reachable)  # children have smaller indices
+        old_var, old_low, old_high = self._var, self._low, self._high
+        self._var = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low = [FALSE, TRUE]
+        self._high = [FALSE, TRUE]
+        self._unique = {}
+        self._cache = {}
+        translate = {FALSE: FALSE, TRUE: TRUE}
+        for node in order:
+            translate[node] = self.mk(
+                old_var[node],
+                translate[old_low[node]],
+                translate[old_high[node]],
+            )
+        return translate
+
+    def __repr__(self):
+        return (
+            f"BddManager({self.num_vars} vars, {self.num_nodes} nodes, "
+            f"limit {self.node_limit})"
+        )

@@ -1,0 +1,43 @@
+"""Gate-level circuit substrate: netlists, ``.bench`` I/O, compilation.
+
+The public surface:
+
+* :class:`~repro.circuit.netlist.Circuit` — the netlist model,
+* :func:`~repro.circuit.bench.parse_bench` / ``load_bench`` /
+  ``write_bench`` / ``save_bench`` — ISCAS-89 ``.bench`` format I/O,
+* :func:`~repro.circuit.compile.compile_circuit` — levelised flat form
+  shared by all simulation engines,
+* :func:`~repro.circuit.validate.validate` — structural checks,
+* :mod:`~repro.circuit.gates` — gate-kind constants and semantics,
+* :mod:`~repro.circuit.regions` — fanout-free-region analysis.
+"""
+
+from repro.circuit import gates
+from repro.circuit.bench import (
+    BenchParseError,
+    load_bench,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+from repro.circuit.compile import CompiledCircuit, compile_circuit
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.stats import circuit_stats, format_stats
+from repro.circuit.validate import CircuitError, validate
+
+__all__ = [
+    "gates",
+    "Circuit",
+    "Gate",
+    "CircuitError",
+    "validate",
+    "CompiledCircuit",
+    "compile_circuit",
+    "BenchParseError",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "save_bench",
+    "circuit_stats",
+    "format_stats",
+]

@@ -1,0 +1,110 @@
+"""Reader and writer for the ISCAS-89 ``.bench`` netlist format.
+
+The format, as used by the benchmark distribution the paper simulates::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G10 = NOR(G14, G11)
+    G14 = NOT(G0)
+
+Gate names are case-insensitive on input; ``CONST0``/``CONST1`` and the
+alias ``BUFF`` for ``BUF`` are accepted.
+"""
+
+import re
+
+from repro.circuit import gates as gatelib
+from repro.circuit.netlist import Circuit
+
+_LINE_RE = re.compile(
+    r"""^\s*
+        (?:
+            (?P<io>INPUT|OUTPUT)\s*\(\s*(?P<ionet>[^\s()]+)\s*\)
+          |
+            (?P<lhs>[^\s=]+)\s*=\s*(?P<kind>[A-Za-z01]+)\s*
+                \(\s*(?P<args>[^()]*)\s*\)
+        )\s*$""",
+    re.VERBOSE,
+)
+
+_KIND_ALIASES = {
+    "BUFF": gatelib.BUF,
+    "BUFFER": gatelib.BUF,
+    "INV": gatelib.NOT,
+}
+
+
+class BenchParseError(ValueError):
+    """Raised for malformed ``.bench`` text."""
+
+    def __init__(self, message, line_no=None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+def parse_bench(text, name="bench"):
+    """Parse ``.bench`` *text* into a :class:`Circuit`."""
+    circuit = Circuit(name)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise BenchParseError(f"cannot parse {line!r}", line_no)
+        if match.group("io"):
+            net = match.group("ionet")
+            if match.group("io") == "INPUT":
+                circuit.add_input(net)
+            else:
+                circuit.add_output(net)
+            continue
+        lhs = match.group("lhs")
+        kind = match.group("kind").upper()
+        kind = _KIND_ALIASES.get(kind, kind)
+        args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        if kind == "DFF":
+            if len(args) != 1:
+                raise BenchParseError(
+                    f"DFF takes exactly one input, got {len(args)}", line_no
+                )
+            circuit.add_dff(lhs, args[0])
+        elif kind in gatelib.COMBINATIONAL_KINDS:
+            try:
+                circuit.add_gate(lhs, kind, args)
+            except ValueError as exc:
+                raise BenchParseError(str(exc), line_no) from exc
+        else:
+            raise BenchParseError(f"unknown gate kind {kind!r}", line_no)
+    return circuit
+
+
+def load_bench(path, name=None):
+    """Load a ``.bench`` file from *path*."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = str(path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_bench(text, name=name)
+
+
+def write_bench(circuit):
+    """Render *circuit* back into ``.bench`` text."""
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({net})" for net in circuit.inputs)
+    lines.extend(f"OUTPUT({net})" for net in circuit.outputs)
+    lines.extend(f"{q} = DFF({d})" for q, d in circuit.dffs.items())
+    for gate in circuit.gates.values():
+        args = ", ".join(gate.fanins)
+        lines.append(f"{gate.output} = {gate.kind}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit, path):
+    """Write *circuit* to *path* in ``.bench`` format."""
+    with open(path, "w") as handle:
+        handle.write(write_bench(circuit))

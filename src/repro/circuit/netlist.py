@@ -1,0 +1,154 @@
+"""The gate-level netlist model: :class:`Circuit`.
+
+A :class:`Circuit` is a named collection of
+
+* primary inputs,
+* primary outputs (names of nets observed at the circuit boundary),
+* combinational gates (one driving net per gate), and
+* D flip-flops (the memory elements; clocking is implicit, one global
+  synchronous clock as in the ISCAS-89 benchmarks).
+
+Nets are identified by their string name.  Every net is driven either by
+a primary input, a gate, or a flip-flop output (Q).  Flip-flop D inputs
+and primary outputs are pure observers of nets.
+"""
+
+from repro.circuit import gates as gatelib
+
+
+class Gate:
+    """One combinational gate: ``output = kind(*fanins)``."""
+
+    __slots__ = ("output", "kind", "fanins")
+
+    def __init__(self, output, kind, fanins):
+        gatelib.check_arity(kind, len(fanins))
+        self.output = output
+        self.kind = kind
+        self.fanins = tuple(fanins)
+
+    def __repr__(self):
+        return f"Gate({self.output} = {self.kind}{self.fanins})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Gate)
+            and self.output == other.output
+            and self.kind == other.kind
+            and self.fanins == other.fanins
+        )
+
+    def __hash__(self):
+        return hash((self.output, self.kind, self.fanins))
+
+
+class Circuit:
+    """A synchronous sequential circuit (gate-level FSM realisation)."""
+
+    def __init__(self, name="circuit"):
+        self.name = name
+        self.inputs = []
+        self.outputs = []
+        self.gates = {}  # net name -> Gate driving it
+        self.dffs = {}  # Q net name -> D net name
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name):
+        """Declare a primary input net."""
+        self._check_undriven(name)
+        self.inputs.append(name)
+        return name
+
+    def add_output(self, name):
+        """Declare net *name* as a primary output observation."""
+        self.outputs.append(name)
+        return name
+
+    def add_gate(self, output, kind, fanins):
+        """Add a combinational gate driving net *output*."""
+        self._check_undriven(output)
+        self.gates[output] = Gate(output, kind, fanins)
+        return output
+
+    def add_dff(self, q, d):
+        """Add a D flip-flop with output net *q* and data input net *d*."""
+        self._check_undriven(q)
+        self.dffs[q] = d
+        return q
+
+    def _check_undriven(self, name):
+        if name in self.gates or name in self.dffs or name in self.inputs:
+            raise ValueError(f"net {name!r} already driven")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self):
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self):
+        return len(self.outputs)
+
+    @property
+    def num_dffs(self):
+        return len(self.dffs)
+
+    @property
+    def num_gates(self):
+        return len(self.gates)
+
+    def all_nets(self):
+        """All driven nets: inputs, gate outputs and flip-flop outputs."""
+        seen = list(self.inputs)
+        seen.extend(self.gates)
+        seen.extend(self.dffs)
+        return seen
+
+    def driver_kind(self, name):
+        """'input' | 'gate' | 'dff' | None for the driver of net *name*."""
+        if name in self.inputs:
+            return "input"
+        if name in self.gates:
+            return "gate"
+        if name in self.dffs:
+            return "dff"
+        return None
+
+    def fanout_map(self):
+        """Map net -> list of sinks.
+
+        Each sink is one of:
+
+        * ``("gate", output_net, pin_index)`` — pin of a gate,
+        * ``("dff", q_net)`` — D input of a flip-flop,
+        * ``("po", position)`` — primary output observation.
+        """
+        fanout = {net: [] for net in self.all_nets()}
+        for gate in self.gates.values():
+            for pin, src in enumerate(gate.fanins):
+                fanout[src].append(("gate", gate.output, pin))
+        for q, d in self.dffs.items():
+            fanout[d].append(("dff", q))
+        for pos, net in enumerate(self.outputs):
+            fanout[net].append(("po", pos))
+        return fanout
+
+    def copy(self, name=None):
+        """A deep-enough copy (gates are immutable, containers are new)."""
+        other = Circuit(name or self.name)
+        other.inputs = list(self.inputs)
+        other.outputs = list(self.outputs)
+        other.gates = dict(self.gates)
+        other.dffs = dict(self.dffs)
+        return other
+
+    def __repr__(self):
+        return (
+            f"Circuit({self.name!r}: {self.num_inputs} PI, "
+            f"{self.num_outputs} PO, {self.num_dffs} DFF, "
+            f"{self.num_gates} gates)"
+        )

@@ -1,0 +1,38 @@
+"""Circuit statistics, used by the experiment drivers for table headers."""
+
+from collections import Counter
+
+from repro.circuit.compile import compile_circuit
+from repro.circuit.regions import ffr_heads
+
+
+def circuit_stats(circuit):
+    """Return a dict of headline statistics for *circuit*."""
+    compiled = compile_circuit(circuit)
+    kinds = Counter(g.kind for g in circuit.gates.values())
+    stems_with_branches = sum(
+        1
+        for sig in range(compiled.num_signals)
+        if compiled.has_fanout_branches(sig)
+    )
+    return {
+        "name": circuit.name,
+        "inputs": circuit.num_inputs,
+        "outputs": circuit.num_outputs,
+        "dffs": circuit.num_dffs,
+        "gates": circuit.num_gates,
+        "signals": compiled.num_signals,
+        "max_level": compiled.max_level,
+        "gate_kinds": dict(kinds),
+        "fanout_stems": stems_with_branches,
+        "ffr_count": len(ffr_heads(compiled)),
+    }
+
+
+def format_stats(circuit):
+    """One-line human-readable summary."""
+    s = circuit_stats(circuit)
+    return (
+        f"{s['name']}: {s['inputs']} PI, {s['outputs']} PO, "
+        f"{s['dffs']} DFF, {s['gates']} gates, depth {s['max_level']}"
+    )

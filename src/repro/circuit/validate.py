@@ -1,0 +1,70 @@
+"""Structural validation of a :class:`~repro.circuit.netlist.Circuit`.
+
+Checks performed:
+
+* every referenced net has a driver (gate fanins, DFF data inputs,
+  primary outputs),
+* no combinational cycle exists (cycles through flip-flops are fine —
+  that is what makes the circuit sequential),
+* no net is declared primary input and also driven by a gate or DFF
+  (enforced at construction time, re-checked here),
+* gate arities are legal (enforced at construction, re-checked).
+"""
+
+from repro.circuit import gates as gatelib
+
+
+class CircuitError(ValueError):
+    """Raised when a circuit is structurally ill-formed."""
+
+
+def validate(circuit):
+    """Validate *circuit*; raise :class:`CircuitError` on any defect."""
+    driven = set(circuit.inputs) | set(circuit.gates) | set(circuit.dffs)
+
+    for gate in circuit.gates.values():
+        gatelib.check_arity(gate.kind, len(gate.fanins))
+        for src in gate.fanins:
+            if src not in driven:
+                raise CircuitError(
+                    f"gate {gate.output!r} reads undriven net {src!r}"
+                )
+    for q, d in circuit.dffs.items():
+        if d not in driven:
+            raise CircuitError(f"DFF {q!r} reads undriven net {d!r}")
+    for net in circuit.outputs:
+        if net not in driven:
+            raise CircuitError(f"primary output {net!r} is undriven")
+
+    _check_no_combinational_cycle(circuit)
+    return circuit
+
+
+def _check_no_combinational_cycle(circuit):
+    """Iterative DFS over the combinational gate graph."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {net: WHITE for net in circuit.gates}
+
+    for start in circuit.gates:
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(circuit.gates[start].fanins))]
+        color[start] = GREY
+        while stack:
+            net, fanins = stack[-1]
+            advanced = False
+            for src in fanins:
+                if src not in circuit.gates:
+                    continue  # PI or DFF output: sequential boundary
+                if color[src] == GREY:
+                    raise CircuitError(
+                        f"combinational cycle through net {src!r}"
+                    )
+                if color[src] == WHITE:
+                    color[src] = GREY
+                    stack.append((src, iter(circuit.gates[src].fanins)))
+                    advanced = True
+                    break
+            if not advanced:
+                color[net] = BLACK
+                stack.pop()

@@ -1,0 +1,30 @@
+"""Benchmark circuits: the embedded s27, the paper's figure examples,
+synthetic ISCAS-89 stand-ins, and the registry mapping paper rows to
+stand-ins."""
+
+from repro.circuits.iscas import S27_BENCH, s27
+from repro.circuits.figures import (
+    figure1_circuit,
+    figure2_circuit,
+    figure3_circuit,
+)
+from repro.circuits import generators
+from repro.circuits.registry import (
+    PAPER_ROWS,
+    available,
+    get_circuit,
+    paper_row_circuit,
+)
+
+__all__ = [
+    "s27",
+    "S27_BENCH",
+    "figure1_circuit",
+    "figure2_circuit",
+    "figure3_circuit",
+    "generators",
+    "PAPER_ROWS",
+    "available",
+    "get_circuit",
+    "paper_row_circuit",
+]

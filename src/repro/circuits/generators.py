@@ -1,0 +1,572 @@
+"""Synthetic sequential benchmark circuits.
+
+The ISCAS-89 netlists the paper evaluates cannot be redistributed from
+memory, so this module generates circuits from the same *structure
+classes*, which is what drives every phenomenon the paper measures
+(see DESIGN.md, "Substitutions"):
+
+* :func:`counter` — n-bit binary counter without reset: under the
+  three-valued logic every state bit stays X forever, so almost the
+  whole fault universe is X-redundant, while MOT recovers detections
+  (the s208.1 / s420.1 / s838.1 "divider" profile);
+* :func:`shift_register` — initialisable through the data path
+  (the low-X-redundancy s344/s349 profile);
+* :func:`sync_controller` — fully synchronisable in two-valued logic
+  but opaque to the three-valued logic (the s510 profile: every fault
+  is X-redundant, yet the symbolic strategies detect most of them);
+* :func:`lfsr` / :func:`nlfsr` — autonomous feedback registers; the
+  nonlinear variant grows OBDDs quickly and exercises the hybrid
+  fallback (the s838.1/s1423/s5378 behaviour);
+* :func:`johnson` — ring-style counter with decoded outputs;
+* :func:`random_fsm` — synthesised random Moore machines, optionally
+  resettable (the s298/s386/s820 controller profile);
+* :func:`traffic_light` — a small hand-written controller;
+* :func:`pipeline_datapath` — registered datapath that flushes
+  through, so conventional fault simulation already does well
+  (the s1196/s35932 profile).
+
+All generators are deterministic (seeded where randomised).
+"""
+
+import random
+
+from repro.circuit.netlist import Circuit
+
+
+def counter(bits, name=None):
+    """n-bit binary up-counter with enable; no reset.
+
+    Outputs: the carry-out ``tc`` (terminal count) and the MSB.
+    """
+    c = Circuit(name or f"ctr{bits}")
+    c.add_input("en")
+    carry = "en"
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"nq{i}")
+        c.add_gate(f"nq{i}", "XOR", [q, carry])
+        nxt = f"c{i + 1}"
+        c.add_gate(nxt, "AND", [carry, q])
+        carry = nxt
+    c.add_gate("tc", "BUF", [carry])
+    c.add_gate("msb", "BUF", [f"q{bits - 1}"])
+    c.add_output("tc")
+    c.add_output("msb")
+    return c
+
+
+def resettable_counter(bits, name=None):
+    """Like :func:`counter` but with a synchronous reset input."""
+    c = Circuit(name or f"rctr{bits}")
+    c.add_input("en")
+    c.add_input("rst")
+    c.add_gate("nrst", "NOT", ["rst"])
+    carry = "en"
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"nq{i}")
+        c.add_gate(f"x{i}", "XOR", [q, carry])
+        c.add_gate(f"nq{i}", "AND", [f"x{i}", "nrst"])
+        nxt = f"c{i + 1}"
+        c.add_gate(nxt, "AND", [carry, q])
+        carry = nxt
+    c.add_gate("tc", "BUF", [carry])
+    c.add_gate("msb", "BUF", [f"q{bits - 1}"])
+    c.add_output("tc")
+    c.add_output("msb")
+    return c
+
+
+def shift_register(bits, name=None):
+    """Serial-in shift register with an output tap at the end and a
+    parity observation across the stages."""
+    c = Circuit(name or f"shift{bits}")
+    c.add_input("sin")
+    prev = "sin"
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"d{i}")
+        c.add_gate(f"d{i}", "BUF", [prev])
+        prev = q
+    c.add_gate("sout", "BUF", [prev])
+    parity = "q0"
+    for i in range(1, bits):
+        nxt = f"p{i}"
+        c.add_gate(nxt, "XOR", [parity, f"q{i}"])
+        parity = nxt
+    c.add_gate("parity", "BUF", [parity])
+    c.add_output("sout")
+    c.add_output("parity")
+    return c
+
+
+def lfsr(bits, taps=None, name=None):
+    """Fibonacci LFSR with an enable input; autonomous otherwise.
+
+    The feedback is the XOR of the tapped stages; with ``en`` low the
+    register holds (built from AND/OR muxing that three-valued logic
+    can resolve)."""
+    if taps is None:
+        taps = (0, bits - 1)
+    c = Circuit(name or f"lfsr{bits}")
+    c.add_input("en")
+    c.add_gate("nen", "NOT", ["en"])
+    feedback = f"q{taps[0]}"
+    for pos, tap in enumerate(taps[1:], start=1):
+        nxt = f"fb{pos}"
+        c.add_gate(nxt, "XOR", [feedback, f"q{tap}"])
+        feedback = nxt
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"d{i}")
+        src = feedback if i == 0 else f"q{i - 1}"
+        c.add_gate(f"sh{i}", "AND", [src, "en"])
+        c.add_gate(f"ho{i}", "AND", [q, "nen"])
+        c.add_gate(f"d{i}", "OR", [f"sh{i}", f"ho{i}"])
+    c.add_gate("out", "BUF", [f"q{bits - 1}"])
+    c.add_output("out")
+    return c
+
+
+def nlfsr(bits, seed=7, name=None):
+    """Nonlinear feedback shift register.
+
+    The feedback XORs random AND-pairs of stages, so the symbolic state
+    functions deepen every frame — this is the generator that drives
+    OBDD growth and exercises the hybrid simulator's fallback."""
+    rng = random.Random(seed)
+    c = Circuit(name or f"nlfsr{bits}")
+    c.add_input("din")
+    terms = []
+    n_terms = max(2, bits // 3)
+    for t in range(n_terms):
+        a = rng.randrange(bits)
+        b = rng.randrange(bits)
+        if a == b:
+            b = (b + 1) % bits
+        term = f"t{t}"
+        c.add_gate(term, "AND", [f"q{a}", f"q{b}"])
+        terms.append(term)
+    feedback = terms[0]
+    for pos, term in enumerate(terms[1:], start=1):
+        nxt = f"fb{pos}"
+        c.add_gate(nxt, "XOR", [feedback, term])
+        feedback = nxt
+    c.add_gate("fbi", "XOR", [feedback, "din"])
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"d{i}")
+        src = "fbi" if i == 0 else f"q{i - 1}"
+        c.add_gate(f"d{i}", "BUF", [src])
+    c.add_gate("out", "XOR", [f"q{bits - 1}", f"q{bits // 2}"])
+    c.add_output("out")
+    return c
+
+
+def johnson(bits, name=None):
+    """Johnson (twisted-ring) counter with decoded outputs; no reset."""
+    c = Circuit(name or f"jc{bits}")
+    c.add_input("en")
+    c.add_gate("nen", "NOT", ["en"])
+    c.add_gate("twist", "NOT", [f"q{bits - 1}"])
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"d{i}")
+        src = "twist" if i == 0 else f"q{i - 1}"
+        c.add_gate(f"sh{i}", "AND", [src, "en"])
+        c.add_gate(f"ho{i}", "AND", [q, "nen"])
+        c.add_gate(f"d{i}", "OR", [f"sh{i}", f"ho{i}"])
+    c.add_gate("all1", "AND", [f"q{0}", f"q{bits - 1}"])
+    c.add_gate("edge", "XOR", ["q0", f"q{bits - 1}"])
+    c.add_output("all1")
+    c.add_output("edge")
+    return c
+
+
+def sync_controller(bits, name=None):
+    """Fully synchronisable machine that three-valued logic cannot
+    initialise (the s510 profile).
+
+    Each state bit is loaded through the reconvergent pattern
+    ``q' = q XOR (q XOR src)`` which equals ``src`` in Boolean logic
+    but evaluates to X under the three-valued logic whenever ``q = X``
+    — so the machine synchronises fully in two-valued simulation while
+    staying opaque to a three-valued simulator for every sequence."""
+    c = Circuit(name or f"syncc{bits}")
+    c.add_input("d")
+    c.add_input("g")
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"nq{i}")
+        src = "d" if i == 0 else f"q{i - 1}"
+        c.add_gate(f"a{i}", "XOR", [q, src])
+        c.add_gate(f"nq{i}", "XOR", [q, f"a{i}"])
+    # observation logic: gated parity and conjunction chains
+    parity = "q0"
+    for i in range(1, bits):
+        nxt = f"p{i}"
+        c.add_gate(nxt, "XOR", [parity, f"q{i}"])
+        parity = nxt
+    c.add_gate("po_par", "AND", [parity, "g"])
+    conj = "q0"
+    for i in range(1, bits):
+        nxt = f"k{i}"
+        c.add_gate(nxt, "AND", [conj, f"q{i}"])
+        conj = nxt
+    c.add_gate("po_all", "BUF", [conj])
+    c.add_output("po_par")
+    c.add_output("po_all")
+    return c
+
+
+# ----------------------------------------------------------------------
+# FSM synthesis
+# ----------------------------------------------------------------------
+def synthesize_moore_fsm(
+    name, num_state_bits, num_inputs, next_state_fn, output_fn, num_outputs
+):
+    """Two-level synthesis of a Moore machine into a gate netlist.
+
+    *next_state_fn(state, inputs)* maps integer-coded state and input
+    tuple to the next integer state; *output_fn(state)* to an output
+    bit tuple.  Minterms are enumerated exhaustively, so keep
+    ``num_state_bits + num_inputs`` small (<= 12 or so).
+    """
+    c = Circuit(name)
+    input_names = [f"i{j}" for j in range(num_inputs)]
+    for net in input_names:
+        c.add_input(net)
+    state_names = [f"s{j}" for j in range(num_state_bits)]
+    for j, q in enumerate(state_names):
+        c.add_dff(q, f"ns{j}")
+    # complemented literals
+    for net in input_names + state_names:
+        c.add_gate(f"{net}_n", "NOT", [net])
+
+    def minterm_net(label, state_code, input_code):
+        literals = []
+        for j in range(num_state_bits):
+            bit = (state_code >> j) & 1
+            literals.append(state_names[j] if bit else f"s{j}_n")
+        for j in range(num_inputs):
+            bit = (input_code >> j) & 1
+            literals.append(input_names[j] if bit else f"i{j}_n")
+        if len(literals) == 1:
+            c.add_gate(label, "BUF", [literals[0]])
+        else:
+            c.add_gate(label, "AND", literals)
+        return label
+
+    # next-state logic
+    ns_minterms = [[] for _ in range(num_state_bits)]
+    counter_id = 0
+    for state_code in range(1 << num_state_bits):
+        for input_code in range(1 << num_inputs):
+            inputs = tuple(
+                (input_code >> j) & 1 for j in range(num_inputs)
+            )
+            nxt = next_state_fn(state_code, inputs)
+            if nxt == 0:
+                continue  # no minterm needed for the all-zero target
+            label = None
+            for j in range(num_state_bits):
+                if (nxt >> j) & 1:
+                    if label is None:
+                        label = minterm_net(
+                            f"m{counter_id}", state_code, input_code
+                        )
+                        counter_id += 1
+                    ns_minterms[j].append(label)
+    for j in range(num_state_bits):
+        terms = ns_minterms[j]
+        if not terms:
+            c.add_gate(f"ns{j}", "CONST0", [])
+        elif len(terms) == 1:
+            c.add_gate(f"ns{j}", "BUF", [terms[0]])
+        else:
+            c.add_gate(f"ns{j}", "OR", terms)
+
+    # output logic (Moore: function of state only)
+    out_minterms = [[] for _ in range(num_outputs)]
+    for state_code in range(1 << num_state_bits):
+        bits = output_fn(state_code)
+        label = None
+        for j in range(num_outputs):
+            if bits[j]:
+                if label is None:
+                    literals = []
+                    for k in range(num_state_bits):
+                        bit = (state_code >> k) & 1
+                        literals.append(
+                            state_names[k] if bit else f"s{k}_n"
+                        )
+                    label = f"om{state_code}"
+                    if len(literals) == 1:
+                        c.add_gate(label, "BUF", [literals[0]])
+                    else:
+                        c.add_gate(label, "AND", literals)
+                out_minterms[j].append(label)
+    for j in range(num_outputs):
+        terms = out_minterms[j]
+        if not terms:
+            c.add_gate(f"o{j}", "CONST0", [])
+        elif len(terms) == 1:
+            c.add_gate(f"o{j}", "BUF", [terms[0]])
+        else:
+            c.add_gate(f"o{j}", "OR", terms)
+        c.add_output(f"o{j}")
+    return c
+
+
+def random_fsm(
+    num_states,
+    num_inputs=1,
+    num_outputs=2,
+    seed=1,
+    resettable=False,
+    reset=None,
+    name=None,
+):
+    """A synthesised random Moore machine.
+
+    *reset* selects the initialisation profile:
+
+    * ``None`` — free-running, opaque to the three-valued logic,
+    * ``"full"`` — input 0 is a synchronous reset to state 0 (the
+      machine is fully three-valued-initialisable),
+    * ``"partial"`` — input 0 clears all state bits except the LSB, so
+      the three-valued logic resolves most but not all of the state
+      (the s382/s400/s444 profile: a sizeable but partial X-redundant
+      fraction).
+
+    ``resettable=True`` is kept as an alias for ``reset="full"``.
+    """
+    if resettable and reset is None:
+        reset = "full"
+    if reset not in (None, "full", "partial"):
+        raise ValueError(f"unknown reset profile {reset!r}")
+    rng = random.Random(seed)
+    num_state_bits = max(1, (num_states - 1).bit_length())
+    table = {}
+    for state in range(1 << num_state_bits):
+        for input_code in range(1 << num_inputs):
+            table[(state, input_code)] = rng.randrange(num_states)
+    outputs = {
+        state: tuple(rng.randrange(2) for _ in range(num_outputs))
+        for state in range(1 << num_state_bits)
+    }
+
+    def next_state(state, inputs):
+        if reset == "full" and inputs[0]:
+            return 0
+        if reset == "partial" and inputs[0]:
+            return state & 1
+        input_code = sum(bit << j for j, bit in enumerate(inputs))
+        return table[(state, input_code)]
+
+    def output(state):
+        return outputs[state]
+
+    if name is None:
+        flavor = {"full": "rfsm_r", "partial": "rfsm_p"}.get(reset, "rfsm")
+        name = f"{flavor}{num_states}_{seed}"
+    return synthesize_moore_fsm(
+        name, num_state_bits, num_inputs, next_state, output, num_outputs
+    )
+
+
+def traffic_light(name="tlc"):
+    """A small hand-specified traffic-light controller (s298 flavour).
+
+    Two phases x three timer steps; input 0 requests the cross phase,
+    input 1 is a synchronous reset (s298 is three-valued-initialisable,
+    so its stand-in must be too); outputs are the green lines and a
+    timer-expired flag.
+    """
+    GREEN_NS, GREEN_EW = 0, 1
+
+    def next_state(state, inputs):
+        request, reset = inputs
+        if reset:
+            return 0
+        phase = state & 1
+        timer = (state >> 1) & 3
+        if timer < 2:
+            return phase | ((timer + 1) << 1)
+        if request:
+            return (1 - phase) | (0 << 1)
+        return phase | (timer << 1)
+
+    def output(state):
+        phase = state & 1
+        timer = (state >> 1) & 3
+        return (
+            1 if phase == GREEN_NS else 0,
+            1 if phase == GREEN_EW else 0,
+            1 if timer >= 2 else 0,
+        )
+
+    return synthesize_moore_fsm(name, 3, 2, next_state, output, 3)
+
+
+def gray_counter(bits, name=None):
+    """Gray-code counter with enable; no reset.
+
+    Built as a binary counter core with Gray-encoded outputs, so its
+    three-valued profile matches :func:`counter` while its output logic
+    exercises XOR cones.
+    """
+    c = Circuit(name or f"gray{bits}")
+    c.add_input("en")
+    carry = "en"
+    for i in range(bits):
+        q = f"q{i}"
+        c.add_dff(q, f"nq{i}")
+        c.add_gate(f"nq{i}", "XOR", [q, carry])
+        nxt = f"c{i + 1}"
+        c.add_gate(nxt, "AND", [carry, q])
+        carry = nxt
+    for i in range(bits - 1):
+        c.add_gate(f"g{i}", "XOR", [f"q{i}", f"q{i + 1}"])
+        c.add_output(f"g{i}")
+    c.add_gate(f"g{bits - 1}", "BUF", [f"q{bits - 1}"])
+    c.add_output(f"g{bits - 1}")
+    return c
+
+
+def one_hot_ring(slots, name=None):
+    """One-hot ring sequencer with a synchronous ``start`` that loads
+    the hot bit into slot 0 (so the machine is initialisable), plus a
+    decoded "illegal state" alarm output.
+    """
+    c = Circuit(name or f"ring{slots}")
+    c.add_input("start")
+    c.add_gate("nstart", "NOT", ["start"])
+    for i in range(slots):
+        q = f"q{i}"
+        c.add_dff(q, f"d{i}")
+        src = f"q{(i - 1) % slots}"
+        c.add_gate(f"sh{i}", "AND", [src, "nstart"])
+        if i == 0:
+            c.add_gate(f"d{i}", "OR", [f"sh{i}", "start"])
+        else:
+            c.add_gate(f"d{i}", "AND", [f"sh{i}", "nstart"])
+    # alarm: more than one hot bit among the first two slots (cheap
+    # approximation keeps the decode logic small)
+    c.add_gate("alarm", "AND", ["q0", "q1"])
+    c.add_gate("tick", "BUF", [f"q{slots - 1}"])
+    c.add_output("alarm")
+    c.add_output("tick")
+    return c
+
+
+def fifo_controller(depth_bits, name=None):
+    """FIFO full/empty controller: an up/down counter with push/pop
+    inputs and full/empty decodes; resettable, partially observable.
+    """
+    c = Circuit(name or f"fifo{depth_bits}")
+    c.add_input("push")
+    c.add_input("pop")
+    c.add_input("rst")
+    c.add_gate("nrst", "NOT", ["rst"])
+    c.add_gate("npop", "NOT", ["pop"])
+    c.add_gate("npush", "NOT", ["push"])
+    c.add_gate("up", "AND", ["push", "npop"])
+    c.add_gate("down", "AND", ["pop", "npush"])
+    c.add_gate("move", "OR", ["up", "down"])
+    # counter bits with +1 / -1 carry chains
+    inc_carry = "up"
+    dec_carry = "down"
+    for i in range(depth_bits):
+        q = f"q{i}"
+        c.add_dff(q, f"nq{i}")
+        c.add_gate(f"nqv{i}", "NOT", [q])
+        c.add_gate(f"delta{i}", "OR", [inc_carry, dec_carry])
+        c.add_gate(f"x{i}", "XOR", [q, f"delta{i}"])
+        c.add_gate(f"nq{i}", "AND", [f"x{i}", "nrst"])
+        c.add_gate(f"ic{i + 1}", "AND", [inc_carry, q])
+        c.add_gate(f"dc{i + 1}", "AND", [dec_carry, f"nqv{i}"])
+        inc_carry = f"ic{i + 1}"
+        dec_carry = f"dc{i + 1}"
+    # decodes
+    empty = "nqv0"
+    for i in range(1, depth_bits):
+        nxt = f"e{i}"
+        c.add_gate(nxt, "AND", [empty, f"nqv{i}"])
+        empty = nxt
+    full = "q0"
+    for i in range(1, depth_bits):
+        nxt = f"f{i}"
+        c.add_gate(nxt, "AND", [full, f"q{i}"])
+        full = nxt
+    c.add_gate("empty", "BUF", [empty])
+    c.add_gate("full", "BUF", [full])
+    c.add_output("empty")
+    c.add_output("full")
+    return c
+
+
+def serial_mac(bits, name=None):
+    """Serial multiply-accumulate core: the accumulator adds the stage
+    products of the serial input with the shifted multiplicand every
+    cycle.  Deep AND/XOR reconvergence makes the symbolic state
+    functions grow nonlinearly — a reliable OBDD stressor alongside
+    :func:`nlfsr`.
+    """
+    c = Circuit(name or f"mac{bits}")
+    c.add_input("din")
+    # multiplicand shift register
+    prev = "din"
+    for i in range(bits):
+        q = f"m{i}"
+        c.add_dff(q, f"md{i}")
+        c.add_gate(f"md{i}", "BUF", [prev])
+        prev = q
+    # accumulator: acc' = acc XOR (m AND rotated acc) with ripple mix
+    carry = "din"
+    for i in range(bits):
+        q = f"a{i}"
+        c.add_dff(q, f"ad{i}")
+        c.add_gate(f"p{i}", "AND", [f"m{i}", f"a{(i + 1) % bits}"])
+        c.add_gate(f"s{i}", "XOR", [q, f"p{i}"])
+        c.add_gate(f"ad{i}", "XOR", [f"s{i}", carry])
+        nxt = f"k{i + 1}"
+        c.add_gate(nxt, "AND", [f"s{i}", carry])
+        carry = nxt
+    c.add_gate("out", "XOR", [f"a{bits - 1}", f"a{0}"])
+    c.add_output("out")
+    return c
+
+
+def pipeline_datapath(width, stages, name=None):
+    """A registered datapath: data flushes through in *stages* cycles.
+
+    Stage logic alternates XOR-mix and AND-OR-mix layers; because every
+    register is loaded from the inputs after a few cycles, conventional
+    three-valued fault simulation already covers this circuit well.
+    """
+    c = Circuit(name or f"pipe{width}x{stages}")
+    data = []
+    for j in range(width):
+        c.add_input(f"in{j}")
+        data.append(f"in{j}")
+    for stage in range(stages):
+        new_data = []
+        for j in range(width):
+            a = data[j]
+            b = data[(j + 1) % width]
+            net = f"g{stage}_{j}"
+            if stage % 2 == 0:
+                c.add_gate(net, "XOR", [a, b])
+            else:
+                c.add_gate(f"{net}a", "AND", [a, b])
+                c.add_gate(f"{net}o", "OR", [a, b])
+                c.add_gate(net, "XOR", [f"{net}a", f"{net}o"])
+            q = f"r{stage}_{j}"
+            c.add_dff(q, net)
+            new_data.append(q)
+        data = new_data
+    for j in range(width):
+        c.add_gate(f"out{j}", "BUF", [data[j]])
+        c.add_output(f"out{j}")
+    return c

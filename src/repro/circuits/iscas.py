@@ -1,0 +1,36 @@
+"""The one ISCAS-89 benchmark small enough to embed verbatim: s27.
+
+The larger ISCAS-89 circuits the paper evaluates are not
+redistributable from memory; the synthetic suite in
+:mod:`repro.circuits.generators` stands in for them (see DESIGN.md,
+"Substitutions").
+"""
+
+from repro.circuit.bench import parse_bench
+
+S27_BENCH = """\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+
+def s27():
+    """The s27 benchmark circuit: 4 PI, 1 PO, 3 DFF, 10 gates."""
+    return parse_bench(S27_BENCH, name="s27")

@@ -1,0 +1,106 @@
+"""Benchmark circuit registry and the paper-row mapping.
+
+Every experiment driver prints, for each reproduced table row, both the
+ISCAS-89 circuit the row stands in for and the synthetic circuit that
+was actually simulated (DESIGN.md, "Substitutions").
+"""
+
+from repro.circuits import generators as gen
+from repro.circuits.figures import (
+    figure1_circuit,
+    figure2_circuit,
+    figure3_circuit,
+)
+from repro.circuits.iscas import s27
+
+_FACTORIES = {
+    "s27": s27,
+    "fig1": lambda: figure1_circuit()[0],
+    "fig2": lambda: figure2_circuit()[0],
+    "fig3": lambda: figure3_circuit()[0],
+    "ctr8": lambda: gen.counter(8),
+    "ctr12": lambda: gen.counter(12),
+    "ctr16": lambda: gen.counter(16),
+    "ctr24": lambda: gen.counter(24),
+    "rctr8": lambda: gen.resettable_counter(8),
+    "shift8": lambda: gen.shift_register(8),
+    "shift16": lambda: gen.shift_register(16),
+    "tlc": gen.traffic_light,
+    "syncc6": lambda: gen.sync_controller(6),
+    "syncc10": lambda: gen.sync_controller(10),
+    "lfsr8": lambda: gen.lfsr(8, taps=(0, 3, 4, 7)),
+    "lfsr12": lambda: gen.lfsr(12, taps=(0, 5, 8, 11)),
+    "nlfsr12": lambda: gen.nlfsr(12, seed=7),
+    "nlfsr20": lambda: gen.nlfsr(20, seed=11),
+    "johnson8": lambda: gen.johnson(8),
+    "rfsm21a": lambda: gen.random_fsm(21, num_inputs=2, seed=3,
+                                      reset="partial"),
+    "rfsm21b": lambda: gen.random_fsm(21, num_inputs=2, seed=4,
+                                      reset="partial"),
+    "rfsm21c": lambda: gen.random_fsm(21, num_inputs=2, seed=5,
+                                      reset="partial"),
+    "rfsm16f": lambda: gen.random_fsm(16, num_inputs=2, seed=9),
+    "rfsm13r": lambda: gen.random_fsm(13, num_inputs=2, seed=6,
+                                      resettable=True),
+    "rfsm32r": lambda: gen.random_fsm(32, num_inputs=2, num_outputs=4,
+                                      seed=8, resettable=True),
+    "pipe8x3": lambda: gen.pipeline_datapath(8, 3),
+    "pipe12x4": lambda: gen.pipeline_datapath(12, 4),
+    "gray8": lambda: gen.gray_counter(8),
+    "ring10": lambda: gen.one_hot_ring(10),
+    "fifo5": lambda: gen.fifo_controller(5),
+    "mac10": lambda: gen.serial_mac(10),
+}
+
+# paper row -> (synthetic stand-in, why it is a faithful stand-in)
+PAPER_ROWS = [
+    ("s208.1", "ctr8", "8-bit divider/counter, no reset: nearly all "
+                       "faults X-redundant, MOT recovers many"),
+    ("s298", "tlc", "small traffic-light-style controller"),
+    ("s344", "shift8", "datapath initialisable through the inputs"),
+    ("s349", "shift16", "datapath initialisable through the inputs"),
+    ("s382", "rfsm21a", "controller, high X-redundant fraction"),
+    ("s386", "rfsm13r", "resettable controller"),
+    ("s400", "rfsm21b", "re-synthesis of the s382-class machine"),
+    ("s420.1", "ctr16", "16-bit divider/counter, no reset"),
+    ("s444", "rfsm21c", "re-synthesis of the s382-class machine"),
+    ("s510", "syncc6", "fully synchronisable yet three-valued-opaque"),
+    ("s526", "lfsr8", "autonomous feedback register"),
+    ("s641", "pipe8x3", "pipelined datapath, flushes through"),
+    ("s713", "pipe12x4", "pipelined datapath, flushes through"),
+    ("s820", "rfsm32r", "larger resettable controller"),
+    ("s832", "rfsm32r", "larger resettable controller (re-synthesis)"),
+    ("s838.1", "ctr24", "24-bit divider/counter, no reset"),
+    ("s953", "johnson8", "ring counter with decoded outputs"),
+    ("s1196", "pipe12x4", "nearly combinational pipeline"),
+    ("s1423", "nlfsr12", "deep sequential logic, OBDD growth"),
+    ("s5378", "nlfsr20", "large, triggers the hybrid fallback"),
+    ("s953", "gray8", "counter-style machine with XOR output decode"),
+    ("s1488", "ring10", "one-hot sequencer, initialisable"),
+    ("s1494", "fifo5", "resettable up/down controller with decodes"),
+    ("s9234.1", "mac10", "deep arithmetic recurrence, OBDD stressor"),
+]
+
+
+def available():
+    """Sorted list of registered circuit names."""
+    return sorted(_FACTORIES)
+
+
+def get_circuit(name):
+    """Build a fresh instance of the registered circuit *name*."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown circuit {name!r}; available: {', '.join(available())}"
+        ) from None
+    return factory()
+
+
+def paper_row_circuit(paper_name):
+    """The synthetic stand-in (and note) for an ISCAS-89 row name."""
+    for paper, ours, note in PAPER_ROWS:
+        if paper == paper_name:
+            return get_circuit(ours), note
+    raise ValueError(f"no stand-in recorded for {paper_name!r}")

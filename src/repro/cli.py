@@ -1,0 +1,377 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro stats ctr8
+    python -m repro faults s27
+    python -m repro generate ctr8 --kind random --length 100 -o t.seq
+    python -m repro simulate ctr8 --strategy MOT --length 100
+    python -m repro xred ctr8 --length 200
+    python -m repro evaluate s27 --sequence t.seq --response r.seq
+    python -m repro sync syncc6
+
+A circuit argument is either a name from the built-in registry
+(``python -m repro list``) or a path to an ISCAS-89 ``.bench`` file.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.analysis.synchronizing import find_synchronizing_sequence
+from repro.circuit.bench import load_bench
+from repro.circuit.compile import compile_circuit
+from repro.circuit.stats import circuit_stats
+from repro.circuits.registry import PAPER_ROWS, available, get_circuit
+from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.reporting import coverage_report
+from repro.sequences.deterministic import deterministic_sequence
+from repro.sequences.io import (
+    load_response,
+    load_sequence,
+    save_sequence,
+)
+from repro.sequences.random_seq import random_sequence_for
+from repro.symbolic.evaluation import symbolic_output_sequence
+from repro.symbolic.hybrid import DEFAULT_NODE_LIMIT, hybrid_fault_simulate
+from repro.xred.idxred import eliminate_x_redundant
+
+
+def _resolve_circuit(spec):
+    if os.path.exists(spec):
+        return load_bench(spec)
+    return get_circuit(spec)
+
+
+def _prepare(spec):
+    circuit = _resolve_circuit(spec)
+    compiled = compile_circuit(circuit)
+    faults, _ = collapse_faults(compiled)
+    return compiled, FaultSet(faults)
+
+
+def _get_sequence(compiled, args):
+    if getattr(args, "sequence", None):
+        return load_sequence(args.sequence)
+    return random_sequence_for(compiled, args.length, seed=args.seed)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_list(args):
+    mapping = {ours: paper for paper, ours, _ in PAPER_ROWS}
+    for name in available():
+        row = mapping.get(name, "")
+        suffix = f"  (stands in for {row})" if row else ""
+        print(f"{name}{suffix}")
+    return 0
+
+
+def cmd_stats(args):
+    stats = circuit_stats(_resolve_circuit(args.circuit))
+    for key, value in stats.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def cmd_faults(args):
+    compiled, fault_set = _prepare(args.circuit)
+    print(f"# {len(fault_set)} collapsed stuck-at faults")
+    for record in fault_set:
+        print(record.fault.describe(compiled))
+    return 0
+
+
+def cmd_generate(args):
+    compiled, fault_set = _prepare(args.circuit)
+    if args.kind == "random":
+        sequence = random_sequence_for(compiled, args.length,
+                                       seed=args.seed)
+    elif args.kind == "deterministic":
+        sequence = deterministic_sequence(
+            compiled, fault_set, max_length=args.length, seed=args.seed
+        )
+    else:  # mot-atpg
+        from repro.atpg.generator import generate_mot_tests
+
+        result = generate_mot_tests(
+            compiled, fault_set, strategy="MOT",
+            max_length=args.length, seed=args.seed,
+            node_limit=args.node_limit,
+        )
+        sequence = result.sequence
+    text_comment = (
+        f"{args.kind} sequence for {args.circuit}, seed {args.seed}"
+    )
+    if args.output:
+        save_sequence(sequence, args.output, comment=text_comment)
+        print(f"wrote {len(sequence)} vectors to {args.output}")
+    else:
+        from repro.sequences.io import dumps_sequence
+
+        sys.stdout.write(dumps_sequence(sequence, comment=text_comment))
+    return 0
+
+
+def cmd_xred(args):
+    compiled, fault_set = _prepare(args.circuit)
+    sequence = _get_sequence(compiled, args)
+    eliminate_x_redundant(compiled, sequence, fault_set)
+    counts = fault_set.counts()
+    print(
+        f"{counts['x_redundant']} of {counts['total']} faults are "
+        f"X-redundant for this {len(sequence)}-vector sequence"
+    )
+    if args.verbose:
+        for record in fault_set.x_redundant():
+            print(f"  {record.fault.describe(compiled)}")
+    return 0
+
+
+def cmd_simulate(args):
+    compiled, fault_set = _prepare(args.circuit)
+    sequence = _get_sequence(compiled, args)
+    if not args.no_xred:
+        eliminate_x_redundant(compiled, sequence, fault_set)
+    fault_simulate_3v_parallel(compiled, sequence, fault_set)
+    exact = False
+    if args.strategy != "3v":
+        strategies = (
+            ("SOT", "rMOT", "MOT")
+            if args.strategy == "all"
+            else (args.strategy,)
+        )
+        exact = True
+        for strategy in strategies:
+            result = hybrid_fault_simulate(
+                compiled, sequence, fault_set, strategy=strategy,
+                node_limit=args.node_limit,
+            )
+            exact = exact and result.exact
+    report = coverage_report(
+        compiled, fault_set, sequence,
+        exact_mot=exact and args.strategy in ("MOT", "all"),
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0
+
+
+def cmd_evaluate(args):
+    compiled, _fault_set = _prepare(args.circuit)
+    sequence = load_sequence(args.sequence)
+    response = load_response(args.response)
+    symbolic = symbolic_output_sequence(
+        compiled, sequence, node_limit=args.node_limit
+    )
+    accepted, conflict = symbolic.evaluate(response)
+    if accepted:
+        print("PASS: some initial state of the fault-free circuit "
+              "explains this response")
+        return 0
+    print(f"FAIL: circuit-under-test is faulty "
+          f"(first conflict at frame {conflict})")
+    return 1
+
+
+def cmd_diagnose(args):
+    compiled, fault_set = _prepare(args.circuit)
+    sequence = load_sequence(args.sequence)
+    response = load_response(args.response)
+    from repro.diagnosis import diagnose
+
+    result = diagnose(
+        compiled, sequence, response,
+        [r.fault for r in fault_set],
+        node_limit=args.node_limit or None,
+    )
+    if result.fault_free_consistent:
+        print("response is consistent with a fault-free machine")
+    else:
+        print("response proves the circuit-under-test faulty")
+    print(f"{len(result.candidates)} candidate faults, "
+          f"{len(result.exonerated)} exonerated:")
+    for candidate in result.candidates[: args.top]:
+        print(
+            f"  {candidate.fault.describe(compiled):30s}  "
+            f"({candidate.num_states} explaining initial states)"
+        )
+    return 0
+
+
+def cmd_compact(args):
+    compiled, fault_set = _prepare(args.circuit)
+    sequence = load_sequence(args.sequence)
+    from repro.sequences.compaction import compact_sequence
+
+    result = compact_sequence(
+        compiled, sequence, [r.fault for r in fault_set],
+        strategy=args.strategy,
+    )
+    print(
+        f"compacted {result.original_length} -> "
+        f"{result.compacted_length} vectors "
+        f"({len(result.detected)} {args.strategy}-detected faults kept)"
+    )
+    if args.output:
+        save_sequence(result.compacted, args.output,
+                      comment=f"compacted under {args.strategy}")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_equiv(args):
+    from repro.analysis.equivalence import check_equivalence
+
+    c1 = _resolve_circuit(args.circuit)
+    c2 = _resolve_circuit(args.other)
+    result = check_equivalence(c1, c2)
+    if result.equivalent:
+        print(f"EQUIVALENT (explored {result.steps} image steps)")
+        return 0
+    print(f"DIFFERENT at output {result.output_index}; "
+          f"distinguishing sequence:")
+    for vector in result.counterexample:
+        print("".join(str(b) for b in vector))
+    return 1
+
+
+def cmd_sync(args):
+    compiled, _ = _prepare(args.circuit)
+    result = find_synchronizing_sequence(
+        compiled, max_length=args.length, beam_width=args.beam
+    )
+    if result.found:
+        print(f"synchronizing sequence of length "
+              f"{len(result.sequence)} found; final state "
+              f"{result.final_state}")
+        for vector in result.sequence:
+            print("".join(str(b) for b in vector))
+        return 0
+    print(f"no synchronizing sequence within {args.length} steps "
+          f"(uncertainty trace: {result.uncertainty_sizes})")
+    return 1
+
+
+# ----------------------------------------------------------------------
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symbolic fault simulation for sequential circuits "
+                    "(DAC 1995 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, sequence_opts=True):
+        p.add_argument("circuit",
+                       help="registry name or .bench file path")
+        if sequence_opts:
+            p.add_argument("--sequence", help="sequence file (.seq)")
+            p.add_argument("--length", type=int, default=100)
+            p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--node-limit", type=int,
+                       default=DEFAULT_NODE_LIMIT)
+
+    sub.add_parser("list", help="list built-in circuits")
+
+    p = sub.add_parser("stats", help="circuit statistics")
+    p.add_argument("circuit")
+
+    p = sub.add_parser("faults", help="print the collapsed fault list")
+    p.add_argument("circuit")
+
+    p = sub.add_parser("generate", help="generate a test sequence")
+    add_common(p, sequence_opts=False)
+    p.add_argument("--kind", choices=("random", "deterministic",
+                                      "mot-atpg"), default="random")
+    p.add_argument("--length", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("-o", "--output")
+
+    p = sub.add_parser("xred", help="identify X-redundant faults")
+    add_common(p)
+    p.add_argument("--verbose", action="store_true")
+
+    p = sub.add_parser("simulate", help="run the fault-simulation flow")
+    add_common(p)
+    p.add_argument("--strategy",
+                   choices=("3v", "SOT", "rMOT", "MOT", "all"),
+                   default="MOT")
+    p.add_argument("--no-xred", action="store_true",
+                   help="skip the ID_X-red pre-pass")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("evaluate",
+                       help="symbolic test evaluation of a response")
+    p.add_argument("circuit")
+    p.add_argument("--sequence", required=True)
+    p.add_argument("--response", required=True)
+    p.add_argument("--node-limit", type=int, default=DEFAULT_NODE_LIMIT)
+
+    p = sub.add_parser("sync", help="search a synchronizing sequence")
+    p.add_argument("circuit")
+    p.add_argument("--length", type=int, default=32)
+    p.add_argument("--beam", type=int, default=64)
+
+    p = sub.add_parser("diagnose",
+                       help="identify candidate faults from a response")
+    p.add_argument("circuit")
+    p.add_argument("--sequence", required=True)
+    p.add_argument("--response", required=True)
+    p.add_argument("--top", type=int, default=10,
+                   help="print at most this many candidates")
+    p.add_argument("--node-limit", type=int, default=0,
+                   help="0 = unlimited")
+
+    p = sub.add_parser("compact",
+                       help="shrink a sequence preserving coverage")
+    p.add_argument("circuit")
+    p.add_argument("--sequence", required=True)
+    p.add_argument("--strategy", choices=("SOT", "rMOT", "MOT"),
+                   default="MOT")
+    p.add_argument("-o", "--output")
+
+    p = sub.add_parser("equiv",
+                       help="sequential equivalence of two circuits")
+    p.add_argument("circuit")
+    p.add_argument("other")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "stats": cmd_stats,
+    "faults": cmd_faults,
+    "generate": cmd_generate,
+    "xred": cmd_xred,
+    "simulate": cmd_simulate,
+    "evaluate": cmd_evaluate,
+    "sync": cmd_sync,
+    "diagnose": cmd_diagnose,
+    "compact": cmd_compact,
+    "equiv": cmd_equiv,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # e.g. `python -m repro list | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

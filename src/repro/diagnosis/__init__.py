@@ -1,0 +1,5 @@
+"""Symbolic fault diagnosis (candidate identification from a response)."""
+
+from repro.diagnosis.engine import Candidate, DiagnosisResult, diagnose
+
+__all__ = ["Candidate", "DiagnosisResult", "diagnose"]

@@ -1,0 +1,168 @@
+"""Symbolic fault diagnosis — the converse of test evaluation.
+
+Section IV.B decides *whether* a circuit-under-test is faulty; a
+natural and classical follow-up (fault dictionaries) asks *which*
+stuck-at fault explains the observed response.  With the symbolic
+machinery this needs no dictionary: a fault f is a **candidate** for
+the observed response ``c`` iff some initial state q of the faulty
+machine reproduces it,
+
+    exists q:  for all t, j:  o_j^f(q, t) == c_j(t)
+    <=>  prod_t prod_j [ o_j^f(x, t) == c_j(t) ]  is not identically 0,
+
+which is exactly the detection-function computation with the fault-free
+outputs replaced by the observed constants.  Faults whose product
+collapses to 0 are **exonerated**.  The engine reuses the event-driven
+single-fault propagation, so exoneration drops a fault mid-run just
+like detection does in the fault simulator.
+"""
+
+from repro.bdd import BddManager, StateVariables
+from repro.bdd.manager import FALSE, TRUE
+from repro.engines.algebra import BddAlgebra
+from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
+from repro.engines.propagate import propagate_fault
+from repro.logic import threeval
+
+
+class Candidate:
+    """One fault that can explain the observed response."""
+
+    __slots__ = ("fault", "num_states", "witness")
+
+    def __init__(self, fault, num_states, witness):
+        self.fault = fault
+        self.num_states = num_states  # how many initial states explain c
+        self.witness = witness  # one explaining initial state (tuple)
+
+    def __repr__(self):
+        return f"Candidate({self.fault!r}, {self.num_states} states)"
+
+
+class DiagnosisResult:
+    """Outcome of :func:`diagnose`."""
+
+    def __init__(self, candidates, exonerated, fault_free_consistent):
+        self.candidates = candidates  # sorted, most states first
+        self.exonerated = exonerated  # list of faults ruled out
+        self.fault_free_consistent = fault_free_consistent
+
+    @property
+    def is_faulty(self):
+        """True when no fault-free initial state explains the response."""
+        return not self.fault_free_consistent
+
+    def candidate_faults(self):
+        return [c.fault for c in self.candidates]
+
+    def __repr__(self):
+        return (
+            f"DiagnosisResult({len(self.candidates)} candidates, "
+            f"{len(self.exonerated)} exonerated, fault-free "
+            f"{'possible' if self.fault_free_consistent else 'excluded'})"
+        )
+
+
+def diagnose(
+    compiled,
+    sequence,
+    response,
+    faults,
+    initial_state=None,
+    node_limit=None,
+):
+    """Diagnose *response* against the single-stuck-at universe *faults*.
+
+    Returns a :class:`DiagnosisResult`.  *response* is a list of
+    per-frame primary-output bit vectors (as produced on the tester).
+    """
+    vectors = list(sequence)
+    if len(response) != len(vectors):
+        raise ValueError(
+            f"response has {len(response)} frames, sequence has "
+            f"{len(vectors)}"
+        )
+
+    state_vars = StateVariables(compiled.num_dffs)
+    manager = BddManager(num_vars=compiled.num_dffs,
+                         node_limit=node_limit)
+    algebra = BddAlgebra(manager)
+
+    if initial_state is None:
+        initial_state = [threeval.X] * compiled.num_dffs
+    good_state = [
+        manager.mk_var(state_vars.x(i))
+        if value == threeval.X
+        else manager.const(value)
+        for i, value in enumerate(initial_state)
+    ]
+
+    # live fault bookkeeping: fault -> [state_diff, accumulator]
+    live = {fault.key(): [fault, {}, TRUE] for fault in faults}
+    good_acc = TRUE  # the "no fault" hypothesis
+    exonerated = []
+
+    for time, (vector, observed) in enumerate(
+        zip(vectors, response), start=1
+    ):
+        pi_values = [algebra.const(b) for b in vector]
+        good_values = simulate_frame(
+            compiled, algebra, pi_values, good_state
+        )
+        good_po = outputs_of(compiled, good_values)
+        # constants per observed bit, and the good-machine product
+        good_terms = []
+        for po_pos, bit in enumerate(observed):
+            term = good_po[po_pos] if bit else manager.not_(
+                good_po[po_pos]
+            )
+            good_terms.append(term)
+            if good_acc != FALSE:
+                good_acc = manager.and_(good_acc, term)
+
+        for key in list(live):
+            fault, state_diff, acc = live[key]
+            result = propagate_fault(
+                compiled, algebra, good_values, fault, state_diff
+            )
+            for po_pos, bit in enumerate(observed):
+                sig = compiled.pos[po_pos]
+                faulty = result.diff.get(sig)
+                if faulty is None:
+                    term = good_terms[po_pos]
+                else:
+                    term = faulty if bit else manager.not_(faulty)
+                acc = manager.and_(acc, term)
+                if acc == FALSE:
+                    break
+            if acc == FALSE:
+                exonerated.append(fault)
+                del live[key]
+            else:
+                live[key] = [fault, result.next_state_diff, acc]
+        good_state = next_state_of(compiled, good_values)
+
+    x_vars = [
+        state_vars.x(i)
+        for i in range(compiled.num_dffs)
+        if initial_state[i] == threeval.X
+    ]
+    candidates = []
+    for fault, _diff, acc in live.values():
+        count = manager.sat_count(acc, x_vars) if x_vars else 1
+        assignment = manager.pick_assignment(acc, variables=x_vars)
+        if assignment is None:
+            witness = None
+        else:
+            witness = tuple(
+                initial_state[i]
+                if initial_state[i] != threeval.X
+                else assignment.get(state_vars.x(i), 0)
+                for i in range(compiled.num_dffs)
+            )
+        candidates.append(Candidate(fault, count, witness))
+    candidates.sort(key=lambda c: -c.num_states)
+
+    return DiagnosisResult(
+        candidates, exonerated, fault_free_consistent=good_acc != FALSE
+    )

@@ -1,0 +1,44 @@
+"""Simulation engines: algebra-generic evaluation, event-driven fault
+propagation, sequence-level true-value simulation, and the serial and
+word-parallel three-valued fault simulators."""
+
+from repro.engines.algebra import (
+    BOOL,
+    THREE_VALUED,
+    BddAlgebra,
+    BoolAlgebra,
+    ThreeValuedAlgebra,
+)
+from repro.engines.evaluate import (
+    eval_gate,
+    next_state_of,
+    outputs_of,
+    simulate_frame,
+)
+from repro.engines.propagate import FrameResult, propagate_fault
+from repro.engines.true_value import Trace, simulate_sequence, value_histories
+from repro.engines.serial_fault_sim import (
+    SerialFaultSimResult,
+    fault_simulate_3v,
+)
+from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
+
+__all__ = [
+    "BOOL",
+    "THREE_VALUED",
+    "BoolAlgebra",
+    "ThreeValuedAlgebra",
+    "BddAlgebra",
+    "eval_gate",
+    "simulate_frame",
+    "outputs_of",
+    "next_state_of",
+    "FrameResult",
+    "propagate_fault",
+    "Trace",
+    "simulate_sequence",
+    "value_histories",
+    "SerialFaultSimResult",
+    "fault_simulate_3v",
+    "fault_simulate_3v_parallel",
+]

@@ -1,0 +1,15 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Command line::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table2
+    python -m repro.experiments table3
+    python -m repro.experiments table4
+    python -m repro.experiments figures
+    python -m repro.experiments all
+"""
+
+from repro.experiments import table1, table2, table4, figures
+
+__all__ = ["table1", "table2", "table4", "figures"]

@@ -1,0 +1,44 @@
+"""CLI dispatcher: ``python -m repro.experiments <table1|table2|table3|table4|figures|all>``."""
+
+import sys
+
+from repro.experiments import figures, table1, table2, table4
+from repro.experiments import coverage_curve
+
+
+def _run(which, argv):
+    if which == "curves":
+        coverage_curve.main(argv)
+    elif which == "stats":
+        from repro.experiments import stats_runner
+
+        stats_runner.main(argv)
+    elif which == "table1":
+        table1.main(argv)
+    elif which == "table2":
+        table2.main(argv)
+    elif which == "table3":
+        table2.main(["deterministic"] + list(argv or []))
+    elif which == "table4":
+        table4.main(argv)
+    elif which == "figures":
+        figures.main(argv)
+    elif which == "all":
+        for name in ("figures", "table1", "table2", "table3", "table4"):
+            print(f"\n=== {name} ===")
+            _run(name, [])
+    else:
+        raise SystemExit(
+            f"unknown experiment {which!r}; choose table1..table4, "
+            "figures or all"
+        )
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    _run(sys.argv[1], sys.argv[2:])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Shared plumbing for the table/figure reproduction drivers."""
+
+import time
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits.registry import PAPER_ROWS, get_circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds."""
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self._start
+        return False
+
+
+def paper_name_for(our_name):
+    """The ISCAS-89 row a synthetic circuit stands in for (or '-')."""
+    matches = [paper for paper, ours, _note in PAPER_ROWS if ours == our_name]
+    return "/".join(matches) if matches else "-"
+
+
+def prepare(circuit_name):
+    """Compile a registered circuit and build its collapsed fault set."""
+    circuit = get_circuit(circuit_name)
+    compiled = compile_circuit(circuit)
+    faults, _class_map = collapse_faults(compiled)
+    return compiled, FaultSet(faults)
+
+
+def format_table(headers, rows, title=None):
+    """Plain-text fixed-width table (the paper look)."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_time(seconds):
+    return f"{seconds:.2f}"

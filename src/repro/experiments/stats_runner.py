@@ -1,0 +1,90 @@
+"""Multi-seed statistics for the strategy comparison.
+
+The paper reports one random sequence per circuit; this helper reruns
+the Table-II measurement over several seeds and reports mean and spread
+of the additionally detected faults per strategy — useful when judging
+whether a stand-in circuit's SOT/rMOT/MOT gaps are stable properties or
+single-seed artefacts.
+"""
+
+import statistics
+
+from repro.experiments.common import format_table, paper_name_for
+from repro.experiments.table2 import STRATEGIES, run_circuit
+from repro.symbolic.hybrid import DEFAULT_NODE_LIMIT
+
+
+class StrategyStats:
+    def __init__(self, samples):
+        self.samples = samples
+
+    @property
+    def mean(self):
+        return statistics.fmean(self.samples)
+
+    @property
+    def stdev(self):
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+    @property
+    def minimum(self):
+        return min(self.samples)
+
+    @property
+    def maximum(self):
+        return max(self.samples)
+
+    def render(self):
+        return f"{self.mean:.1f}±{self.stdev:.1f}"
+
+
+def run_stats(
+    name,
+    seeds=(1, 2, 3, 4, 5),
+    length=100,
+    node_limit=DEFAULT_NODE_LIMIT,
+    strategies=STRATEGIES,
+):
+    """Per-strategy :class:`StrategyStats` over the given seeds."""
+    samples = {strategy: [] for strategy in strategies}
+    for seed in seeds:
+        row = run_circuit(
+            name, length=length, seed=seed, node_limit=node_limit,
+            strategies=strategies,
+        )
+        for strategy in strategies:
+            samples[strategy].append(row.outcomes[strategy].detected)
+    return {
+        strategy: StrategyStats(values)
+        for strategy, values in samples.items()
+    }
+
+
+def render_stats(results):
+    """*results*: dict circuit -> per-strategy stats."""
+    strategies = None
+    body = []
+    for name, stats in results.items():
+        if strategies is None:
+            strategies = list(stats)
+        body.append(
+            [name, paper_name_for(name)]
+            + [stats[s].render() for s in strategies]
+        )
+    return format_table(
+        ["Circ.", "paper row"] + [f"{s} det" for s in strategies],
+        body,
+        title="additional detections, mean±stdev over seeds",
+    )
+
+
+def main(argv=None):
+    circuits = argv or ["ctr8", "syncc6", "johnson8"]
+    results = {name: run_stats(name) for name in circuits}
+    print(render_stats(results))
+
+
+if __name__ == "__main__":
+    main()

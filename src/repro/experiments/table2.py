@@ -1,0 +1,225 @@
+"""Tables II and III — symbolic SOT vs rMOT vs MOT.
+
+The paper first removes everything the conventional flow classifies as
+detected (three-valued fault simulation after ``ID_X-red``); the
+remaining faults F_u (X-redundant + three-valued-undetected) are then
+simulated symbolically under each observation strategy with the hybrid
+simulator, reporting additionally detected faults and CPU time.  An
+asterisk marks results obtained with at least one temporary change to
+the three-valued logic (node limit exceeded).
+
+Table III is the same measurement over deterministic sequences, which
+is why this module implements both (see ``run_table``'s *sequence_fn*).
+"""
+
+from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
+from repro.experiments.common import (
+    Timer,
+    fmt_time,
+    format_table,
+    paper_name_for,
+    prepare,
+)
+from repro.sequences.deterministic import deterministic_sequence
+from repro.sequences.random_seq import random_sequence_for
+from repro.symbolic.hybrid import DEFAULT_NODE_LIMIT, hybrid_fault_simulate
+from repro.xred.idxred import eliminate_x_redundant
+
+STRATEGIES = ("SOT", "rMOT", "MOT")
+
+DEFAULT_CIRCUITS = [
+    "ctr8",
+    "tlc",
+    "shift8",
+    "rfsm21a",
+    "rfsm13r",
+    "ctr16",
+    "rfsm21c",
+    "syncc6",
+    "lfsr8",
+    "pipe8x3",
+    "rfsm32r",
+    "johnson8",
+    "nlfsr12",
+]
+
+
+class StrategyOutcome:
+    def __init__(self, detected, seconds, exact):
+        self.detected = detected
+        self.seconds = seconds
+        self.exact = exact
+
+    def render_detected(self):
+        star = "" if self.exact else "*"
+        return f"{star}{self.detected}"
+
+
+class Table2Row:
+    def __init__(self, circuit, paper, seq_len, num_faults, f_u, outcomes):
+        self.circuit = circuit
+        self.paper = paper
+        self.seq_len = seq_len
+        self.num_faults = num_faults
+        self.f_u = f_u
+        self.outcomes = outcomes  # strategy name -> StrategyOutcome
+
+
+def run_circuit(
+    name,
+    sequence=None,
+    length=200,
+    seed=1,
+    node_limit=DEFAULT_NODE_LIMIT,
+    strategies=STRATEGIES,
+):
+    compiled, fault_set = prepare(name)
+    if sequence is None:
+        sequence = random_sequence_for(compiled, length, seed=seed)
+
+    eliminate_x_redundant(compiled, sequence, fault_set)
+    fault_simulate_3v_parallel(compiled, sequence, fault_set)
+    baseline = fault_set.counts()["detected"]
+    f_u = len(fault_set.symbolic_candidates())
+
+    outcomes = {}
+    for strategy in strategies:
+        fs = fault_set.clone()
+        with Timer() as timer:
+            result = hybrid_fault_simulate(
+                compiled, sequence, fs, strategy=strategy,
+                node_limit=node_limit,
+            )
+        extra = fs.counts()["detected"] - baseline
+        outcomes[strategy] = StrategyOutcome(
+            extra, timer.seconds, result.exact
+        )
+    return Table2Row(
+        name,
+        paper_name_for(name),
+        len(sequence),
+        len(fault_set),
+        f_u,
+        outcomes,
+    )
+
+
+def run_table(
+    circuits=None,
+    deterministic=False,
+    length=200,
+    seed=1,
+    node_limit=DEFAULT_NODE_LIMIT,
+    strategies=STRATEGIES,
+):
+    """Run Table II (random) or Table III (deterministic)."""
+    circuits = circuits or DEFAULT_CIRCUITS
+    rows = []
+    for name in circuits:
+        sequence = None
+        if deterministic:
+            compiled, fault_set = prepare(name)
+            sequence = deterministic_sequence(
+                compiled,
+                fault_set,
+                max_length=length,
+                seed=seed,
+            )
+            if not sequence:
+                # circuit opaque to the 3-valued generator: fall back to
+                # a short random probe sequence, as a test bench would
+                sequence = random_sequence_for(compiled, 16, seed=seed)
+        rows.append(
+            run_circuit(
+                name,
+                sequence=sequence,
+                length=length,
+                seed=seed,
+                node_limit=node_limit,
+                strategies=strategies,
+            )
+        )
+    return rows
+
+
+def exactness_summary(rows):
+    """The paper's headline claims, recomputed on our rows.
+
+    A circuit's MOT coverage is *exact* when the MOT run finished
+    without any three-valued fallback; rMOT "already computed the exact
+    MOT coverage" when additionally its detected count equals MOT's.
+    Returns ``(mot_exact, rmot_matches_mot, mot_strictly_better,
+    total)``.
+    """
+    mot_exact = 0
+    rmot_matches = 0
+    strictly_better = []
+    for row in rows:
+        mot = row.outcomes.get("MOT")
+        rmot = row.outcomes.get("rMOT")
+        if mot is None or rmot is None:
+            continue
+        if mot.exact:
+            mot_exact += 1
+            if rmot.exact and rmot.detected == mot.detected:
+                rmot_matches += 1
+        if mot.detected > rmot.detected:
+            strictly_better.append(row.circuit)
+    return mot_exact, rmot_matches, strictly_better, len(rows)
+
+
+def render(rows, deterministic=False):
+    headers = ["Circ.", "paper row", "|T|", "|F|", "F_u"]
+    strategies = list(rows[0].outcomes) if rows else list(STRATEGIES)
+    headers += [f"{s} det" for s in strategies]
+    headers += [f"{s} time" for s in strategies]
+    body = []
+    for r in rows:
+        row = [r.circuit, r.paper, r.seq_len, r.num_faults, r.f_u]
+        row += [r.outcomes[s].render_detected() for s in strategies]
+        row += [fmt_time(r.outcomes[s].seconds) for s in strategies]
+        body.append(row)
+    total = ["(sum)", "", "", "", ""]
+    total += [
+        sum(r.outcomes[s].detected for r in rows) for s in strategies
+    ]
+    total += [
+        fmt_time(sum(r.outcomes[s].seconds for r in rows))
+        for s in strategies
+    ]
+    body.append(total)
+    which = "III (deterministic sequences)" if deterministic \
+        else "II (random sequences, length 200)"
+    table = format_table(
+        headers,
+        body,
+        title=f"Table {which}: symbolic SOT vs rMOT vs MOT on the "
+              "faults the conventional flow left unclassified "
+              "(* = three-valued fallback used)",
+    )
+    if "MOT" in (rows[0].outcomes if rows else {}):
+        mot_exact, rmot_matches, better, total = exactness_summary(rows)
+        table += (
+            f"\n\nexact MOT coverage computed for {mot_exact} of "
+            f"{total} circuits; rMOT already reached it on "
+            f"{rmot_matches} of those {mot_exact}"
+        )
+        if better:
+            table += (
+                f"; MOT strictly beat rMOT on: {', '.join(better)}"
+            )
+        table += (
+            "\n(the paper: 14 of 23 exact, rMOT sufficient in 12 of "
+            "14, MOT strictly better only on s208.1, s510, s5378)"
+        )
+    return table
+
+
+def main(argv=None):
+    deterministic = bool(argv and "deterministic" in argv)
+    rows = run_table(deterministic=deterministic)
+    print(render(rows, deterministic=deterministic))
+
+
+if __name__ == "__main__":
+    main()

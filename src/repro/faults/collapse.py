@@ -1,0 +1,113 @@
+"""Equivalence fault collapsing.
+
+Classic intra-gate equivalences:
+
+* AND:  any input s-a-0  ==  output s-a-0      (NAND: output s-a-1)
+* OR:   any input s-a-1  ==  output s-a-1      (NOR:  output s-a-0)
+* BUF:  input s-a-v      ==  output s-a-v
+* NOT:  input s-a-v      ==  output s-a-(1-v)
+
+"Input" means the branch lead when the source net branches, otherwise
+the source net's stem lead (the pin and the stem are then the same
+electrical node).  XOR/XNOR gates contribute no equivalences.
+
+The collapsed list keeps one representative per equivalence class —
+deterministically the structurally earliest lead (closest to the
+inputs), matching the usual convention.
+"""
+
+from repro.circuit import gates as gatelib
+from repro.faults.model import BRANCH, STEM, Fault
+from repro.faults.universe import enumerate_faults
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent = {}
+
+    def find(self, item):
+        parent = self.parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self.parent[item] = root
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _input_lead(compiled, gate_pos, pin):
+    """The lead that models a fault on this gate input pin."""
+    src = compiled.gates[gate_pos].fanins[pin]
+    if compiled.has_fanout_branches(src):
+        return (BRANCH, gate_pos, pin)
+    return (STEM, src)
+
+
+def equivalence_classes(compiled):
+    """Union-find over (lead, value) pairs built from gate equivalences."""
+    uf = _UnionFind()
+    for cg in compiled.gates:
+        base, inverted = gatelib.base_op(cg.kind)
+        out_lead = (STEM, cg.out)
+        if base == "ID":
+            in_lead = _input_lead(compiled, cg.pos, 0)
+            for value in (0, 1):
+                out_value = 1 - value if inverted else value
+                uf.union((in_lead, value), (out_lead, out_value))
+        elif base in ("AND", "OR"):
+            controlling = 0 if base == "AND" else 1
+            out_value = 1 - controlling if inverted else controlling
+            for pin in range(len(cg.fanins)):
+                in_lead = _input_lead(compiled, cg.pos, pin)
+                uf.union((in_lead, controlling), (out_lead, out_value))
+        # XOR/XNOR/CONST: no equivalences
+    return uf
+
+
+def _lead_rank(compiled, lead):
+    """Sort key preferring leads closest to the primary inputs."""
+    kind = lead[0]
+    if kind == STEM:
+        return (compiled.level[lead[1]], 0, lead[1], 0)
+    if kind == BRANCH:
+        gate_pos, pin = lead[1], lead[2]
+        src = compiled.gates[gate_pos].fanins[pin]
+        return (compiled.level[src], 1, src, gate_pos * 64 + pin)
+    dff_idx = lead[1]
+    src = compiled.dff_d[dff_idx]
+    return (compiled.level[src], 2, src, dff_idx)
+
+
+def collapse_faults(compiled, faults=None):
+    """Collapse *faults* (default: the full universe) by equivalence.
+
+    Returns ``(representatives, class_map)`` where *representatives* is
+    the collapsed fault list and *class_map* maps every original fault
+    key to its representative :class:`Fault`.
+    """
+    if faults is None:
+        faults = enumerate_faults(compiled)
+    uf = equivalence_classes(compiled)
+
+    groups = {}
+    for fault in faults:
+        root = uf.find(fault.key())
+        groups.setdefault(root, []).append(fault)
+
+    representatives = []
+    class_map = {}
+    for members in groups.values():
+        rep = min(
+            members, key=lambda f: (_lead_rank(compiled, f.lead), f.value)
+        )
+        representatives.append(rep)
+        for fault in members:
+            class_map[fault.key()] = rep
+    representatives.sort(
+        key=lambda f: (_lead_rank(compiled, f.lead), f.value)
+    )
+    return representatives, class_map

@@ -1,0 +1,79 @@
+"""Dominance fault collapsing (on top of equivalence collapsing).
+
+Fault *a* dominates fault *b* when every test detecting *b* also
+detects *a*; the dominated class representative can then stand for the
+dominator in test generation.  The classic combinational intra-gate
+rules (with the usual caveat that they are applied to the combinational
+core of the sequential circuit, treating flip-flop boundaries as
+pseudo-outputs, which keeps them safe for the SOT/MOT strategies
+because both observe the very same primary outputs over time):
+
+* AND:  output s-a-1 dominates every input s-a-1
+         (NAND: output s-a-0 dominates input s-a-1)
+* OR:   output s-a-0 dominates every input s-a-0
+         (NOR: output s-a-1 dominates input s-a-0)
+
+Dominance collapsing only ever *shrinks the fault list used for test
+generation*; for fault-coverage reporting the equivalence-collapsed
+list remains the reference (dominators may be undetectable while the
+dominated fault is detectable in sequential circuits from unknown
+state, so we keep the relation explicit instead of silently dropping
+faults — callers choose via :func:`dominance_collapse`'s
+``keep='dominated'`` default, the safe direction).
+"""
+
+from repro.circuit import gates as gatelib
+from repro.faults.collapse import _input_lead, collapse_faults
+from repro.faults.model import STEM, Fault
+
+
+def dominance_pairs(compiled):
+    """Yield ``(dominator_key, dominated_key)`` fault-key pairs."""
+    pairs = []
+    for cg in compiled.gates:
+        base, inverted = gatelib.base_op(cg.kind)
+        if base not in ("AND", "OR"):
+            continue
+        non_controlling = 1 if base == "AND" else 0
+        out_value = (
+            1 - non_controlling if inverted else non_controlling
+        )
+        out_key = ((STEM, cg.out), out_value)
+        for pin in range(len(cg.fanins)):
+            in_lead = _input_lead(compiled, cg.pos, pin)
+            pairs.append((out_key, (in_lead, non_controlling)))
+    return pairs
+
+
+def dominance_collapse(compiled, faults=None, keep="dominated"):
+    """Collapse *faults* by dominance after equivalence.
+
+    ``keep='dominated'`` removes dominators whose dominated partner is
+    also in the list (safe: a test set for the kept faults covers the
+    removed ones).  Returns ``(kept_faults, removed_map)`` where
+    *removed_map* maps removed fault keys to the fault that justified
+    the removal.
+    """
+    if keep != "dominated":
+        raise ValueError("only keep='dominated' is supported (safe side)")
+    if faults is None:
+        faults, _ = collapse_faults(compiled)
+    _reps, class_map = collapse_faults(compiled)
+
+    def rep_key(key):
+        rep = class_map.get(key)
+        return rep.key() if rep is not None else key
+
+    present = {rep_key(f.key()): f for f in faults}
+    removed = {}
+    for dominator, dominated in dominance_pairs(compiled):
+        dom_rep = rep_key(dominator)
+        sub_rep = rep_key(dominated)
+        if dom_rep == sub_rep:
+            continue  # already equivalent
+        if dom_rep in present and sub_rep in present:
+            if dom_rep in removed:
+                continue
+            removed[dom_rep] = present[sub_rep]
+    kept = [f for f in faults if rep_key(f.key()) not in removed]
+    return kept, removed

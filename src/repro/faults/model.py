@@ -1,0 +1,85 @@
+"""Single stuck-at fault model on stems and fanout branches.
+
+A *lead* is a fault site:
+
+* ``("stem", sig)`` — a net (primary input, gate output or flip-flop
+  output); a stem fault affects every sink of the net,
+* ``("branch", gate_pos, pin)`` — one input pin of one gate; only that
+  gate sees the stuck value (only created where the source net actually
+  branches, i.e. has more than one sink),
+* ``("dbranch", dff_idx)`` — the D input pin of one flip-flop, again
+  only created on branching nets.
+
+Faults on primary-output observation points are not modelled (the PO
+"pin" is an observation of the stem, not a separate lead); this choice
+is documented in DESIGN.md and only shifts absolute fault counts.
+"""
+
+STEM = "stem"
+BRANCH = "branch"
+DBRANCH = "dbranch"
+
+
+class Fault:
+    """A single stuck-at fault: *lead* stuck at *value*."""
+
+    __slots__ = ("lead", "value")
+
+    def __init__(self, lead, value):
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {value!r}")
+        if lead[0] not in (STEM, BRANCH, DBRANCH):
+            raise ValueError(f"unknown lead kind {lead[0]!r}")
+        self.lead = lead
+        self.value = value
+
+    @property
+    def kind(self):
+        return self.lead[0]
+
+    def key(self):
+        """Hashable identity used by the collapser and status tables."""
+        return (self.lead, self.value)
+
+    def describe(self, compiled):
+        """Human-readable name, e.g. ``G10 s-a-0`` or ``G5->G9[1] s-a-1``."""
+        kind = self.lead[0]
+        if kind == STEM:
+            where = compiled.names[self.lead[1]]
+        elif kind == BRANCH:
+            gate_pos, pin = self.lead[1], self.lead[2]
+            gate = compiled.gates[gate_pos]
+            src = compiled.names[gate.fanins[pin]]
+            dst = compiled.names[gate.out]
+            where = f"{src}->{dst}[{pin}]"
+        else:
+            dff_idx = self.lead[1]
+            q = compiled.names[compiled.ppis[dff_idx]]
+            d = compiled.names[compiled.dff_d[dff_idx]]
+            where = f"{d}->DFF({q})"
+        return f"{where} s-a-{self.value}"
+
+    def __eq__(self, other):
+        return isinstance(other, Fault) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return f"Fault({self.lead}, sa{self.value})"
+
+
+def stem_fault(compiled, net_name, value):
+    """Convenience: the stem stuck-at-*value* fault on net *net_name*."""
+    return Fault((STEM, compiled.index[net_name]), value)
+
+
+def stem_signal(compiled, fault):
+    """The net whose value the fault corrupts (source net for branches)."""
+    kind = fault.lead[0]
+    if kind == STEM:
+        return fault.lead[1]
+    if kind == BRANCH:
+        gate_pos, pin = fault.lead[1], fault.lead[2]
+        return compiled.gates[gate_pos].fanins[pin]
+    return compiled.dff_d[fault.lead[1]]

@@ -1,0 +1,105 @@
+"""Fault status bookkeeping shared by all fault simulators."""
+
+UNDETECTED = "undetected"
+DETECTED = "detected"
+X_REDUNDANT = "x-redundant"
+
+# how a fault got detected
+BY_3V = "3-valued"
+BY_SOT = "SOT"
+BY_RMOT = "rMOT"
+BY_MOT = "MOT"
+
+
+class FaultRecord:
+    """Mutable per-fault simulation state."""
+
+    __slots__ = ("fault", "status", "detected_by", "detected_at")
+
+    def __init__(self, fault):
+        self.fault = fault
+        self.status = UNDETECTED
+        self.detected_by = None
+        self.detected_at = None  # time frame (1-based), if detected
+
+    def mark_detected(self, by, at):
+        self.status = DETECTED
+        self.detected_by = by
+        self.detected_at = at
+
+    def mark_x_redundant(self):
+        self.status = X_REDUNDANT
+
+    def __repr__(self):
+        extra = ""
+        if self.status == DETECTED:
+            extra = f" by {self.detected_by} at t={self.detected_at}"
+        return f"FaultRecord({self.fault!r}: {self.status}{extra})"
+
+
+class FaultSet:
+    """A fault list with status tracking and simple accounting."""
+
+    def __init__(self, faults):
+        self.records = [FaultRecord(f) for f in faults]
+        self._by_key = {r.fault.key(): r for r in self.records}
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def record(self, fault):
+        return self._by_key[fault.key()]
+
+    def undetected(self):
+        """Records still live for simulation (not detected, not X-red)."""
+        return [r for r in self.records if r.status == UNDETECTED]
+
+    def symbolic_candidates(self):
+        """Records the symbolic strategies should consider: everything
+        the three-valued pass could not classify as detected — i.e. the
+        still-undetected faults *and* the X-redundant ones (the paper's
+        F_u of Tables II/III includes both)."""
+        return [
+            r
+            for r in self.records
+            if r.status in (UNDETECTED, X_REDUNDANT)
+        ]
+
+    def detected(self, by=None):
+        if by is None:
+            return [r for r in self.records if r.status == DETECTED]
+        return [
+            r
+            for r in self.records
+            if r.status == DETECTED and r.detected_by == by
+        ]
+
+    def x_redundant(self):
+        return [r for r in self.records if r.status == X_REDUNDANT]
+
+    def clone(self):
+        """Deep copy of statuses (faults themselves are immutable)."""
+        other = FaultSet([r.fault for r in self.records])
+        for src, dst in zip(self.records, other.records):
+            dst.status = src.status
+            dst.detected_by = src.detected_by
+            dst.detected_at = src.detected_at
+        return other
+
+    def counts(self):
+        """Dict of headline counts matching the paper's table columns."""
+        return {
+            "total": len(self.records),
+            "detected": len(self.detected()),
+            "undetected": len(self.undetected()),
+            "x_redundant": len(self.x_redundant()),
+        }
+
+    def coverage(self):
+        """Fault coverage = detected / total."""
+        if not self.records:
+            return 0.0
+        return len(self.detected()) / len(self.records)

@@ -1,0 +1,29 @@
+"""Fault-universe enumeration."""
+
+from repro.faults.model import BRANCH, DBRANCH, STEM, Fault
+
+
+def enumerate_leads(compiled):
+    """All fault sites of a compiled circuit.
+
+    Stems on every net; branch leads on every gate pin and flip-flop D
+    pin whose source net has more than one sink.
+    """
+    leads = [(STEM, sig) for sig in range(compiled.num_signals)]
+    for cg in compiled.gates:
+        for pin, src in enumerate(cg.fanins):
+            if compiled.has_fanout_branches(src):
+                leads.append((BRANCH, cg.pos, pin))
+    for dff_idx, d in enumerate(compiled.dff_d):
+        if compiled.has_fanout_branches(d):
+            leads.append((DBRANCH, dff_idx))
+    return leads
+
+
+def enumerate_faults(compiled):
+    """The uncollapsed fault universe: both polarities on every lead."""
+    faults = []
+    for lead in enumerate_leads(compiled):
+        faults.append(Fault(lead, 0))
+        faults.append(Fault(lead, 1))
+    return faults

@@ -1,0 +1,58 @@
+"""Multi-valued logic algebras used throughout the fault simulator.
+
+Three algebras appear in the paper:
+
+* plain Boolean logic (``repro.logic.boolean``) — used by the explicit
+  enumeration baselines and as the reference semantics of every gate;
+* the three-valued logic 0/1/X (``repro.logic.threeval``) — the classic
+  unknown-initial-state simulation logic;
+* the four-valued lattice {X}, {X,0}, {X,1}, {X,0,1}
+  (``repro.logic.fourval``) — the value-history encoding used by the
+  ``ID_X-red`` procedure of Section III.
+"""
+
+from repro.logic.threeval import (
+    X,
+    ZERO,
+    ONE,
+    and3,
+    or3,
+    not3,
+    xor3,
+    is_known,
+    to_char,
+    from_char,
+)
+from repro.logic.fourval import (
+    IX_X,
+    IX_X0,
+    IX_X1,
+    IX_X01,
+    ix_join,
+    ix_from_threeval,
+    ix_saw_zero,
+    ix_saw_one,
+    ix_to_str,
+)
+
+__all__ = [
+    "X",
+    "ZERO",
+    "ONE",
+    "and3",
+    "or3",
+    "not3",
+    "xor3",
+    "is_known",
+    "to_char",
+    "from_char",
+    "IX_X",
+    "IX_X0",
+    "IX_X1",
+    "IX_X01",
+    "ix_join",
+    "ix_from_threeval",
+    "ix_saw_zero",
+    "ix_saw_one",
+    "ix_to_str",
+]

@@ -1,0 +1,57 @@
+"""The four-valued lattice used by ``ID_X-red`` (Section III, Step 1).
+
+Each lead accumulates the set of Boolean values it assumed during the
+three-valued true-value simulation of the whole test sequence.  The four
+possible sets are encoded as a 2-bit integer:
+
+* bit 0 set — the lead was 0 at some time step,
+* bit 1 set — the lead was 1 at some time step.
+
+which yields the paper's lattice elements::
+
+    IX_X   = 0b00   {X}        never 0, never 1
+    IX_X0  = 0b01   {X, 0}     was 0 at least once, never 1
+    IX_X1  = 0b10   {X, 1}     was 1 at least once, never 0
+    IX_X01 = 0b11   {X, 0, 1}  assumed both values
+
+(The value X itself is always a member: the simulation starts from an
+unknown state, so every lead is potentially X.)
+"""
+
+from repro.logic import threeval
+
+IX_X = 0b00
+IX_X0 = 0b01
+IX_X1 = 0b10
+IX_X01 = 0b11
+
+_STRS = {IX_X: "{X}", IX_X0: "{X,0}", IX_X1: "{X,1}", IX_X01: "{X,0,1}"}
+
+
+def ix_join(a, b):
+    """Lattice join: union of the value sets."""
+    return a | b
+
+
+def ix_from_threeval(v):
+    """The singleton history contributed by one three-valued value."""
+    if v == threeval.ZERO:
+        return IX_X0
+    if v == threeval.ONE:
+        return IX_X1
+    return IX_X
+
+
+def ix_saw_zero(a):
+    """True when the lead assumed the value 0 at some time step."""
+    return bool(a & IX_X0)
+
+
+def ix_saw_one(a):
+    """True when the lead assumed the value 1 at some time step."""
+    return bool(a & IX_X1)
+
+
+def ix_to_str(a):
+    """Render the lattice element the way the paper writes it."""
+    return _STRS[a]

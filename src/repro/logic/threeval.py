@@ -1,0 +1,84 @@
+"""Three-valued (0/1/X) logic.
+
+Values are plain integers so they can index the precomputed operator
+tables directly:
+
+* ``ZERO`` (0) — the Boolean constant 0,
+* ``ONE`` (1) — the Boolean constant 1,
+* ``X`` (2) — the unknown value.
+
+The tables implement the standard pessimistic three-valued semantics:
+a gate output is known only if it is forced by its known inputs.
+"""
+
+ZERO = 0
+ONE = 1
+X = 2
+
+_VALUES = (ZERO, ONE, X)
+
+# Operator tables indexed as TABLE[a][b].
+_AND = (
+    (ZERO, ZERO, ZERO),
+    (ZERO, ONE, X),
+    (ZERO, X, X),
+)
+_OR = (
+    (ZERO, ONE, X),
+    (ONE, ONE, ONE),
+    (X, ONE, X),
+)
+_XOR = (
+    (ZERO, ONE, X),
+    (ONE, ZERO, X),
+    (X, X, X),
+)
+_NOT = (ONE, ZERO, X)
+
+_CHARS = "01X"
+
+
+def and3(a, b):
+    """Three-valued AND."""
+    return _AND[a][b]
+
+
+def or3(a, b):
+    """Three-valued OR."""
+    return _OR[a][b]
+
+
+def xor3(a, b):
+    """Three-valued XOR (X-pessimistic: any unknown input yields X)."""
+    return _XOR[a][b]
+
+
+def not3(a):
+    """Three-valued NOT."""
+    return _NOT[a]
+
+
+def is_known(a):
+    """Return True when *a* is a Boolean constant (0 or 1), not X."""
+    return a != X
+
+
+def to_char(a):
+    """Render a three-valued value as '0', '1' or 'X'."""
+    return _CHARS[a]
+
+
+def from_char(c):
+    """Parse '0', '1', 'x' or 'X' into a three-valued value."""
+    if c == "0":
+        return ZERO
+    if c == "1":
+        return ONE
+    if c in ("x", "X"):
+        return X
+    raise ValueError(f"not a three-valued literal: {c!r}")
+
+
+def all_values():
+    """The three values, mostly for exhaustive tests."""
+    return _VALUES

@@ -1,0 +1,112 @@
+"""Fault-simulation result reporting: text summaries and JSON export.
+
+The paper reports three nested coverage figures; a report makes the
+nesting explicit:
+
+* **proved coverage** — faults the conventional three-valued SOT flow
+  detects (the guaranteed lower bound everybody computes),
+* **symbolic coverage** — plus the faults the symbolic SOT/rMOT/MOT
+  passes detect,
+* **undetectability** — with an exact MOT run, the remaining faults are
+  *proved* undetectable by this sequence (not merely unclassified).
+"""
+
+import json
+
+from repro.faults.status import (
+    BY_3V,
+    BY_MOT,
+    BY_RMOT,
+    BY_SOT,
+    DETECTED,
+    UNDETECTED,
+    X_REDUNDANT,
+)
+
+
+class CoverageReport:
+    """Summary of a (possibly multi-stage) fault-simulation run."""
+
+    def __init__(self, compiled, fault_set, sequence_length=None,
+                 exact_mot=False):
+        self.compiled = compiled
+        self.fault_set = fault_set
+        self.sequence_length = sequence_length
+        self.exact_mot = exact_mot
+
+    # ------------------------------------------------------------------
+    def by_strategy(self):
+        """Detected-fault count per detecting strategy."""
+        counts = {BY_3V: 0, BY_SOT: 0, BY_RMOT: 0, BY_MOT: 0}
+        for record in self.fault_set.detected():
+            counts[record.detected_by] = counts.get(
+                record.detected_by, 0
+            ) + 1
+        return counts
+
+    def summary(self):
+        counts = self.fault_set.counts()
+        strategies = self.by_strategy()
+        total = counts["total"]
+        conventional = strategies.get(BY_3V, 0)
+        symbolic_extra = counts["detected"] - conventional
+        return {
+            "total_faults": total,
+            "detected": counts["detected"],
+            "undetected": counts["undetected"],
+            "x_redundant_remaining": counts["x_redundant"],
+            "coverage": counts["detected"] / total if total else 0.0,
+            "conventional_detected": conventional,
+            "symbolic_extra_detected": symbolic_extra,
+            "detected_by": strategies,
+            "sequence_length": self.sequence_length,
+            "exact_mot": self.exact_mot,
+        }
+
+    # ------------------------------------------------------------------
+    def render(self):
+        s = self.summary()
+        lines = [
+            f"fault coverage report"
+            + (f" (|T| = {s['sequence_length']})"
+               if s["sequence_length"] else ""),
+            f"  faults total:             {s['total_faults']}",
+            f"  detected:                 {s['detected']}"
+            f"  ({100 * s['coverage']:.1f}%)",
+            f"    by 3-valued SOT:        {s['conventional_detected']}",
+        ]
+        for name in (BY_SOT, BY_RMOT, BY_MOT):
+            if s["detected_by"].get(name):
+                lines.append(
+                    f"    by symbolic {name}:".ljust(28)
+                    + f"{s['detected_by'][name]}"
+                )
+        lines.append(
+            f"  unclassified:             "
+            f"{s['undetected'] + s['x_redundant_remaining']}"
+        )
+        if self.exact_mot:
+            lines.append(
+                "  (exact MOT run: every unclassified fault is PROVED "
+                "undetectable by this sequence)"
+            )
+        return "\n".join(lines)
+
+    def to_json(self):
+        payload = self.summary()
+        payload["faults"] = [
+            {
+                "fault": record.fault.describe(self.compiled),
+                "status": record.status,
+                "detected_by": record.detected_by,
+                "detected_at": record.detected_at,
+            }
+            for record in self.fault_set
+        ]
+        return json.dumps(payload, indent=2)
+
+
+def coverage_report(compiled, fault_set, sequence=None, exact_mot=False):
+    """Build a :class:`CoverageReport`."""
+    length = len(sequence) if sequence is not None else None
+    return CoverageReport(compiled, fault_set, length, exact_mot)

@@ -1,0 +1,25 @@
+"""Test-sequence generation (seeded random, greedy deterministic) and
+plain-text sequence/response I/O."""
+
+from repro.sequences.random_seq import random_sequence, random_sequence_for
+from repro.sequences.deterministic import deterministic_sequence
+from repro.sequences.io import (
+    dumps_sequence,
+    load_response,
+    load_sequence,
+    loads_sequence,
+    save_response,
+    save_sequence,
+)
+
+__all__ = [
+    "random_sequence",
+    "random_sequence_for",
+    "deterministic_sequence",
+    "dumps_sequence",
+    "loads_sequence",
+    "save_sequence",
+    "load_sequence",
+    "save_response",
+    "load_response",
+]

@@ -1,0 +1,105 @@
+"""Greedy deterministic test-sequence generation.
+
+Stand-in for the deterministic (HITEC-class) test sets of Table III
+(see DESIGN.md): at every time step a handful of candidate vectors is
+scored by how many still-undetected faults a three-valued simulation
+would detect right now (with progress in fault *activity* as a tie
+breaker), the best one is committed, and generation stops once the
+coverage stops improving.  The result is what the experiment needs —
+a compact, fault-oriented sequence whose length varies per circuit.
+"""
+
+import random
+
+from repro.engines.algebra import THREE_VALUED
+from repro.engines.evaluate import next_state_of, simulate_frame
+from repro.engines.propagate import propagate_fault
+from repro.engines.serial_fault_sim import _check_sot_detection
+from repro.faults.status import UNDETECTED, FaultSet
+from repro.logic import threeval
+
+
+def _score_vector(compiled, vector, good_state, live, diffs):
+    """Score of applying *vector* now; no commitment.
+
+    Ordered criteria: faults detected right now, then how many good
+    next-state bits become known (drives the machine towards an
+    initialised — hence observable — state), then fault activity.
+    """
+    algebra = THREE_VALUED
+    good_values = simulate_frame(compiled, algebra, vector, good_state)
+    known_bits = sum(
+        1
+        for sig in compiled.dff_d
+        if algebra.is_known(good_values[sig])
+    )
+    detections = 0
+    activity = 0
+    for record in live:
+        result = propagate_fault(
+            compiled, algebra, good_values, record.fault, diffs[id(record)]
+        )
+        if _check_sot_detection(compiled, good_values, result, algebra):
+            detections += 1
+        activity += len(result.next_state_diff)
+    return (detections, known_bits, activity), good_values
+
+
+def deterministic_sequence(
+    compiled,
+    faults,
+    max_length=400,
+    candidates=4,
+    patience=20,
+    seed=0,
+):
+    """Generate a compact fault-oriented sequence for *compiled*.
+
+    *faults* may be a fault list or a :class:`FaultSet`; the generator
+    works on its own copy of the statuses and does not mutate inputs.
+    Returns the list of input vectors.
+    """
+    rng = random.Random(seed)
+    if isinstance(faults, FaultSet):
+        faults = [r.fault for r in faults.records]
+    fault_set = FaultSet(faults)
+
+    live = list(fault_set.undetected())
+    diffs = {id(r): {} for r in live}
+    good_state = [threeval.X] * compiled.num_dffs
+
+    sequence = []
+    stale = 0
+    while len(sequence) < max_length and live and stale < patience:
+        best = None
+        for _ in range(candidates):
+            vector = tuple(
+                rng.randrange(2) for _ in range(compiled.num_pis)
+            )
+            score, good_values = _score_vector(
+                compiled, vector, good_state, live, diffs
+            )
+            if best is None or score > best[1]:
+                best = (vector, score, good_values)
+        vector, score, good_values = best
+        detections = score[0]
+
+        # commit the chosen vector
+        sequence.append(vector)
+        algebra = THREE_VALUED
+        next_live = []
+        for record in live:
+            result = propagate_fault(
+                compiled, algebra, good_values, record.fault,
+                diffs[id(record)],
+            )
+            if _check_sot_detection(compiled, good_values, result, algebra):
+                record.mark_detected("3-valued", len(sequence))
+                del diffs[id(record)]
+            else:
+                diffs[id(record)] = result.next_state_diff
+                next_live.append(record)
+        live = next_live
+        good_state = next_state_of(compiled, good_values)
+        stale = 0 if detections else stale + 1
+    return sequence

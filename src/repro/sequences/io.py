@@ -1,0 +1,62 @@
+"""Plain-text I/O for test sequences and test responses.
+
+Format: one vector per line, characters ``0``/``1`` (``X`` allowed for
+three-valued response files), ``#`` comments, blank lines ignored::
+
+    # 4-input sequence
+    1010
+    0110
+"""
+
+from repro.logic import threeval as tv
+
+
+def dumps_sequence(sequence, comment=None):
+    """Render a sequence (list of bit tuples) as text."""
+    lines = []
+    if comment:
+        for part in comment.splitlines():
+            lines.append(f"# {part}")
+    for vector in sequence:
+        lines.append("".join(tv.to_char(bit) for bit in vector))
+    return "\n".join(lines) + "\n"
+
+
+def loads_sequence(text, allow_x=False):
+    """Parse sequence text into a list of tuples."""
+    sequence = []
+    width = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        vector = tuple(tv.from_char(c) for c in line)
+        if not allow_x and any(bit == tv.X for bit in vector):
+            raise ValueError(f"line {line_no}: X not allowed here")
+        if width is None:
+            width = len(vector)
+        elif len(vector) != width:
+            raise ValueError(
+                f"line {line_no}: width {len(vector)} != {width}"
+            )
+        sequence.append(vector)
+    return sequence
+
+
+def save_sequence(sequence, path, comment=None):
+    with open(path, "w") as handle:
+        handle.write(dumps_sequence(sequence, comment))
+
+
+def load_sequence(path, allow_x=False):
+    with open(path) as handle:
+        return loads_sequence(handle.read(), allow_x=allow_x)
+
+
+def save_response(response, path, comment=None):
+    """A response is a list of per-frame output bit lists."""
+    save_sequence([tuple(frame) for frame in response], path, comment)
+
+
+def load_response(path):
+    return [list(frame) for frame in load_sequence(path, allow_x=False)]

@@ -1,0 +1,21 @@
+"""Seeded random test sequences (the workload of Tables I and II)."""
+
+import random
+
+
+def random_sequence(num_inputs, length, seed=0):
+    """*length* fully specified random vectors over *num_inputs* bits."""
+    rng = random.Random(seed)
+    return [
+        tuple(rng.randrange(2) for _ in range(num_inputs))
+        for _ in range(length)
+    ]
+
+
+def random_sequence_for(circuit, length, seed=0):
+    """Like :func:`random_sequence`, sized for *circuit* (compiled or
+    netlist)."""
+    num_inputs = getattr(circuit, "num_pis", None)
+    if num_inputs is None:
+        num_inputs = circuit.num_inputs
+    return random_sequence(num_inputs, length, seed)

@@ -1,0 +1,49 @@
+"""Detection functions (Section IV, Lemma 1).
+
+For a fault f and a test sequence Z of length n, the detection function
+
+    D_{f,Z}(x, y) = prod_{t=1..n} prod_{j=1..l} [ o_j(x,t) == o_j^f(y,t) ]
+
+is 0 exactly when the fault is detectable under the multiple observation
+time strategy: no pair of initial states (p for the fault-free machine,
+q for the faulty machine) produces identical output sequences.
+
+The fault simulator accumulates these products incrementally; this
+module provides the standalone computation from complete symbolic
+output sequences, which is what the worked example of Fig. 3 and the
+oracle tests use.
+"""
+
+from repro.bdd.manager import FALSE, TRUE
+
+
+def detection_function(manager, good_outputs, faulty_outputs, rename_map=None):
+    """Build D_{f,Z} from two symbolic output sequences.
+
+    *good_outputs* and *faulty_outputs* are per-frame lists of per-PO
+    BDDs over the fault-free state variables ``x``.  When *rename_map*
+    is given (the MOT case), the faulty outputs are renamed through it
+    (``x -> y``) before the equivalence terms are built; without it the
+    machines share their initial-state variables (the rMOT/SOT view).
+    """
+    if len(good_outputs) != len(faulty_outputs):
+        raise ValueError("output sequences have different lengths")
+    product = TRUE
+    for good_frame, faulty_frame in zip(good_outputs, faulty_outputs):
+        if len(good_frame) != len(faulty_frame):
+            raise ValueError("frames have different output widths")
+        for good, faulty in zip(good_frame, faulty_frame):
+            if rename_map:
+                faulty = manager.rename(faulty, rename_map)
+            product = manager.and_(product, manager.xnor(good, faulty))
+            if product == FALSE:
+                return FALSE
+    return product
+
+
+def is_mot_detectable(manager, good_outputs, faulty_outputs, rename_map):
+    """Lemma 1: detectable iff the detection function is identically 0."""
+    return (
+        detection_function(manager, good_outputs, faulty_outputs, rename_map)
+        == FALSE
+    )

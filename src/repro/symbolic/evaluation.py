@@ -1,0 +1,211 @@
+"""Symbolic test evaluation (Section IV.B, Table IV).
+
+Given a test sequence Z determined under the (r)MOT strategy and the
+response ``c(1..n)`` observed on the circuit-under-test, decide whether
+the CUT is faulty.  Enumerating the fault-free machine's output
+sequences (one per initial state) can be exponential in the number of
+memory elements; the paper instead compares the observed response with
+the *symbolic* output sequence by evaluating
+
+    prod_{t=1..n} prod_{j=1..l} [ o_j(x,t) == c_j(t) ]
+
+step by step — the CUT is faulty iff the product is the constant 0
+(no initial state of the fault-free machine explains the response).
+
+Like the fault simulator, the construction of the symbolic output
+sequence honours a node limit: when it is exceeded, a prefix of the
+sequence is (re)simulated three-valued and the symbolic simulation
+restarts from the reached state with fresh variables (this is the
+asterisk on s5378 in Table IV).  Restarts only ever *grow* the set of
+accepted responses, so a "faulty" verdict remains sound.
+"""
+
+from repro.bdd import BddManager, StateVariables
+from repro.bdd.errors import SpaceLimitExceeded
+from repro.bdd.manager import FALSE, TRUE
+from repro.engines.algebra import BOOL, THREE_VALUED, BddAlgebra
+from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
+from repro.logic import threeval
+
+
+class SymbolicOutputSequence:
+    """The fault-free circuit's symbolic response to a test sequence.
+
+    ``frames`` is a list with one entry per time step, either
+    ``("sym", manager, [po_bdd, ...])`` or ``("3v", [po_value, ...])``
+    for frames that had to be simulated three-valued.
+    """
+
+    def __init__(self, compiled, frames, restarts):
+        self.compiled = compiled
+        self.frames = frames
+        self.restarts = restarts
+
+    @property
+    def exact(self):
+        """True when every frame is symbolic and no restart happened."""
+        return self.restarts == 0 and all(
+            kind == "sym" for kind, *_ in self.frames
+        )
+
+    def bdd_size(self):
+        """Shared OBDD size of the symbolic output sequence (Table IV)."""
+        by_manager = {}
+        for entry in self.frames:
+            if entry[0] != "sym":
+                continue
+            _kind, manager, pos = entry
+            by_manager.setdefault(id(manager), (manager, []))[1].extend(pos)
+        total = 0
+        for manager, roots in by_manager.values():
+            total += manager.size(roots)
+        return total
+
+    # ------------------------------------------------------------------
+    def evaluate(self, response):
+        """Check *response* (list of per-frame PO bit vectors).
+
+        Returns ``(consistent, first_conflict)``: *consistent* is False
+        when the CUT is certainly faulty; *first_conflict* is the
+        1-based frame where the product collapsed to 0 (None if it
+        never did).
+        """
+        if len(response) != len(self.frames):
+            raise ValueError(
+                f"response has {len(response)} frames, expected "
+                f"{len(self.frames)}"
+            )
+        products = {}  # id(manager) -> running product
+        lifted = {}  # id(manager) -> original node limit
+        try:
+            for time, (entry, observed) in enumerate(
+                zip(self.frames, response), start=1
+            ):
+                if entry[0] == "3v":
+                    for value, bit in zip(entry[1], observed):
+                        if value != threeval.X and value != bit:
+                            return False, time
+                    continue
+                _kind, manager, pos = entry
+                if id(manager) not in lifted:
+                    # the construction phase may have filled the table to
+                    # its limit; the (small) evaluation products must not
+                    # die on it
+                    lifted[id(manager)] = (manager, manager.node_limit)
+                    manager.node_limit = None
+                product = products.get(id(manager), TRUE)
+                for po_bdd, bit in zip(pos, observed):
+                    literal = po_bdd if bit else manager.not_(po_bdd)
+                    product = manager.and_(product, literal)
+                    if product == FALSE:
+                        return False, time
+                products[id(manager)] = product
+            return True, None
+        finally:
+            for manager, limit in lifted.values():
+                manager.node_limit = limit
+
+
+def symbolic_output_sequence(
+    compiled,
+    sequence,
+    initial_state=None,
+    node_limit=None,
+    max_restarts=8,
+):
+    """Build the :class:`SymbolicOutputSequence` for *sequence*."""
+    vectors = list(sequence)
+    if initial_state is None:
+        initial_state = [threeval.X] * compiled.num_dffs
+
+    frames = []
+    restarts = 0
+    time = 0
+    state_3v = list(initial_state)
+
+    while time < len(vectors):
+        state_vars = StateVariables(compiled.num_dffs)
+        manager = BddManager(
+            num_vars=compiled.num_dffs, node_limit=node_limit
+        )
+        algebra = BddAlgebra(manager)
+        state = [
+            manager.mk_var(state_vars.x(i))
+            if value == threeval.X
+            else manager.const(value)
+            for i, value in enumerate(state_3v)
+        ]
+        try:
+            while time < len(vectors):
+                pi_values = [algebra.const(b) for b in vectors[time]]
+                values = simulate_frame(compiled, algebra, pi_values, state)
+                frames.append(
+                    ("sym", manager, outputs_of(compiled, values))
+                )
+                state = next_state_of(compiled, values)
+                time += 1
+            break
+        except SpaceLimitExceeded:
+            if restarts >= max_restarts:
+                # give up on symbolic evaluation for the remainder
+                break
+            restarts += 1
+            # one three-valued frame to guarantee progress, then retry
+            pi_values = list(vectors[time])
+            state_3v = [
+                _bdd_to_3v(manager, b) for b in state
+            ]
+            values = simulate_frame(
+                compiled, THREE_VALUED, pi_values, state_3v
+            )
+            frames.append(("3v", outputs_of(compiled, values)))
+            state_3v = next_state_of(compiled, values)
+            time += 1
+
+    # exhausted restarts: finish three-valued
+    while time < len(vectors):
+        values = simulate_frame(
+            compiled, THREE_VALUED, list(vectors[time]), state_3v
+        )
+        frames.append(("3v", outputs_of(compiled, values)))
+        state_3v = next_state_of(compiled, values)
+        time += 1
+
+    return SymbolicOutputSequence(compiled, frames, restarts)
+
+
+def _bdd_to_3v(manager, bdd):
+    value = manager.const_value(bdd)
+    return threeval.X if value is None else value
+
+
+def generate_response(compiled, sequence, initial_state, fault=None):
+    """Concrete Boolean response of the (optionally faulty) machine.
+
+    Used by the Table IV experiment to synthesise circuit-under-test
+    responses: a fault-free response from a known initial state must be
+    accepted by :meth:`SymbolicOutputSequence.evaluate`, a sufficiently
+    corrupted one rejected.
+    """
+    from repro.engines.propagate import propagate_fault
+
+    state = [1 if b else 0 for b in initial_state]
+    if len(state) != compiled.num_dffs:
+        raise ValueError("initial state width mismatch")
+    diff = {}
+    response = []
+    for vector in sequence:
+        values = simulate_frame(compiled, BOOL, list(vector), state)
+        if fault is None:
+            response.append(outputs_of(compiled, values))
+        else:
+            result = propagate_fault(compiled, BOOL, values, fault, diff)
+            response.append(
+                [
+                    result.faulty_value(values, sig)
+                    for sig in compiled.pos
+                ]
+            )
+            diff = result.next_state_diff
+        state = next_state_of(compiled, values)
+    return response

@@ -1,0 +1,268 @@
+"""OBDD-based symbolic fault simulation (Section IV.A).
+
+:class:`SymbolicSession` drives one *symbolic stretch*: the unknown
+present state is encoded with one BDD variable per memory element, a
+symbolic true-value simulation computes the fault-free frame, and every
+live fault is propagated by the same event-driven single-fault engine
+the three-valued simulator uses — only over BDD values.  The chosen
+observation strategy (SOT / rMOT / MOT) inspects the primary outputs
+and accumulates the per-fault detection function.
+
+A session steps one time frame at a time so the hybrid simulator can
+catch :class:`~repro.bdd.errors.SpaceLimitExceeded` between (and
+inside) frames, snapshot the state down to three-valued logic, and
+later open a fresh session.  A step that raises leaves the session
+state exactly as it was before the step.
+"""
+
+from repro.bdd import BddManager, StateVariables
+from repro.bdd.manager import FALSE, TRUE
+from repro.engines.algebra import BddAlgebra
+from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
+from repro.engines.propagate import propagate_fault
+from repro.faults.status import UNDETECTED, FaultSet
+from repro.logic import threeval
+from repro.symbolic.strategies import FrameContext, get_strategy
+
+
+class SymbolicSession:
+    """One symbolic stretch of the (hybrid) fault simulator."""
+
+    def __init__(
+        self,
+        compiled,
+        strategy,
+        good_state_3v=None,
+        node_limit=None,
+        variable_scheme="interleaved",
+    ):
+        if isinstance(strategy, str):
+            strategy = get_strategy(strategy)
+        self.compiled = compiled
+        self.strategy = strategy
+        self.state_vars = StateVariables(
+            compiled.num_dffs, scheme=variable_scheme
+        )
+        self.manager = BddManager(
+            num_vars=self.state_vars.num_vars, node_limit=node_limit
+        )
+        self.algebra = BddAlgebra(self.manager)
+
+        if good_state_3v is None:
+            good_state_3v = [threeval.X] * compiled.num_dffs
+        self.good_state = [
+            self._state_bit_to_bdd(i, v) for i, v in enumerate(good_state_3v)
+        ]
+        # id(record) -> [record, state_diff (dict dff->bdd), accumulator]
+        self._store = {}
+        self.time = 0
+
+    # ------------------------------------------------------------------
+    def _state_bit_to_bdd(self, dff_idx, value3v):
+        if value3v == threeval.X:
+            return self.manager.mk_var(self.state_vars.x(dff_idx))
+        return TRUE if value3v == threeval.ONE else FALSE
+
+    def attach_fault(self, record, state_diff_3v=None):
+        """Register a live fault, optionally with a three-valued state
+        difference carried over from a three-valued interlude."""
+        diff = {}
+        for dff_idx, value in (state_diff_3v or {}).items():
+            bdd = self._state_bit_to_bdd(dff_idx, value)
+            if bdd != self.good_state[dff_idx]:
+                diff[dff_idx] = bdd
+        self._store[id(record)] = [
+            record,
+            diff,
+            self.strategy.initial_state(self.manager),
+        ]
+
+    def attach_faults(self, records, diffs_3v=None):
+        for record in records:
+            diff = diffs_3v.get(id(record)) if diffs_3v else None
+            self.attach_fault(record, diff)
+
+    def live_records(self):
+        return [entry[0] for entry in self._store.values()]
+
+    # ------------------------------------------------------------------
+    def step(self, vector, mark_detected=True):
+        """Simulate one time frame; returns the newly detected records.
+
+        Raises :class:`SpaceLimitExceeded` without mutating the session
+        when the OBDD node limit is hit.  With ``mark_detected=False``
+        the fault records' statuses are left untouched (used by cloned
+        trial sessions in the MOT-guided test generator) — detected
+        records are still dropped from this session's store.
+        """
+        compiled = self.compiled
+        algebra = self.algebra
+        pi_values = []
+        for bit in vector:
+            if bit not in (0, 1):
+                raise ValueError(
+                    "symbolic simulation expects fully specified vectors"
+                )
+            pi_values.append(algebra.const(bit))
+
+        good_values = simulate_frame(
+            compiled, algebra, pi_values, self.good_state
+        )
+        ctx = FrameContext(
+            self.manager, self.state_vars, outputs_of(compiled, good_values)
+        )
+        observe_silent = self.strategy.needs_y_variables
+
+        detected = []
+        new_store = {}
+        for key, (record, state_diff, acc) in self._store.items():
+            result = propagate_fault(
+                compiled, algebra, good_values, record.fault, state_diff
+            )
+            po_diff = {}
+            for sig, faulty in result.diff.items():
+                for po_pos in compiled.po_sinks[sig]:
+                    po_diff[po_pos] = faulty
+            hit = False
+            if po_diff or observe_silent:
+                hit, acc = self.strategy.observe(ctx, acc, po_diff)
+            if hit:
+                detected.append(record)
+            else:
+                new_store[key] = [record, result.next_state_diff, acc]
+
+        # Commit only after the whole frame succeeded.
+        self.time += 1
+        self._store = new_store
+        self.good_state = next_state_of(compiled, good_values)
+        if mark_detected:
+            for record in detected:
+                # X-redundant faults may well be symbolically detectable
+                # — that is the whole point of the MOT strategies.
+                record.mark_detected(self.strategy.detected_by, self.time)
+        return detected
+
+    def clone(self):
+        """A cheap fork of the session sharing the BDD manager.
+
+        The manager is append-only between garbage collections, so the
+        clone and the original stay valid side by side; this is what
+        lets the MOT-guided test generator *try* a candidate vector and
+        discard the outcome.  Do not call :meth:`compact` while clones
+        are alive — collection invalidates their node indices.
+        """
+        other = SymbolicSession.__new__(SymbolicSession)
+        other.compiled = self.compiled
+        other.strategy = self.strategy
+        other.state_vars = self.state_vars
+        other.manager = self.manager
+        other.algebra = self.algebra
+        other.good_state = list(self.good_state)
+        other._store = {
+            key: [record, dict(diff), acc]
+            for key, (record, diff, acc) in self._store.items()
+        }
+        other.time = self.time
+        return other
+
+    # ------------------------------------------------------------------
+    def snapshot_3v(self):
+        """Project the session state down to three-valued logic.
+
+        Returns ``(good_state_3v, diffs_3v)`` where *diffs_3v* maps
+        ``id(record)`` to a three-valued state-difference dict — the
+        format :func:`attach_faults` and the three-valued engine accept.
+        """
+        manager = self.manager
+
+        def to_3v(bdd):
+            value = manager.const_value(bdd)
+            return threeval.X if value is None else value
+
+        good_3v = [to_3v(b) for b in self.good_state]
+        diffs = {}
+        for key, (record, state_diff, _acc) in self._store.items():
+            diff3 = {}
+            for dff_idx, bdd in state_diff.items():
+                value = to_3v(bdd)
+                if value != good_3v[dff_idx]:
+                    diff3[dff_idx] = value
+            diffs[key] = diff3
+        return good_3v, diffs
+
+    def compact(self):
+        """Garbage-collect the manager, keeping only live session roots.
+
+        Returns the number of nodes freed.
+        """
+        roots = list(self.good_state)
+        for _record, state_diff, acc in self._store.values():
+            roots.extend(state_diff.values())
+            if acc is not None:
+                roots.append(acc)
+        before = self.manager.num_nodes
+        translate = self.manager.collect(roots)
+        self.good_state = [translate[b] for b in self.good_state]
+        for entry in self._store.values():
+            entry[1] = {
+                dff: translate[b] for dff, b in entry[1].items()
+            }
+            if entry[2] is not None:
+                entry[2] = translate[entry[2]]
+        return before - self.manager.num_nodes
+
+
+class SymbolicFaultSimResult:
+    """Outcome of a pure (non-hybrid) symbolic run."""
+
+    def __init__(self, fault_set, strategy_name, frames, exact, peak_nodes):
+        self.fault_set = fault_set
+        self.strategy = strategy_name
+        self.frames_simulated = frames
+        self.exact = exact
+        self.peak_nodes = peak_nodes
+
+    def __repr__(self):
+        counts = self.fault_set.counts()
+        flag = "exact" if self.exact else "approximate"
+        return (
+            f"SymbolicFaultSimResult({self.strategy}, "
+            f"{counts['detected']}/{counts['total']} detected, {flag})"
+        )
+
+
+def symbolic_fault_simulate(
+    compiled,
+    sequence,
+    fault_set,
+    strategy="MOT",
+    initial_state=None,
+    node_limit=None,
+    variable_scheme="interleaved",
+):
+    """Pure symbolic fault simulation over the whole sequence.
+
+    Simulates every record of *fault_set* that is still UNDETECTED.
+    Raises :class:`SpaceLimitExceeded` when *node_limit* is given and
+    hit — use :func:`repro.symbolic.hybrid.hybrid_fault_simulate` for
+    the fallback behaviour of the paper.
+    """
+    if isinstance(fault_set, (list, tuple)):
+        fault_set = FaultSet(fault_set)
+    session = SymbolicSession(
+        compiled,
+        strategy,
+        good_state_3v=initial_state,
+        node_limit=node_limit,
+        variable_scheme=variable_scheme,
+    )
+    session.attach_faults(fault_set.symbolic_candidates())
+    for vector in sequence:
+        session.step(vector)
+    return SymbolicFaultSimResult(
+        fault_set,
+        session.strategy.name,
+        session.time,
+        exact=True,
+        peak_nodes=session.manager.peak_nodes,
+    )

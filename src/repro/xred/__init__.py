@@ -1,0 +1,5 @@
+"""X-redundant fault identification (the ``ID_X-red`` procedure)."""
+
+from repro.xred.idxred import XRedResult, eliminate_x_redundant, id_x_red
+
+__all__ = ["XRedResult", "id_x_red", "eliminate_x_redundant"]

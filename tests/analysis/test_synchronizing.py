@@ -1,0 +1,89 @@
+"""Synchronizing-sequence search."""
+
+import pytest
+
+from repro.analysis.synchronizing import (
+    find_synchronizing_sequence,
+    is_synchronizable,
+    uncertainty_after,
+)
+from repro.baselines.enumeration import all_states, simulate_concrete
+from repro.circuit.compile import compile_circuit
+from repro.circuits.generators import counter, shift_register, \
+    sync_controller
+from repro.circuits.iscas import s27
+from repro.engines.algebra import BOOL
+from repro.engines.true_value import simulate_sequence
+
+
+def _verify_synchronizing(compiled, sequence, final_state):
+    """Every initial state must land in final_state after the sequence."""
+    for p in all_states(compiled.num_dffs):
+        trace = simulate_sequence(
+            compiled, sequence, initial_state=list(p), algebra=BOOL
+        )
+        assert tuple(trace.states[-1]) == final_state, p
+
+
+def test_s27_synchronizes_in_one_step():
+    compiled = compile_circuit(s27())
+    result = find_synchronizing_sequence(compiled, max_length=4)
+    assert result.found
+    assert len(result.sequence) == 1
+    _verify_synchronizing(compiled, result.sequence, result.final_state)
+
+
+def test_shift_register_synchronizes_in_exactly_its_depth():
+    compiled = compile_circuit(shift_register(5))
+    result = find_synchronizing_sequence(compiled, max_length=10)
+    assert result.found
+    assert len(result.sequence) == 5
+    _verify_synchronizing(compiled, result.sequence, result.final_state)
+
+
+def test_sync_controller_synchronizes():
+    compiled = compile_circuit(sync_controller(5))
+    result = find_synchronizing_sequence(compiled, max_length=10)
+    assert result.found
+    _verify_synchronizing(compiled, result.sequence, result.final_state)
+
+
+def test_counter_is_not_synchronizable():
+    """The counter's transition function is a bijection for every
+    input, so no sequence can merge two states — the paper's archetype
+    of an untestable-by-3V circuit."""
+    compiled = compile_circuit(counter(5))
+    result = find_synchronizing_sequence(compiled, max_length=16)
+    assert not result.found
+    assert result.uncertainty_sizes[-1] == 32  # never shrank
+
+
+def test_is_synchronizable_wrapper():
+    assert is_synchronizable(compile_circuit(s27()))
+    assert not is_synchronizable(compile_circuit(counter(4)),
+                                 max_length=8)
+
+
+def test_uncertainty_after_matches_enumeration():
+    compiled = compile_circuit(s27())
+    sequence = [(0, 1, 1, 0), (1, 0, 0, 1)]
+    _set, count = uncertainty_after(compiled, sequence)
+    explicit = {
+        tuple(
+            simulate_sequence(
+                compiled, sequence, initial_state=list(p), algebra=BOOL
+            ).states[-1]
+        )
+        for p in all_states(compiled.num_dffs)
+    }
+    assert count == len(explicit)
+
+
+def test_uncertainty_monotonically_nonincreasing():
+    compiled = compile_circuit(sync_controller(4))
+    sequence = [(1, 0)] * 6
+    previous = 1 << compiled.num_dffs
+    for n in range(1, len(sequence) + 1):
+        _s, count = uncertainty_after(compiled, sequence[:n])
+        assert count <= previous
+        previous = count

@@ -1,0 +1,111 @@
+"""TransitionSystem: image computation vs explicit enumeration."""
+
+import pytest
+
+from repro.analysis.transition import TransitionSystem
+from repro.baselines.enumeration import all_states
+from repro.bdd.manager import FALSE, TRUE
+from repro.circuit.compile import compile_circuit
+from repro.circuits.generators import counter, sync_controller
+from repro.circuits.iscas import s27
+from repro.engines.algebra import BOOL
+from repro.engines.evaluate import next_state_of, simulate_frame
+from tests.util import random_circuit
+
+
+def explicit_image(compiled, states, vector):
+    result = set()
+    for state in states:
+        values = simulate_frame(compiled, BOOL, list(vector), list(state))
+        result.add(tuple(next_state_of(compiled, values)))
+    return result
+
+
+def bdd_set_to_states(ts, state_set):
+    states = set()
+    for state in all_states(ts.num_dffs):
+        assignment = {
+            ts.state_var(i): bit for i, bit in enumerate(state)
+        }
+        if ts.manager.evaluate(state_set, assignment):
+            states.add(state)
+    return states
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_image_matches_enumeration(seed):
+    import random
+
+    rng = random.Random(seed)
+    compiled = compile_circuit(random_circuit(seed, num_dffs=3))
+    ts = TransitionSystem(compiled)
+    # random subset of states
+    subset = {
+        s for s in all_states(3) if rng.random() < 0.5
+    } or {(0, 0, 0)}
+    state_set = ts.state_set_from_iter(subset)
+    vector = tuple(rng.randrange(2) for _ in compiled.pis)
+    symbolic = bdd_set_to_states(ts, ts.image(state_set, vector))
+    assert symbolic == explicit_image(compiled, subset, vector)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_free_input_image_is_union(seed):
+    from itertools import product
+
+    compiled = compile_circuit(random_circuit(seed + 20, num_dffs=3))
+    ts = TransitionSystem(compiled)
+    state_set = ts.state_set_from_iter([(0, 0, 0), (1, 1, 1)])
+    free = bdd_set_to_states(ts, ts.image(state_set))
+    union = set()
+    for vector in product((0, 1), repeat=compiled.num_pis):
+        union |= bdd_set_to_states(ts, ts.image(state_set, vector))
+    assert free == union
+
+
+def test_count_and_pick():
+    compiled = compile_circuit(counter(3))
+    ts = TransitionSystem(compiled)
+    s = ts.state_set_from_iter([(0, 0, 0), (1, 0, 1)])
+    assert ts.count_states(s) == 2
+    assert ts.pick_state(s) in {(0, 0, 0), (1, 0, 1)}
+    assert ts.pick_state(FALSE) is None
+    assert ts.count_states(ts.all_states()) == 8
+
+
+def test_counter_image_is_permutation():
+    """An enabled counter permutes its state space: the image of the
+    full space is the full space."""
+    compiled = compile_circuit(counter(4))
+    ts = TransitionSystem(compiled)
+    assert ts.image(TRUE, (1,)) == TRUE
+    # disabled: identity, also full
+    assert ts.image(TRUE, (0,)) == TRUE
+
+
+def test_sync_controller_image_shrinks():
+    compiled = compile_circuit(sync_controller(4))
+    ts = TransitionSystem(compiled)
+    after = ts.image(TRUE, (1, 0))
+    assert ts.count_states(after) < 16
+
+
+def test_reachable_from_reset():
+    compiled = compile_circuit(s27())
+    ts = TransitionSystem(compiled)
+    reset = ts.state_set_from_iter([(0, 0, 0)])
+    reached = ts.reachable(reset)
+    # the reachable set contains the reset state and is input-closed
+    assert ts.manager.and_(reached, reset) == reset
+    image = ts.image(reached)
+    assert ts.manager.and_(image, ts.manager.not_(reached)) == FALSE
+
+
+def test_output_function_restriction():
+    compiled = compile_circuit(s27())
+    ts = TransitionSystem(compiled)
+    f_free = ts.output_function(0)
+    f_fixed = ts.output_function(0, input_vector=(0, 1, 1, 0))
+    support = ts.manager.support(f_fixed)
+    assert support <= set(ts.state_vars())
+    assert ts.manager.support(f_free) - set(ts.state_vars()) != set()

@@ -1,0 +1,106 @@
+"""Explicit-enumeration baseline: internal consistency and hand-checked
+cases."""
+
+import pytest
+
+from repro.baselines.enumeration import (
+    all_states,
+    mot_detectable,
+    response_set,
+    rmot_detectable,
+    simulate_concrete,
+    sot_detectable,
+    well_defined_positions,
+)
+from repro.circuit.compile import compile_circuit
+from repro.circuit.netlist import Circuit
+from repro.circuits.figures import figure3_circuit
+from repro.faults.model import stem_fault
+from repro.faults.universe import enumerate_faults
+from repro.sequences.random_seq import random_sequence_for
+from tests.util import random_circuit
+
+
+def test_all_states_count():
+    assert len(all_states(3)) == 8
+    assert len(set(all_states(3))) == 8
+
+
+def test_simulate_concrete_matches_hand_computation():
+    c = Circuit("toggler")
+    c.add_input("en")
+    c.add_dff("q", "nq")
+    c.add_gate("nq", "XOR", ["q", "en"])
+    c.add_gate("o", "BUF", ["q"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    seq = [(1,), (1,), (0,), (1,)]
+    # start at 0: outputs show the PRE-frame state
+    assert simulate_concrete(compiled, seq, (0,)) == \
+        ((0,), (1,), (0,), (0,))
+    assert simulate_concrete(compiled, seq, (1,)) == \
+        ((1,), (0,), (1,), (1,))
+
+
+def test_response_set_size_bounded_by_states():
+    compiled = compile_circuit(random_circuit(1, num_dffs=3))
+    seq = random_sequence_for(compiled, 8, seed=1)
+    responses = response_set(compiled, seq)
+    assert 1 <= len(responses) <= 8
+
+
+def test_figure3_oracle():
+    circuit, net, value, sequence = figure3_circuit()
+    compiled = compile_circuit(circuit)
+    fault = stem_fault(compiled, net, value)
+    assert mot_detectable(compiled, sequence, fault)
+    assert not sot_detectable(compiled, sequence, fault)
+    assert not rmot_detectable(compiled, sequence, fault)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_detection_hierarchy(seed):
+    """SOT-detectable => rMOT-detectable => MOT-detectable."""
+    compiled = compile_circuit(
+        random_circuit(seed, num_dffs=3, num_gates=12)
+    )
+    seq = random_sequence_for(compiled, 8, seed=seed)
+    for fault in enumerate_faults(compiled)[:40]:
+        sot = sot_detectable(compiled, seq, fault)
+        rmot = rmot_detectable(compiled, seq, fault)
+        mot = mot_detectable(compiled, seq, fault)
+        if sot:
+            assert rmot, fault
+        if rmot:
+            assert mot, fault
+
+
+def test_well_defined_positions_really_are():
+    compiled = compile_circuit(random_circuit(5, num_dffs=3))
+    seq = random_sequence_for(compiled, 6, seed=5)
+    positions = well_defined_positions(compiled, seq)
+    for p in all_states(compiled.num_dffs):
+        resp = simulate_concrete(compiled, seq, p)
+        for (t, i), b in positions.items():
+            assert resp[t][i] == b
+
+
+def test_refuses_large_state_spaces():
+    from repro.circuits.generators import counter
+
+    compiled = compile_circuit(counter(20))
+    with pytest.raises(ValueError, match="refused"):
+        response_set(compiled, [(1,)])
+
+
+def test_undetectable_fault_stays_undetectable():
+    # stuck-at matching a constant driver is a true redundancy
+    c = Circuit("red")
+    c.add_input("a")
+    c.add_gate("one", "CONST1", [])
+    c.add_gate("o", "AND", ["a", "one"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    fault = stem_fault(compiled, "one", 1)
+    seq = [(0,), (1,), (0,), (1,)]
+    assert not mot_detectable(compiled, seq, fault)

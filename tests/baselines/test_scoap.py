@@ -1,0 +1,133 @@
+"""SCOAP testability analysis."""
+
+import math
+
+import pytest
+
+from repro.baselines.scoap import (
+    INF,
+    controllabilities,
+    observabilities,
+    scoap_x_redundant,
+)
+from repro.circuit.compile import compile_circuit
+from repro.circuit.netlist import Circuit
+from repro.circuits.generators import counter, shift_register
+from repro.circuits.iscas import s27
+from repro.engines.serial_fault_sim import fault_simulate_3v
+from repro.faults.status import FaultSet
+from repro.faults.universe import enumerate_faults
+from repro.sequences.random_seq import random_sequence_for
+
+
+def test_primary_inputs_fully_controllable():
+    compiled = compile_circuit(s27())
+    cc = controllabilities(compiled)
+    for sig in compiled.pis:
+        assert cc[sig] == (1, 1)
+
+
+def test_and_gate_rules():
+    c = Circuit("and")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g", "AND", ["a", "b"])
+    c.add_output("g")
+    compiled = compile_circuit(c)
+    cc = controllabilities(compiled)
+    g = compiled.index["g"]
+    assert cc[g] == (2, 3)  # CC0 = min+1, CC1 = sum+1
+
+
+def test_const_gate_controllability():
+    c = Circuit("const")
+    c.add_gate("one", "CONST1", [])
+    c.add_gate("o", "BUF", ["one"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    cc = controllabilities(compiled)
+    one = compiled.index["one"]
+    assert cc[one][0] == INF  # cannot make it 0
+    assert cc[one][1] == 1
+
+
+def test_uncontrollable_counter_state():
+    """A counter without reset: state bits are XOR-fed from themselves
+    only, so no value is ever *establishable* from the inputs."""
+    compiled = compile_circuit(counter(4))
+    cc = controllabilities(compiled)
+    for q in compiled.ppis:
+        assert cc[q] == (INF, INF)
+
+
+def test_shift_register_fully_controllable_and_observable():
+    compiled = compile_circuit(shift_register(4))
+    cc = controllabilities(compiled)
+    co, _ = observabilities(compiled, cc)
+    for q in compiled.ppis:
+        assert cc[q][0] != INF and cc[q][1] != INF
+        assert co[q] != INF
+    assert not scoap_x_redundant(compiled, enumerate_faults(compiled))
+
+
+def test_unobservable_net():
+    c = Circuit("dangle")
+    c.add_input("a")
+    c.add_gate("dead", "NOT", ["a"])
+    c.add_gate("o", "BUF", ["a"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    co, _ = observabilities(compiled)
+    assert co[compiled.index["dead"]] == INF
+    red = scoap_x_redundant(compiled, enumerate_faults(compiled))
+    from repro.faults.model import Fault, STEM
+
+    dead = compiled.index["dead"]
+    assert Fault((STEM, dead), 0).key() in red
+    assert Fault((STEM, dead), 1).key() in red
+
+
+@pytest.mark.parametrize("factory", [s27, lambda: counter(6),
+                                     lambda: shift_register(5)])
+def test_scoap_redundant_faults_truly_undetectable(factory):
+    """SCOAP-X-redundancy claims 'no sequence detects this fault under
+    three-valued logic' — so no random sequence may detect one."""
+    compiled = compile_circuit(factory())
+    faults = enumerate_faults(compiled)
+    red = scoap_x_redundant(compiled, faults)
+    victims = [f for f in faults if f.key() in red]
+    if not victims:
+        pytest.skip("no SCOAP-redundant faults in this circuit")
+    for seed in range(3):
+        sequence = random_sequence_for(compiled, 30, seed=seed)
+        fs = FaultSet(victims)
+        fault_simulate_3v(compiled, sequence, fs)
+        assert fs.counts()["detected"] == 0
+
+
+def test_idxred_exploits_the_given_sequence():
+    """Neither identifier subsumes the other: SCOAP reasons globally
+    about controllability (any sequence), ID_X-red about the concrete
+    sequence with FFR-local observability.  What ID_X-red must win on
+    is sequence-specific redundancy: a perfectly testable fault whose
+    activation value simply never occurs in *this* sequence."""
+    from repro.faults.model import Fault, STEM
+    from repro.xred.idxred import id_x_red
+
+    c = Circuit("seqred")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g", "AND", ["a", "b"])
+    c.add_gate("o", "BUF", ["g"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    faults = enumerate_faults(compiled)
+    # g never goes to 1 under this sequence -> s-a-0 at g never
+    # activated, even though the fault is perfectly testable in general
+    sequence = [(0, 1), (1, 0), (0, 0)]
+    g_sa0 = Fault((STEM, compiled.index["g"]), 0)
+    assert g_sa0.key() not in scoap_x_redundant(compiled, faults)
+    assert id_x_red(compiled, sequence, faults).is_x_redundant(g_sa0)
+    # with an activating sequence ID_X-red keeps the fault too
+    active = [(1, 1), (0, 0)]
+    assert not id_x_red(compiled, active, faults).is_x_redundant(g_sa0)

@@ -1,0 +1,103 @@
+"""BDD manager basics: terminals, canonicity, node accounting."""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager, SpaceLimitExceeded
+
+
+def test_terminals():
+    m = BddManager()
+    assert m.is_terminal(FALSE) and m.is_terminal(TRUE)
+    assert m.const(0) == FALSE and m.const(1) == TRUE
+    assert m.const_value(FALSE) == 0
+    assert m.const_value(TRUE) == 1
+    assert m.num_nodes == 2
+
+
+def test_mk_var_canonical():
+    m = BddManager(num_vars=3)
+    a = m.mk_var(0)
+    assert m.mk_var(0) == a  # unique table hit
+    assert m.var(a) == 0
+    assert m.low(a) == FALSE and m.high(a) == TRUE
+
+
+def test_reduction_low_equals_high():
+    m = BddManager(num_vars=2)
+    a = m.mk_var(0)
+    assert m.mk(1, a, a) == a  # redundant test dropped
+
+
+def test_negation_involution():
+    m = BddManager(num_vars=3)
+    f = m.xor(m.mk_var(0), m.mk_var(2))
+    assert m.not_(m.not_(f)) == f
+
+
+def test_structural_equality_is_id_equality():
+    m = BddManager(num_vars=3)
+    a, b, c = (m.mk_var(i) for i in range(3))
+    f1 = m.or_(m.and_(a, b), m.and_(a, c))
+    f2 = m.and_(a, m.or_(b, c))  # distributivity
+    assert f1 == f2
+
+
+def test_constants_fold():
+    m = BddManager(num_vars=1)
+    a = m.mk_var(0)
+    assert m.and_(a, FALSE) == FALSE
+    assert m.and_(a, TRUE) == a
+    assert m.or_(a, TRUE) == TRUE
+    assert m.or_(a, FALSE) == a
+    assert m.xor(a, a) == FALSE
+    assert m.xnor(a, a) == TRUE
+    assert m.implies(FALSE, a) == TRUE
+
+
+def test_ite_basic_identities():
+    m = BddManager(num_vars=2)
+    a, b = m.mk_var(0), m.mk_var(1)
+    assert m.ite(TRUE, a, b) == a
+    assert m.ite(FALSE, a, b) == b
+    assert m.ite(a, TRUE, FALSE) == a
+    assert m.ite(a, b, b) == b
+
+
+def test_node_limit_enforced():
+    m = BddManager(num_vars=64, node_limit=10)
+    with pytest.raises(SpaceLimitExceeded) as exc:
+        f = TRUE
+        for i in range(64):
+            f = m.and_(f, m.mk_var(i))
+    assert exc.value.limit == 10
+
+
+def test_peak_nodes_tracks_growth():
+    m = BddManager(num_vars=4)
+    before = m.peak_nodes
+    m.and_(m.mk_var(0), m.mk_var(1))
+    assert m.peak_nodes > before
+
+
+def test_fresh_var_extends_order():
+    m = BddManager(num_vars=2)
+    v = m.fresh_var()
+    assert v == 2
+    assert m.num_vars == 3
+
+
+def test_mk_nvar():
+    m = BddManager(num_vars=1)
+    na = m.mk_nvar(0)
+    assert na == m.not_(m.mk_var(0))
+
+
+def test_and_or_many():
+    m = BddManager(num_vars=4)
+    vs = [m.mk_var(i) for i in range(4)]
+    f = m.and_many(vs)
+    assert m.evaluate(f, {0: 1, 1: 1, 2: 1, 3: 1}) == 1
+    assert m.evaluate(f, {0: 1, 1: 0, 2: 1, 3: 1}) == 0
+    g = m.or_many(vs)
+    assert m.evaluate(g, {0: 0, 1: 0, 2: 0, 3: 0}) == 0
+    assert m.evaluate(g, {0: 0, 1: 0, 2: 1, 3: 0}) == 1

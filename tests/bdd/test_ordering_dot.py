@@ -1,0 +1,56 @@
+"""StateVariables numbering schemes and DOT export."""
+
+import pytest
+
+from repro.bdd import BddManager, StateVariables, to_dot
+
+
+def test_interleaved_scheme():
+    sv = StateVariables(3, scheme="interleaved")
+    assert sv.x_vars() == [0, 2, 4]
+    assert sv.y_vars() == [1, 3, 5]
+    assert sv.num_vars == 6
+    assert sv.x_to_y() == {0: 1, 2: 3, 4: 5}
+
+
+def test_blocked_scheme():
+    sv = StateVariables(3, scheme="blocked")
+    assert sv.x_vars() == [0, 1, 2]
+    assert sv.y_vars() == [3, 4, 5]
+    assert sv.x_to_y() == {0: 3, 1: 4, 2: 5}
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        StateVariables(2, scheme="diagonal")
+
+
+def test_index_bounds():
+    sv = StateVariables(2)
+    with pytest.raises(IndexError):
+        sv.x(2)
+    with pytest.raises(IndexError):
+        sv.y(-1)
+
+
+def test_interleaving_keeps_pairs_adjacent():
+    sv = StateVariables(4, scheme="interleaved")
+    for i in range(4):
+        assert sv.y(i) == sv.x(i) + 1
+
+
+def test_dot_export():
+    m = BddManager(num_vars=2)
+    f = m.and_(m.mk_var(0), m.mk_var(1))
+    text = to_dot(m, {"f": f}, var_names={0: "a", 1: "b"})
+    assert "digraph" in text
+    assert '"a"' in text and '"b"' in text
+    assert "r_f" in text
+    # dashed edge for the low branch
+    assert "style=dashed" in text
+
+
+def test_dot_export_single_root():
+    m = BddManager(num_vars=1)
+    text = to_dot(m, m.mk_var(0))
+    assert "digraph" in text

@@ -1,0 +1,143 @@
+"""restrict / compose / rename / quantification laws."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager, StateVariables, VariableOrderError
+from repro.bdd.manager import FALSE, TRUE
+
+N = 4
+
+
+def random_function(manager, rng_bits):
+    """Build a function from a 2^N-bit truth table encoded as int."""
+    f = FALSE
+    for idx in range(1 << N):
+        if (rng_bits >> idx) & 1:
+            term = TRUE
+            for var in range(N):
+                lit = (
+                    manager.mk_var(var)
+                    if (idx >> var) & 1
+                    else manager.not_(manager.mk_var(var))
+                )
+                term = manager.and_(term, lit)
+            f = manager.or_(f, term)
+    return f
+
+
+def evaluate_table(bits, assignment):
+    idx = sum(assignment[v] << v for v in range(N))
+    return (bits >> idx) & 1
+
+
+tables = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+@given(tables, st.integers(0, N - 1), st.integers(0, 1))
+@settings(max_examples=60, deadline=None)
+def test_restrict_matches_semantics(bits, var, value):
+    m = BddManager(num_vars=N)
+    f = random_function(m, bits)
+    g = m.restrict(f, var, value)
+    for assignment in itertools.product((0, 1), repeat=N):
+        a = dict(enumerate(assignment))
+        a_fixed = dict(a)
+        a_fixed[var] = value
+        assert m.evaluate(g, a) == evaluate_table(bits, a_fixed)
+
+
+@given(tables, tables, st.integers(0, N - 1))
+@settings(max_examples=60, deadline=None)
+def test_compose_matches_semantics(f_bits, g_bits, var):
+    m = BddManager(num_vars=N)
+    f = random_function(m, f_bits)
+    g = random_function(m, g_bits)
+    h = m.compose(f, var, g)
+    for assignment in itertools.product((0, 1), repeat=N):
+        a = dict(enumerate(assignment))
+        a_sub = dict(a)
+        a_sub[var] = evaluate_table(g_bits, a)
+        assert m.evaluate(h, a) == evaluate_table(f_bits, a_sub)
+
+
+def test_compose_with_var_is_rename():
+    m = BddManager(num_vars=6)
+    f = m.xor(m.mk_var(0), m.and_(m.mk_var(2), m.mk_var(4)))
+    via_compose = f
+    for old, new in ((4, 5), (2, 3), (0, 1)):
+        via_compose = m.compose(via_compose, old, m.mk_var(new))
+    via_rename = m.rename(f, {0: 1, 2: 3, 4: 5})
+    assert via_compose == via_rename
+
+
+@given(tables)
+@settings(max_examples=40, deadline=None)
+def test_interleaved_x_to_y_rename(bits):
+    sv = StateVariables(N, scheme="interleaved")
+    m = BddManager(num_vars=sv.num_vars)
+    # build f over the x variables
+    f = FALSE
+    for idx in range(1 << N):
+        if (bits >> idx) & 1:
+            term = TRUE
+            for i in range(N):
+                var = m.mk_var(sv.x(i))
+                lit = var if (idx >> i) & 1 else m.not_(var)
+                term = m.and_(term, lit)
+            f = m.or_(f, term)
+    g = m.rename(f, sv.x_to_y())
+    for assignment in itertools.product((0, 1), repeat=N):
+        a = {sv.y(i): b for i, b in enumerate(assignment)}
+        for i in range(N):
+            a[sv.x(i)] = 0  # must be irrelevant after the rename
+        idx = sum(b << i for i, b in enumerate(assignment))
+        assert m.evaluate(g, a) == (bits >> idx) & 1
+
+
+def test_blocked_x_to_y_rename():
+    sv = StateVariables(3, scheme="blocked")
+    m = BddManager(num_vars=sv.num_vars)
+    f = m.and_(m.mk_var(sv.x(0)), m.mk_var(sv.x(2)))
+    g = m.rename(f, sv.x_to_y())
+    assert m.support(g) == {sv.y(0), sv.y(2)}
+
+
+def test_rename_rejects_non_monotone():
+    m = BddManager(num_vars=4)
+    f = m.and_(m.mk_var(0), m.mk_var(1))
+    with pytest.raises(VariableOrderError):
+        m.rename(f, {0: 3, 1: 2})
+
+
+def test_rename_rejects_order_violation():
+    m = BddManager(num_vars=4)
+    f = m.and_(m.mk_var(0), m.mk_var(1))
+    # renaming 1 -> 3 while 0 stays put is monotone as a mapping but ok;
+    # renaming 0 -> 2 while keeping 1 puts 2 below 1: violation
+    with pytest.raises(VariableOrderError):
+        m.rename(f, {0: 2})
+
+
+@given(tables, st.integers(0, N - 1))
+@settings(max_examples=40, deadline=None)
+def test_quantification(bits, var):
+    m = BddManager(num_vars=N)
+    f = random_function(m, bits)
+    ex = m.exists(f, [var])
+    fa = m.forall(f, [var])
+    assert ex == m.or_(m.restrict(f, var, 0), m.restrict(f, var, 1))
+    assert fa == m.and_(m.restrict(f, var, 0), m.restrict(f, var, 1))
+    assert m.support(ex).isdisjoint({var})
+    # forall f -> f -> exists f
+    assert m.implies(fa, f) == TRUE
+    assert m.implies(f, ex) == TRUE
+
+
+def test_quantify_many_vars():
+    m = BddManager(num_vars=4)
+    f = m.and_many([m.mk_var(i) for i in range(4)])
+    assert m.exists(f, range(4)) == TRUE
+    assert m.forall(f, range(4)) == FALSE

@@ -1,0 +1,101 @@
+"""ISCAS-89 .bench parsing and writing."""
+
+import pytest
+
+from repro.circuit.bench import (
+    BenchParseError,
+    parse_bench,
+    save_bench,
+    load_bench,
+    write_bench,
+)
+from repro.circuits.iscas import S27_BENCH, s27
+
+SIMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+q = DFF(d)
+d = AND(a, q)
+o = XOR(d, b)
+"""
+
+
+def test_parse_simple():
+    c = parse_bench(SIMPLE, name="simple")
+    assert c.inputs == ["a", "b"]
+    assert c.outputs == ["o"]
+    assert c.dffs == {"q": "d"}
+    assert c.gates["d"].kind == "AND"
+    assert c.gates["o"].fanins == ("d", "b")
+
+
+def test_parse_s27():
+    c = s27()
+    assert c.num_inputs == 4
+    assert c.num_outputs == 1
+    assert c.num_dffs == 3
+    assert c.num_gates == 10
+
+
+def test_roundtrip():
+    c = parse_bench(SIMPLE, name="simple")
+    text = write_bench(c)
+    c2 = parse_bench(text, name="simple")
+    assert c2.inputs == c.inputs
+    assert c2.outputs == c.outputs
+    assert c2.dffs == c.dffs
+    assert c2.gates == c.gates
+
+
+def test_roundtrip_s27():
+    c2 = parse_bench(write_bench(s27()))
+    assert c2.gates == s27().gates
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "simple.bench"
+    save_bench(parse_bench(SIMPLE), path)
+    c = load_bench(path)
+    assert c.name == "simple"
+    assert c.num_gates == 2
+
+
+def test_aliases_and_case():
+    c = parse_bench("INPUT(a)\nb = buff(a)\nc = INV(b)\nOUTPUT(c)\n")
+    assert c.gates["b"].kind == "BUF"
+    assert c.gates["c"].kind == "NOT"
+
+
+def test_inline_comment_stripped():
+    c = parse_bench("INPUT(a)  # the input\nb = NOT(a)\nOUTPUT(b)\n")
+    assert c.inputs == ["a"]
+
+
+def test_errors_carry_line_numbers():
+    with pytest.raises(BenchParseError) as exc:
+        parse_bench("INPUT(a)\ngibberish here\n")
+    assert "line 2" in str(exc.value)
+
+
+def test_unknown_gate_kind():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nb = FROB(a)\n")
+
+
+def test_dff_arity_error():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nq = DFF(a, a)\n")
+
+
+def test_bad_arity_error():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nb = AND(a)\n")
+
+
+def test_s27_text_is_stable():
+    # the embedded benchmark must stay byte-identical (it is the one
+    # piece of real ISCAS-89 data in the repository)
+    assert "G11 = NOR(G5, G9)" in S27_BENCH
+    assert "G13 = NAND(G2, G12)" in S27_BENCH

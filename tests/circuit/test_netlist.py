@@ -1,0 +1,94 @@
+"""Circuit netlist model."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit, Gate
+
+
+def small():
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_dff("q", "d")
+    c.add_gate("d", "AND", ["a", "q"])
+    c.add_gate("o", "XOR", ["d", "b"])
+    c.add_output("o")
+    return c
+
+
+def test_counts():
+    c = small()
+    assert c.num_inputs == 2
+    assert c.num_outputs == 1
+    assert c.num_dffs == 1
+    assert c.num_gates == 2
+
+
+def test_all_nets_and_driver_kind():
+    c = small()
+    assert set(c.all_nets()) == {"a", "b", "q", "d", "o"}
+    assert c.driver_kind("a") == "input"
+    assert c.driver_kind("d") == "gate"
+    assert c.driver_kind("q") == "dff"
+    assert c.driver_kind("zzz") is None
+
+
+def test_double_drive_rejected():
+    c = small()
+    with pytest.raises(ValueError):
+        c.add_gate("a", "AND", ["b", "q"])
+    with pytest.raises(ValueError):
+        c.add_input("d")
+    with pytest.raises(ValueError):
+        c.add_dff("o", "d")
+
+
+def test_gate_arity_checked():
+    c = Circuit("t")
+    c.add_input("a")
+    with pytest.raises(ValueError):
+        c.add_gate("g", "NOT", ["a", "a"])
+    with pytest.raises(ValueError):
+        c.add_gate("g", "AND", ["a"])
+    with pytest.raises(ValueError):
+        c.add_gate("g", "NOPE", ["a", "a"])
+
+
+def test_fanout_map():
+    c = small()
+    fanout = c.fanout_map()
+    assert ("gate", "d", 1) in fanout["q"]
+    assert ("dff", "q") in fanout["d"]
+    assert ("gate", "o", 0) in fanout["d"]
+    assert ("po", 0) in fanout["o"]
+    assert fanout["b"] == [("gate", "o", 1)]
+
+
+def test_copy_is_independent():
+    c = small()
+    c2 = c.copy()
+    c2.add_input("z")
+    assert "z" not in c.inputs
+    assert c2.gates == c.gates
+
+
+def test_gate_equality_and_hash():
+    g1 = Gate("o", "AND", ["a", "b"])
+    g2 = Gate("o", "AND", ("a", "b"))
+    g3 = Gate("o", "OR", ["a", "b"])
+    assert g1 == g2
+    assert hash(g1) == hash(g2)
+    assert g1 != g3
+
+
+def test_const_gates_allowed():
+    c = Circuit("t")
+    c.add_gate("one", "CONST1", [])
+    c.add_gate("zero", "CONST0", [])
+    c.add_gate("o", "OR", ["one", "zero"])
+    c.add_output("o")
+    assert c.num_gates == 3
+
+
+def test_repr_mentions_counts():
+    assert "2 PI" in repr(small())

@@ -1,0 +1,85 @@
+"""Fanout-free region analysis."""
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuit.netlist import Circuit
+from repro.circuit.regions import ffr_heads, head_of, is_head, regions
+from tests.util import random_circuit
+
+
+def tree_circuit():
+    """A pure tree: one region rooted at the PO."""
+    c = Circuit("tree")
+    for n in ("a", "b", "c", "d"):
+        c.add_input(n)
+    c.add_gate("g1", "AND", ["a", "b"])
+    c.add_gate("g2", "OR", ["c", "d"])
+    c.add_gate("o", "XOR", ["g1", "g2"])
+    c.add_output("o")
+    return compile_circuit(c)
+
+
+def test_tree_is_single_region():
+    compiled = tree_circuit()
+    heads = ffr_heads(compiled)
+    o = compiled.index["o"]
+    assert o in heads
+    # internal gates are not heads
+    assert compiled.index["g1"] not in heads
+    assert compiled.index["g2"] not in heads
+    head = head_of(compiled)
+    assert head[compiled.index["g1"]] == o
+    assert head[compiled.index["a"]] == o
+
+
+def test_fanout_stem_is_head():
+    c = Circuit("fan")
+    c.add_input("a")
+    c.add_gate("s", "NOT", ["a"])
+    c.add_gate("g1", "NOT", ["s"])
+    c.add_gate("g2", "NOT", ["s"])
+    c.add_output("g1")
+    c.add_output("g2")
+    compiled = compile_circuit(c)
+    assert is_head(compiled, compiled.index["s"])
+
+
+def test_dff_boundary_is_head():
+    c = Circuit("seq")
+    c.add_input("a")
+    c.add_dff("q", "d")
+    c.add_gate("d", "AND", ["a", "q"])
+    c.add_output("q")
+    compiled = compile_circuit(c)
+    # d feeds only the DFF: that makes it a head
+    assert is_head(compiled, compiled.index["d"])
+
+
+def test_every_signal_has_a_head_or_is_dangling():
+    compiled = tree_circuit()
+    head = head_of(compiled)
+    for sig in range(compiled.num_signals):
+        assert head[sig] is not None
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_regions_partition_signals(seed):
+    compiled = compile_circuit(random_circuit(seed, num_gates=20))
+    groups = regions(compiled)
+    seen = []
+    for head, members in groups.items():
+        assert head in members
+        seen.extend(members)
+    # heads cover themselves; a signal appears in exactly one region
+    assert len(seen) == len(set(seen))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_region_internal_nets_have_single_gate_sink(seed):
+    compiled = compile_circuit(random_circuit(seed, num_gates=20))
+    head = head_of(compiled)
+    for sig in range(compiled.num_signals):
+        if head[sig] is not None and head[sig] != sig:
+            assert compiled.sink_count(sig) == 1
+            assert len(compiled.fanout_gates[sig]) == 1

@@ -1,0 +1,18 @@
+"""Circuit statistics helper."""
+
+from repro.circuit.stats import circuit_stats, format_stats
+from repro.circuits.iscas import s27
+
+
+def test_s27_stats():
+    stats = circuit_stats(s27())
+    assert stats["inputs"] == 4
+    assert stats["outputs"] == 1
+    assert stats["dffs"] == 3
+    assert stats["gates"] == 10
+    assert stats["max_level"] >= 1
+    assert sum(stats["gate_kinds"].values()) == 10
+
+
+def test_format_stats_mentions_name():
+    assert "s27" in format_stats(s27())

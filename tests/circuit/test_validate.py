@@ -1,0 +1,78 @@
+"""Structural validation."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.validate import CircuitError, validate
+
+
+def test_valid_circuit_passes():
+    c = Circuit("ok")
+    c.add_input("a")
+    c.add_dff("q", "d")
+    c.add_gate("d", "AND", ["a", "q"])
+    c.add_output("d")
+    assert validate(c) is c
+
+
+def test_undriven_gate_fanin():
+    c = Circuit("bad")
+    c.add_input("a")
+    c.add_gate("g", "AND", ["a", "ghost"])
+    c.add_output("g")
+    with pytest.raises(CircuitError, match="undriven"):
+        validate(c)
+
+
+def test_undriven_dff_input():
+    c = Circuit("bad")
+    c.add_dff("q", "ghost")
+    with pytest.raises(CircuitError, match="undriven"):
+        validate(c)
+
+
+def test_undriven_output():
+    c = Circuit("bad")
+    c.add_input("a")
+    c.add_output("ghost")
+    with pytest.raises(CircuitError, match="undriven"):
+        validate(c)
+
+
+def test_combinational_cycle_detected():
+    c = Circuit("bad")
+    c.add_input("a")
+    c.add_gate("g1", "AND", ["a", "g2"])
+    c.add_gate("g2", "OR", ["g1", "a"])
+    c.add_output("g2")
+    with pytest.raises(CircuitError, match="cycle"):
+        validate(c)
+
+
+def test_self_loop_detected():
+    c = Circuit("bad")
+    c.add_input("a")
+    c.add_gate("g", "OR", ["g", "a"])
+    c.add_output("g")
+    with pytest.raises(CircuitError, match="cycle"):
+        validate(c)
+
+
+def test_cycle_through_dff_is_fine():
+    c = Circuit("ok")
+    c.add_input("a")
+    c.add_dff("q", "d")
+    c.add_gate("d", "XOR", ["q", "a"])
+    c.add_output("d")
+    validate(c)
+
+
+def test_long_chain_no_recursion_error():
+    c = Circuit("deep")
+    c.add_input("a")
+    prev = "a"
+    for i in range(5000):
+        c.add_gate(f"g{i}", "NOT", [prev])
+        prev = f"g{i}"
+    c.add_output(prev)
+    validate(c)  # the DFS is iterative on purpose

@@ -1,0 +1,171 @@
+"""Synthetic benchmark generators: structural validity and the
+behavioural contracts the paper-row mapping relies on."""
+
+import pytest
+
+from repro.baselines.enumeration import simulate_concrete
+from repro.circuit.compile import compile_circuit
+from repro.circuit.validate import validate
+from repro.circuits import generators as gen
+from repro.circuits.registry import PAPER_ROWS, available, get_circuit
+from repro.engines.true_value import simulate_sequence
+from repro.logic import threeval as tv
+from repro.sequences.random_seq import random_sequence_for
+
+
+@pytest.mark.parametrize("name", available())
+def test_registry_circuits_are_valid(name):
+    circuit = get_circuit(name)
+    validate(circuit)
+    compiled = compile_circuit(circuit)
+    assert compiled.num_pos >= 1
+
+
+def test_unknown_registry_name():
+    with pytest.raises(ValueError, match="unknown circuit"):
+        get_circuit("s99999")
+
+
+def test_paper_rows_all_resolvable():
+    from repro.circuits.registry import paper_row_circuit
+
+    seen = set()
+    for paper, ours, note in PAPER_ROWS:
+        circuit, got_note = paper_row_circuit(paper)
+        assert circuit.num_gates > 0
+        if paper not in seen:
+            # lookup returns the FIRST stand-in recorded for a row
+            assert note == got_note
+        seen.add(paper)
+
+
+def test_counter_counts():
+    compiled = compile_circuit(gen.counter(4))
+    # from state 0 with enable, the counter increments mod 16
+    state = (0, 0, 0, 0)
+    seq = [(1,)] * 20
+    outputs = simulate_concrete(compiled, seq, state)
+    # tc fires on the frame where all bits are 1 (state 15)
+    tc_frames = [t for t, (tc, _msb) in enumerate(outputs) if tc]
+    assert tc_frames == [15]
+
+
+def test_counter_holds_without_enable():
+    compiled = compile_circuit(gen.counter(4))
+    outputs = simulate_concrete(compiled, [(0,)] * 5, (1, 0, 1, 0))
+    msbs = {msb for _tc, msb in outputs}
+    assert msbs == {0}  # msb = bit 3 stays 0
+
+
+def test_shift_register_shifts():
+    compiled = compile_circuit(gen.shift_register(4))
+    data = [1, 0, 1, 1, 0, 0, 1, 0]
+    seq = [(b,) for b in data]
+    outputs = simulate_concrete(compiled, seq, (0, 0, 0, 0))
+    souts = [o[0] for o in outputs]
+    # sout shows the state BEFORE the shift: data delayed by 4, so the
+    # first 4 frames show the initial zeros
+    assert souts == [0, 0, 0, 0] + data[:4]
+
+
+def test_johnson_cycles():
+    compiled = compile_circuit(gen.johnson(3))
+    seq = [(1,)] * 12
+    outputs = simulate_concrete(compiled, seq, (0, 0, 0))
+    # Johnson counter from 000: 100, 110, 111, 011, 001, 000, ... period 6
+    all1 = [o[0] for o in outputs]
+    assert all1[:6] == [0, 0, 0, 1, 0, 0]  # q0&q2 high at state 111
+
+
+def test_lfsr_holds_and_shifts():
+    compiled = compile_circuit(gen.lfsr(4, taps=(0, 3)))
+    hold = simulate_concrete(compiled, [(0,)] * 4, (1, 0, 0, 1))
+    assert {o[0] for o in hold} == {1}  # q3 held at 1
+    run = simulate_concrete(compiled, [(1,)] * 4, (1, 0, 0, 1))
+    assert [o[0] for o in run] == [1, 0, 0, 1]  # shifting out
+
+
+def test_sync_controller_is_2v_synchronisable_but_3v_opaque():
+    compiled = compile_circuit(gen.sync_controller(4))
+    seq = [(1, 1)] * 6  # push ones through the chain
+    # 2-valued: every initial state converges to the same state
+    finals = set()
+    from repro.baselines.enumeration import all_states
+    from repro.engines.algebra import BOOL
+
+    for p in all_states(4):
+        trace = simulate_sequence(
+            compiled, seq, initial_state=list(p), algebra=BOOL
+        )
+        finals.add(tuple(trace.states[-1]))
+    assert len(finals) == 1
+    # 3-valued: state stays X forever
+    trace3 = simulate_sequence(compiled, seq)
+    assert all(v == tv.X for v in trace3.states[-1])
+
+
+def test_resettable_counter_resets():
+    compiled = compile_circuit(gen.resettable_counter(4))
+    seq = [(1, 1)] + [(1, 0)] * 3  # reset, then count
+    outputs = simulate_concrete(compiled, seq, (1, 1, 1, 1))
+    trace = simulate_sequence(compiled, seq)
+    # after the reset frame the three-valued state is fully known
+    assert all(v != tv.X for v in trace.states[2])
+
+
+def test_random_fsm_deterministic_construction():
+    a = gen.random_fsm(12, seed=5)
+    b = gen.random_fsm(12, seed=5)
+    assert a.gates == b.gates
+    c = gen.random_fsm(12, seed=6)
+    assert a.gates != c.gates
+
+
+def test_random_fsm_full_reset_initialises_3v():
+    compiled = compile_circuit(
+        gen.random_fsm(8, num_inputs=2, seed=2, reset="full")
+    )
+    seq = [(1, 0)] + [(0, 1)] * 3
+    trace = simulate_sequence(compiled, seq)
+    assert all(v != tv.X for v in trace.states[1])
+
+
+def test_random_fsm_partial_reset_leaves_lsb_unknown():
+    compiled = compile_circuit(
+        gen.random_fsm(8, num_inputs=2, seed=2, reset="partial")
+    )
+    seq = [(1, 0)]
+    trace = simulate_sequence(compiled, seq)
+    state = trace.states[1]
+    assert state[0] == tv.X
+    assert all(v != tv.X for v in state[1:])
+
+
+def test_random_fsm_bad_reset_rejected():
+    with pytest.raises(ValueError):
+        gen.random_fsm(8, reset="sometimes")
+
+
+def test_pipeline_flushes_in_stage_count():
+    compiled = compile_circuit(gen.pipeline_datapath(4, 3))
+    seq = random_sequence_for(compiled, 6, seed=1)
+    trace = simulate_sequence(compiled, seq)
+    # after 3 frames every register holds input-derived (known) data
+    assert all(v != tv.X for v in trace.states[3])
+
+
+def test_traffic_light_mutual_exclusion():
+    compiled = compile_circuit(gen.traffic_light())
+    seq = [(0, 1)] + [(1, 0)] * 30  # reset, then keep requesting
+    outputs = simulate_concrete(compiled, seq, (0, 0, 0))
+    for ns_green, ew_green, _timer in outputs:
+        assert not (ns_green and ew_green)
+    # both phases are eventually served
+    assert any(o[0] for o in outputs)
+    assert any(o[1] for o in outputs)
+
+
+def test_nlfsr_deterministic():
+    a = gen.nlfsr(10, seed=3)
+    b = gen.nlfsr(10, seed=3)
+    assert a.gates == b.gates

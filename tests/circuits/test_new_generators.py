@@ -1,0 +1,101 @@
+"""Behavioural contracts of the extended generator classes."""
+
+import pytest
+
+from repro.baselines.enumeration import simulate_concrete
+from repro.circuit.compile import compile_circuit
+from repro.circuit.validate import validate
+from repro.circuits import generators as gen
+from repro.engines.true_value import simulate_sequence
+from repro.logic import threeval as tv
+
+
+def test_gray_counter_outputs_change_one_bit_per_step():
+    compiled = compile_circuit(gen.gray_counter(4))
+    seq = [(1,)] * 16
+    outputs = simulate_concrete(compiled, seq, (0, 0, 0, 0))
+    for prev, cur in zip(outputs, outputs[1:]):
+        hamming = sum(a != b for a, b in zip(prev, cur))
+        assert hamming == 1  # the defining Gray-code property
+
+
+def test_gray_counter_is_3v_opaque():
+    compiled = compile_circuit(gen.gray_counter(4))
+    trace = simulate_sequence(compiled, [(1,)] * 10)
+    assert all(v == tv.X for v in trace.states[-1])
+
+
+def test_one_hot_ring_start_loads_slot0():
+    compiled = compile_circuit(gen.one_hot_ring(5))
+    seq = [(1,)] + [(0,)] * 7
+    # from garbage: start pulse forces one-hot at slot 0, then rotates
+    outputs = simulate_concrete(compiled, seq, (1, 1, 0, 1, 0))
+    # tick = q4; after the start pulse the hot bit reaches slot 4 at
+    # frame 6 (start frame + 4 rotations + observation offset)
+    ticks = [o[1] for o in outputs]
+    assert ticks[5] == 1 or ticks[6] == 1
+
+
+def test_one_hot_ring_alarm_on_double_hot():
+    compiled = compile_circuit(gen.one_hot_ring(4))
+    outputs = simulate_concrete(compiled, [(0,)], (1, 1, 0, 0))
+    assert outputs[0][0] == 1  # alarm fires on the illegal state
+
+
+def test_one_hot_ring_is_3v_initialisable():
+    compiled = compile_circuit(gen.one_hot_ring(5))
+    trace = simulate_sequence(compiled, [(1,)] + [(0,)] * 5)
+    assert all(v != tv.X for v in trace.states[-1])
+
+
+def test_fifo_controller_counts_and_decodes():
+    compiled = compile_circuit(gen.fifo_controller(3))
+    # reset, then 7 pushes -> full; then 7 pops -> empty; one idle
+    # frame at the end so the final (drained) count is observable
+    seq = ([(0, 0, 1)] + [(1, 0, 0)] * 7 + [(0, 1, 0)] * 7
+           + [(0, 0, 0)])
+    outputs = simulate_concrete(compiled, seq, (1, 0, 1))
+    empties = [o[0] for o in outputs]
+    fulls = [o[1] for o in outputs]
+    assert empties[1] == 1  # right after reset
+    assert fulls[8] == 1  # after 7 pushes (count = 7 = 0b111)
+    assert empties[-1] == 1  # drained again
+
+
+def test_fifo_holds_on_simultaneous_push_pop():
+    compiled = compile_circuit(gen.fifo_controller(3))
+    seq = [(0, 0, 1), (1, 0, 0)] + [(1, 1, 0)] * 4
+    outputs = simulate_concrete(compiled, seq, (0, 0, 0))
+    # count stays at 1: never empty, never full afterwards
+    for empty, full in outputs[2:]:
+        assert empty == 0 and full == 0
+
+
+def test_serial_mac_validates_and_runs():
+    circuit = gen.serial_mac(6)
+    validate(circuit)
+    compiled = compile_circuit(circuit)
+    out = simulate_concrete(compiled, [(1,), (0,), (1,)] * 3,
+                            tuple([0] * compiled.num_dffs))
+    assert len(out) == 9
+
+
+def test_serial_mac_stresses_bdds():
+    """The point of the generator: symbolic state functions blow past a
+    small node limit within a few frames."""
+    from repro.bdd.errors import SpaceLimitExceeded
+    from repro.symbolic.fault_sim import SymbolicSession
+
+    compiled = compile_circuit(gen.serial_mac(10))
+    session = SymbolicSession(compiled, "SOT", node_limit=1500)
+    with pytest.raises(SpaceLimitExceeded):
+        for vector in [(1,), (0,)] * 20:
+            session.step(vector)
+
+
+def test_new_registry_entries_valid():
+    from repro.circuits.registry import get_circuit
+
+    for name in ("gray8", "ring10", "fifo5", "mac10"):
+        compiled = compile_circuit(get_circuit(name))
+        assert compiled.num_pos >= 1

@@ -1,0 +1,30 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits.iscas import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.sequences.random_seq import random_sequence_for
+
+
+@pytest.fixture
+def s27_compiled():
+    return compile_circuit(s27())
+
+
+@pytest.fixture
+def s27_faults(s27_compiled):
+    faults, _class_map = collapse_faults(s27_compiled)
+    return faults
+
+
+@pytest.fixture
+def s27_fault_set(s27_faults):
+    return FaultSet(s27_faults)
+
+
+@pytest.fixture
+def s27_sequence(s27_compiled):
+    return random_sequence_for(s27_compiled, 40, seed=1)

@@ -1,0 +1,72 @@
+"""Gate evaluation across all algebras, against exhaustive truth tables."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.circuit import gates as gatelib
+from repro.engines.algebra import BOOL, THREE_VALUED, BddAlgebra
+from repro.engines.evaluate import eval_gate
+from repro.logic import threeval as tv
+
+BOOL_REFERENCE = {
+    "AND": lambda vals: int(all(vals)),
+    "NAND": lambda vals: 1 - int(all(vals)),
+    "OR": lambda vals: int(any(vals)),
+    "NOR": lambda vals: 1 - int(any(vals)),
+    "XOR": lambda vals: sum(vals) % 2,
+    "XNOR": lambda vals: 1 - sum(vals) % 2,
+    "BUF": lambda vals: vals[0],
+    "NOT": lambda vals: 1 - vals[0],
+}
+
+
+@pytest.mark.parametrize("kind", sorted(BOOL_REFERENCE))
+@pytest.mark.parametrize("arity", [1, 2, 3])
+def test_bool_eval_matches_reference(kind, arity):
+    if kind in ("BUF", "NOT") and arity != 1:
+        pytest.skip("unary gate")
+    if kind not in ("BUF", "NOT") and arity < 2:
+        pytest.skip("n-ary gate")
+    for values in itertools.product((0, 1), repeat=arity):
+        assert eval_gate(BOOL, kind, list(values)) == \
+            BOOL_REFERENCE[kind](values)
+
+
+def test_const_gates():
+    assert eval_gate(BOOL, "CONST0", []) == 0
+    assert eval_gate(BOOL, "CONST1", []) == 1
+    assert eval_gate(THREE_VALUED, "CONST0", []) == tv.ZERO
+    assert eval_gate(THREE_VALUED, "CONST1", []) == tv.ONE
+
+
+def completions(v):
+    return (0, 1) if v == tv.X else (v,)
+
+
+@pytest.mark.parametrize("kind", sorted(BOOL_REFERENCE))
+def test_threeval_eval_abstracts_bool(kind):
+    arity = 1 if kind in ("BUF", "NOT") else 2
+    for values in itertools.product(tv.all_values(), repeat=arity):
+        result = eval_gate(THREE_VALUED, kind, list(values))
+        outcomes = {
+            BOOL_REFERENCE[kind](comb)
+            for comb in itertools.product(*(completions(v) for v in values))
+        }
+        if result != tv.X:
+            assert outcomes == {result}
+        # X is always a legal (if pessimistic) answer
+
+
+@pytest.mark.parametrize("kind", sorted(BOOL_REFERENCE))
+def test_bdd_eval_matches_bool(kind):
+    arity = 1 if kind in ("BUF", "NOT") else 3
+    manager = BddManager(num_vars=arity)
+    algebra = BddAlgebra(manager)
+    operands = [manager.mk_var(i) for i in range(arity)]
+    node = eval_gate(algebra, kind, operands)
+    for values in itertools.product((0, 1), repeat=arity):
+        assignment = dict(enumerate(values))
+        assert manager.evaluate(node, assignment) == \
+            BOOL_REFERENCE[kind](values)

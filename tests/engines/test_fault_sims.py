@@ -1,0 +1,128 @@
+"""Serial and word-parallel three-valued fault simulators.
+
+Key properties:
+
+* both engines detect exactly the same fault set (they implement the
+  same semantics),
+* every detection is *sound*: for any pair of concrete initial states,
+  the faulty machine's Boolean response really differs from the
+  fault-free one at the reported (or an earlier) position,
+* fault dropping does not change the detected set.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.enumeration import all_states, simulate_concrete
+from repro.circuit.compile import compile_circuit
+from repro.circuits.iscas import s27
+from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
+from repro.engines.serial_fault_sim import fault_simulate_3v
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import BY_3V, FaultSet
+from repro.sequences.random_seq import random_sequence_for
+from tests.util import random_circuit
+
+
+def detected_keys(fault_set):
+    return {r.fault.key() for r in fault_set.detected()}
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_serial_equals_parallel(seed):
+    compiled = compile_circuit(random_circuit(seed, num_gates=18))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 30, seed=seed)
+    fs_serial = FaultSet(faults)
+    fault_simulate_3v(compiled, sequence, fs_serial)
+    fs_parallel = FaultSet(faults)
+    fault_simulate_3v_parallel(compiled, sequence, fs_parallel,
+                               pack_width=7)
+    assert detected_keys(fs_serial) == detected_keys(fs_parallel)
+
+
+def test_parallel_pack_width_irrelevant():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 40, seed=2)
+    reference = None
+    for width in (1, 3, 64, 1024):
+        fs = FaultSet(faults)
+        fault_simulate_3v_parallel(compiled, sequence, fs,
+                                   pack_width=width)
+        keys = detected_keys(fs)
+        if reference is None:
+            reference = keys
+        assert keys == reference
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_detections_are_sound(seed):
+    """A 3V-SOT detection certifies a Boolean output difference for
+    EVERY pair of initial states, by Definition 2."""
+    compiled = compile_circuit(
+        random_circuit(seed, num_dffs=3, num_gates=14)
+    )
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 20, seed=seed)
+    fs = FaultSet(faults)
+    fault_simulate_3v(compiled, sequence, fs)
+    good_responses = {
+        simulate_concrete(compiled, sequence, p)
+        for p in all_states(compiled.num_dffs)
+    }
+    for record in fs.detected(BY_3V):
+        t = record.detected_at
+        faulty_responses = {
+            simulate_concrete(compiled, sequence, q, record.fault)
+            for q in all_states(compiled.num_dffs)
+        }
+        # some position up to t distinguishes every (good, faulty) pair
+        prefix_good = {resp[:t] for resp in good_responses}
+        prefix_faulty = {resp[:t] for resp in faulty_responses}
+        assert prefix_good.isdisjoint(prefix_faulty), record
+
+
+def test_dropping_does_not_change_detections(s27_compiled, s27_faults,
+                                             s27_sequence):
+    fs_drop = FaultSet(s27_faults)
+    fault_simulate_3v(s27_compiled, s27_sequence, fs_drop,
+                      drop_detected=True)
+    fs_keep = FaultSet(s27_faults)
+    fault_simulate_3v(s27_compiled, s27_sequence, fs_keep,
+                      drop_detected=False)
+    assert detected_keys(fs_drop) == detected_keys(fs_keep)
+
+
+def test_detected_at_is_first_detection(s27_compiled, s27_faults,
+                                        s27_sequence):
+    fs = FaultSet(s27_faults)
+    fault_simulate_3v(s27_compiled, s27_sequence, fs)
+    for record in fs.detected():
+        shorter = s27_sequence[: record.detected_at - 1]
+        fs2 = FaultSet([record.fault])
+        fault_simulate_3v(s27_compiled, shorter, fs2)
+        assert fs2.counts()["detected"] == 0
+
+
+def test_skips_non_undetected_records(s27_compiled, s27_faults,
+                                      s27_sequence):
+    fs = FaultSet(s27_faults)
+    for record in fs.records[:5]:
+        record.mark_x_redundant()
+    fault_simulate_3v(s27_compiled, s27_sequence, fs)
+    for record in fs.records[:5]:
+        assert record.status == "x-redundant"
+
+
+def test_known_initial_state_detects_more(s27_compiled, s27_faults):
+    sequence = random_sequence_for(s27_compiled, 40, seed=9)
+    fs_x = FaultSet(s27_faults)
+    fault_simulate_3v(s27_compiled, sequence, fs_x)
+    fs_known = FaultSet(s27_faults)
+    fault_simulate_3v(
+        s27_compiled, sequence, fs_known,
+        initial_state=[0] * s27_compiled.num_dffs,
+    )
+    assert detected_keys(fs_x) <= detected_keys(fs_known)

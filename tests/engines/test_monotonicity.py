@@ -1,0 +1,70 @@
+"""Information-monotonicity of the three-valued simulation.
+
+Refining the initial state (X -> concrete bit) can only refine the
+simulation: every lead that was known keeps its value, and the set of
+detected faults can only grow.  This is the property that makes the
+hybrid simulator's three-valued interludes sound: the snapshot state
+(symbolic constants projected to 0/1, everything else X) is a legal,
+less-informed starting point.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.engines.serial_fault_sim import fault_simulate_3v
+from repro.engines.true_value import simulate_sequence
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.logic import threeval as tv
+from repro.sequences.random_seq import random_sequence_for
+from tests.util import random_circuit
+
+
+def refine(state, rng):
+    """Replace some X bits with concrete values."""
+    return [
+        rng.randrange(2) if v == tv.X and rng.random() < 0.5 else v
+        for v in state
+    ]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_trace_values_monotone(seed):
+    rng = random.Random(seed)
+    compiled = compile_circuit(random_circuit(seed, num_dffs=4))
+    sequence = random_sequence_for(compiled, 10, seed=seed)
+    coarse_init = [
+        tv.X if rng.random() < 0.7 else rng.randrange(2)
+        for _ in range(compiled.num_dffs)
+    ]
+    fine_init = refine(coarse_init, rng)
+    coarse = simulate_sequence(compiled, sequence,
+                               initial_state=coarse_init)
+    fine = simulate_sequence(compiled, sequence,
+                             initial_state=fine_init)
+    for frame_c, frame_f in zip(coarse.frames, fine.frames):
+        for value_c, value_f in zip(frame_c, frame_f):
+            if value_c != tv.X:
+                assert value_f == value_c
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_detected_faults_monotone(seed):
+    rng = random.Random(seed + 100)
+    compiled = compile_circuit(random_circuit(seed, num_dffs=4))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 12, seed=seed)
+    coarse_init = [tv.X] * compiled.num_dffs
+    fine_init = refine(coarse_init, rng)
+
+    fs_coarse = FaultSet(faults)
+    fault_simulate_3v(compiled, sequence, fs_coarse,
+                      initial_state=coarse_init)
+    fs_fine = FaultSet(faults)
+    fault_simulate_3v(compiled, sequence, fs_fine,
+                      initial_state=fine_init)
+    coarse_detected = {r.fault.key() for r in fs_coarse.detected()}
+    fine_detected = {r.fault.key() for r in fs_fine.detected()}
+    assert coarse_detected <= fine_detected

@@ -1,0 +1,87 @@
+"""Sequence-level fault-free simulation and the 3V/2V abstraction."""
+
+import random
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.engines.algebra import BOOL
+from repro.engines.true_value import (
+    simulate_sequence,
+    value_histories,
+)
+from repro.logic import threeval as tv
+from repro.logic.fourval import IX_X, ix_saw_one, ix_saw_zero
+from tests.util import random_circuit
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_three_valued_abstracts_every_completion(seed):
+    """Whatever the real initial state was, the Boolean trace agrees
+    with the three-valued trace wherever the latter is known."""
+    rng = random.Random(seed)
+    compiled = compile_circuit(random_circuit(seed, num_dffs=3))
+    sequence = [
+        tuple(rng.randrange(2) for _ in compiled.pis) for _ in range(12)
+    ]
+    trace3 = simulate_sequence(compiled, sequence)
+    for trial in range(4):
+        initial = [rng.randrange(2) for _ in compiled.ppis]
+        trace2 = simulate_sequence(
+            compiled, sequence, initial_state=initial, algebra=BOOL
+        )
+        for out3, out2 in zip(trace3.outputs, trace2.outputs):
+            for v3, v2 in zip(out3, out2):
+                if v3 != tv.X:
+                    assert v3 == v2
+
+
+def test_boolean_needs_initial_state():
+    compiled = compile_circuit(random_circuit(1))
+    with pytest.raises(ValueError):
+        simulate_sequence(compiled, [(0,) * compiled.num_pis],
+                          algebra=BOOL)
+
+
+def test_initial_state_width_checked():
+    compiled = compile_circuit(random_circuit(1, num_dffs=3))
+    with pytest.raises(ValueError):
+        simulate_sequence(
+            compiled, [(0,) * compiled.num_pis], initial_state=[tv.X]
+        )
+
+
+def test_trace_shapes():
+    compiled = compile_circuit(random_circuit(2, num_dffs=2, num_pos=3))
+    sequence = [(0,) * compiled.num_pis] * 5
+    trace = simulate_sequence(compiled, sequence)
+    assert len(trace) == 5
+    assert len(trace.outputs) == 5
+    assert len(trace.states) == 6  # includes the initial state
+    assert all(len(o) == compiled.num_pos for o in trace.outputs)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_value_histories_match_trace(seed):
+    rng = random.Random(seed)
+    compiled = compile_circuit(random_circuit(seed))
+    sequence = [
+        tuple(rng.randrange(2) for _ in compiled.pis) for _ in range(10)
+    ]
+    history = value_histories(compiled, sequence)
+    trace = simulate_sequence(compiled, sequence)
+    for sig in range(compiled.num_signals):
+        saw = {frame[sig] for frame in trace.frames}
+        assert ix_saw_zero(history[sig]) == (tv.ZERO in saw)
+        assert ix_saw_one(history[sig]) == (tv.ONE in saw)
+
+
+def test_value_histories_all_x_without_inputs_reaching():
+    # a circuit whose state never initialises: histories stay {X}
+    from repro.circuits.generators import counter
+
+    compiled = compile_circuit(counter(4))
+    sequence = [(1,)] * 8
+    history = value_histories(compiled, sequence)
+    for q_sig in compiled.ppis:
+        assert history[q_sig] == IX_X

@@ -1,0 +1,123 @@
+"""Experiment drivers: small-configuration smoke runs with shape checks."""
+
+import pytest
+
+from repro.experiments import figures, table1, table2, table4
+from repro.experiments.common import format_table, paper_name_for
+
+
+def test_format_table():
+    text = format_table(["a", "bb"], [(1, 22), (333, 4)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "333" in text
+
+
+def test_paper_name_for():
+    assert paper_name_for("ctr8") == "s208.1"
+    assert paper_name_for("not-a-circuit") == "-"
+
+
+def test_table1_row_invariants():
+    row = table1.run_circuit("ctr8", length=60, seed=1)
+    assert row.x_red <= row.num_faults
+    assert row.detected <= row.num_faults - row.x_red
+    assert row.time_x01 > 0 and row.time_x01p >= 0
+    assert row.paper == "s208.1"
+
+
+def test_table1_render():
+    rows = table1.run_table1(circuits=["ctr8", "shift8"], length=40)
+    text = table1.render(rows)
+    assert "Table I" in text
+    assert "ctr8" in text and "shift8" in text
+    assert "38%" in text  # the paper-comparison footnote
+
+
+def test_table2_row_invariants():
+    row = table2.run_circuit("syncc6", length=60, seed=1)
+    sot = row.outcomes["SOT"].detected
+    rmot = row.outcomes["rMOT"].detected
+    mot = row.outcomes["MOT"].detected
+    assert 0 <= sot <= rmot <= row.f_u
+    assert rmot <= mot or not row.outcomes["MOT"].exact
+    assert row.f_u <= row.num_faults
+
+
+def test_table2_render_marks_inexact():
+    row = table2.run_circuit("nlfsr12", length=20, seed=1,
+                             node_limit=400)
+    if not row.outcomes["MOT"].exact:
+        assert row.outcomes["MOT"].render_detected().startswith("*")
+    text = table2.render([row])
+    assert "nlfsr12" in text
+
+
+def test_table3_uses_deterministic_sequences():
+    rows = table2.run_table(
+        circuits=["shift8"], deterministic=True, length=60
+    )
+    assert rows[0].seq_len <= 60
+    text = table2.render(rows, deterministic=True)
+    assert "III" in text
+
+
+def test_table4_row():
+    row = table4.run_circuit("syncc6", length=40, seed=1)
+    assert row.bdd_size >= 2
+    assert row.eval_seconds >= 0
+    assert row.num_pos == 2
+    text = table4.render([row])
+    assert "BDD size" in text
+
+
+def test_exactness_summary():
+    rows = [
+        table2.run_circuit("syncc6", length=40, seed=1),
+        table2.run_circuit("ctr8", length=40, seed=1),
+    ]
+    mot_exact, rmot_matches, better, total = table2.exactness_summary(
+        rows
+    )
+    assert total == 2
+    assert 0 <= rmot_matches <= mot_exact <= total
+    # ctr8 is the s208.1 stand-in: MOT strictly better than rMOT
+    assert "ctr8" in better
+    text = table2.render(rows)
+    assert "exact MOT coverage" in text
+
+
+def test_coverage_curve_monotone():
+    from repro.experiments.coverage_curve import render, run_curve
+
+    compiled, points = run_curve("syncc6", lengths=(5, 15, 30), seed=1)
+    for strategy in ("3v", "SOT", "rMOT", "MOT"):
+        series = [p.detected[strategy] for p in points]
+        assert series == sorted(series)  # longer prefixes detect more
+    for point in points:
+        assert point.detected["SOT"] <= point.detected["rMOT"]
+    text = render("syncc6", compiled, points)
+    assert "coverage curve" in text
+
+
+def test_stats_runner():
+    from repro.experiments.stats_runner import render_stats, run_stats
+
+    stats = run_stats("syncc6", seeds=(1, 2), length=40)
+    for strategy in ("SOT", "rMOT", "MOT"):
+        assert len(stats[strategy].samples) == 2
+        assert stats[strategy].minimum <= stats[strategy].mean \
+            <= stats[strategy].maximum
+    # accuracy ordering holds in the mean as well
+    assert stats["SOT"].mean <= stats["rMOT"].mean <= stats["MOT"].mean
+    text = render_stats({"syncc6": stats})
+    assert "mean±stdev" in text
+
+
+def test_figures_driver():
+    text = figures.run_all_figures()
+    assert "Figure 1" in text
+    assert "Figure 2" in text
+    assert "Figure 3" in text
+    assert "D(x,y) == 0" in text or "MOT-detectable" in text

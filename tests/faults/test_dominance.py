@@ -1,0 +1,126 @@
+"""Dominance collapsing.
+
+Safety property: any test sequence detecting every KEPT fault (under a
+fixed known initial state, where dominance theory applies cleanly)
+also detects every REMOVED fault.
+"""
+
+import pytest
+
+from repro.baselines.enumeration import simulate_concrete
+from repro.circuit.compile import compile_circuit
+from repro.circuit.netlist import Circuit
+from repro.circuits.iscas import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.dominance import dominance_collapse, dominance_pairs
+from repro.sequences.random_seq import random_sequence_for
+from tests.util import random_circuit
+
+
+def test_and_gate_pair():
+    c = Circuit("and")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g", "AND", ["a", "b"])
+    c.add_output("g")
+    compiled = compile_circuit(c)
+    pairs = dominance_pairs(compiled)
+    g = compiled.index["g"]
+    a = compiled.index["a"]
+    # output s-a-1 dominates input s-a-1
+    assert ((("stem", g), 1), (("stem", a), 1)) in pairs
+
+
+def test_nand_polarity():
+    c = Circuit("nand")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g", "NAND", ["a", "b"])
+    c.add_output("g")
+    compiled = compile_circuit(c)
+    pairs = dominance_pairs(compiled)
+    g = compiled.index["g"]
+    a = compiled.index["a"]
+    assert ((("stem", g), 0), (("stem", a), 1)) in pairs
+
+
+def test_collapse_shrinks_s27():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    kept, removed = dominance_collapse(compiled, faults)
+    assert len(kept) < len(faults)
+    assert len(kept) + len(removed) == len(faults)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_per_frame_dominance_property(seed):
+    """The sound, per-time-frame statement of dominance: with the two
+    machines in the SAME present state, whenever the dominated fault
+    corrupts any signal, the dominator corrupts exactly the same
+    signals with the same values (its corruption events are a
+    superset).  This is what combinational dominance guarantees; its
+    multi-frame extension is famously not valid in general for
+    sequential circuits, which is why ``dominance_collapse`` is
+    reserved for test-generation heuristics (see module docstring)."""
+    import random as random_module
+
+    from repro.engines.algebra import BOOL
+    from repro.engines.evaluate import simulate_frame
+    from repro.engines.propagate import propagate_fault
+
+    rng = random_module.Random(seed)
+    compiled = compile_circuit(
+        random_circuit(seed, num_dffs=2, num_gates=10)
+    )
+    faults, _ = collapse_faults(compiled)
+    _kept, removed = dominance_collapse(compiled, faults)
+    _, class_map = collapse_faults(compiled)
+
+    def find_by_rep(rep_key):
+        for fault in faults:
+            if class_map[fault.key()].key() == rep_key:
+                return fault
+        return None
+
+    def boundary_diff(result):
+        """Observable per-frame corruption: POs and next-state bits."""
+        po = {
+            po_pos: result.diff[sig]
+            for sig in result.diff
+            for po_pos in compiled.po_sinks[sig]
+        }
+        return po, dict(result.next_state_diff)
+
+    for trial in range(8):
+        vector = [rng.randrange(2) for _ in compiled.pis]
+        state = [rng.randrange(2) for _ in compiled.ppis]
+        good = simulate_frame(compiled, BOOL, vector, state)
+        for dominator_key, dominated in removed.items():
+            dominator = find_by_rep(dominator_key)
+            if dominator is None:
+                continue
+            po_b, ns_b = boundary_diff(
+                propagate_fault(compiled, BOOL, good, dominated, {})
+            )
+            po_a, ns_a = boundary_diff(
+                propagate_fault(compiled, BOOL, good, dominator, {})
+            )
+            for key, value in po_b.items():
+                assert po_a.get(key) == value, (dominator, dominated)
+            for key, value in ns_b.items():
+                assert ns_a.get(key) == value, (dominator, dominated)
+
+
+def test_removed_map_points_to_kept_faults():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    kept, removed = dominance_collapse(compiled, faults)
+    kept_keys = {f.key() for f in kept}
+    for justification in removed.values():
+        assert justification.key() in kept_keys
+
+
+def test_only_safe_direction_supported():
+    compiled = compile_circuit(s27())
+    with pytest.raises(ValueError):
+        dominance_collapse(compiled, keep="dominators")

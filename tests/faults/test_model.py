@@ -1,0 +1,63 @@
+"""Fault model basics."""
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits.iscas import s27
+from repro.faults.model import (
+    BRANCH,
+    DBRANCH,
+    STEM,
+    Fault,
+    stem_fault,
+    stem_signal,
+)
+
+
+def test_fault_identity():
+    f1 = Fault((STEM, 3), 0)
+    f2 = Fault((STEM, 3), 0)
+    f3 = Fault((STEM, 3), 1)
+    assert f1 == f2 and hash(f1) == hash(f2)
+    assert f1 != f3
+    assert f1.key() == ((STEM, 3), 0)
+
+
+def test_bad_value_rejected():
+    with pytest.raises(ValueError):
+        Fault((STEM, 0), 2)
+
+
+def test_bad_lead_kind_rejected():
+    with pytest.raises(ValueError):
+        Fault(("wire", 0), 1)
+
+
+def test_describe_stem(s27_compiled):
+    f = stem_fault(s27_compiled, "G10", 1)
+    assert f.describe(s27_compiled) == "G10 s-a-1"
+
+
+def test_describe_branch(s27_compiled):
+    # G11 fans out; find a branch lead into some gate
+    g11 = s27_compiled.index["G11"]
+    gate_pos, pin = s27_compiled.fanout_gates[g11][0]
+    f = Fault((BRANCH, gate_pos, pin), 0)
+    desc = f.describe(s27_compiled)
+    assert desc.startswith("G11->") and desc.endswith("s-a-0")
+
+
+def test_describe_dbranch(s27_compiled):
+    # G11 feeds DFF G6 and other gates -> a D-branch lead exists
+    dff_idx = s27_compiled.ppis.index(s27_compiled.index["G6"])
+    f = Fault((DBRANCH, dff_idx), 1)
+    assert "DFF(G6)" in f.describe(s27_compiled)
+
+
+def test_stem_signal(s27_compiled):
+    f = stem_fault(s27_compiled, "G10", 1)
+    assert stem_signal(s27_compiled, f) == s27_compiled.index["G10"]
+    g11 = s27_compiled.index["G11"]
+    gate_pos, pin = s27_compiled.fanout_gates[g11][0]
+    fb = Fault((BRANCH, gate_pos, pin), 0)
+    assert stem_signal(s27_compiled, fb) == g11

@@ -1,0 +1,82 @@
+"""FaultSet bookkeeping."""
+
+from repro.faults.model import STEM, Fault
+from repro.faults.status import (
+    BY_3V,
+    BY_MOT,
+    DETECTED,
+    UNDETECTED,
+    X_REDUNDANT,
+    FaultSet,
+)
+
+
+def make_set(n=6):
+    return FaultSet([Fault((STEM, i), i % 2) for i in range(n)])
+
+
+def test_initial_counts():
+    fs = make_set()
+    assert fs.counts() == {
+        "total": 6, "detected": 0, "undetected": 6, "x_redundant": 0,
+    }
+    assert fs.coverage() == 0.0
+
+
+def test_transitions():
+    fs = make_set()
+    fs.records[0].mark_detected(BY_3V, 4)
+    fs.records[1].mark_x_redundant()
+    counts = fs.counts()
+    assert counts["detected"] == 1
+    assert counts["x_redundant"] == 1
+    assert counts["undetected"] == 4
+    assert fs.records[0].detected_by == BY_3V
+    assert fs.records[0].detected_at == 4
+
+
+def test_symbolic_candidates_include_x_redundant():
+    fs = make_set()
+    fs.records[0].mark_detected(BY_MOT, 1)
+    fs.records[1].mark_x_redundant()
+    candidates = fs.symbolic_candidates()
+    assert fs.records[1] in candidates
+    assert fs.records[0] not in candidates
+    assert len(candidates) == 5
+
+
+def test_detected_filter_by_strategy():
+    fs = make_set()
+    fs.records[0].mark_detected(BY_3V, 1)
+    fs.records[1].mark_detected(BY_MOT, 2)
+    assert len(fs.detected()) == 2
+    assert [r.fault for r in fs.detected(BY_MOT)] == [fs.records[1].fault]
+
+
+def test_record_lookup():
+    fs = make_set()
+    fault = fs.records[3].fault
+    assert fs.record(fault) is fs.records[3]
+
+
+def test_clone_is_independent():
+    fs = make_set()
+    fs.records[0].mark_detected(BY_3V, 1)
+    other = fs.clone()
+    assert other.counts() == fs.counts()
+    other.records[1].mark_x_redundant()
+    assert fs.counts()["x_redundant"] == 0
+    assert other.records[0].detected_by == BY_3V
+
+
+def test_coverage():
+    fs = make_set(4)
+    fs.records[0].mark_detected(BY_3V, 1)
+    assert fs.coverage() == 0.25
+    assert FaultSet([]).coverage() == 0.0
+
+
+def test_iteration_and_len():
+    fs = make_set(3)
+    assert len(fs) == 3
+    assert len(list(fs)) == 3

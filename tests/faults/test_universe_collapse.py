@@ -1,0 +1,93 @@
+"""Fault-universe enumeration and equivalence collapsing.
+
+The crucial collapsing property: equivalent faults are behaviourally
+indistinguishable — every member of a class has exactly the same set of
+output sequences (over all initial states) as its representative.  This
+is verified with the explicit-enumeration baseline on small circuits.
+"""
+
+import pytest
+
+from repro.baselines.enumeration import all_states, simulate_concrete
+from repro.circuit.compile import compile_circuit
+from repro.circuits.iscas import s27
+from repro.faults.collapse import collapse_faults, equivalence_classes
+from repro.faults.model import BRANCH, DBRANCH, STEM
+from repro.faults.universe import enumerate_faults, enumerate_leads
+from repro.sequences.random_seq import random_sequence_for
+from tests.util import random_circuit
+
+
+def test_every_lead_both_polarities(s27_compiled):
+    faults = enumerate_faults(s27_compiled)
+    leads = enumerate_leads(s27_compiled)
+    assert len(faults) == 2 * len(leads)
+    keys = {f.key() for f in faults}
+    assert len(keys) == len(faults)
+
+
+def test_branch_leads_only_on_fanout_stems(s27_compiled):
+    for lead in enumerate_leads(s27_compiled):
+        if lead[0] == BRANCH:
+            gate_pos, pin = lead[1], lead[2]
+            src = s27_compiled.gates[gate_pos].fanins[pin]
+            assert s27_compiled.has_fanout_branches(src)
+        elif lead[0] == DBRANCH:
+            src = s27_compiled.dff_d[lead[1]]
+            assert s27_compiled.has_fanout_branches(src)
+
+
+def test_s27_collapsed_count(s27_compiled):
+    faults, _ = collapse_faults(s27_compiled)
+    assert len(faults) == 32  # the canonical s27 collapsed fault count
+
+
+def test_class_map_covers_universe(s27_compiled):
+    faults, class_map = collapse_faults(s27_compiled)
+    universe = enumerate_faults(s27_compiled)
+    reps = {f.key() for f in faults}
+    for fault in universe:
+        assert fault.key() in class_map
+        assert class_map[fault.key()].key() in reps
+
+
+def test_representative_is_own_representative(s27_compiled):
+    faults, class_map = collapse_faults(s27_compiled)
+    for rep in faults:
+        assert class_map[rep.key()] == rep
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_equivalent_faults_behave_identically(seed):
+    compiled = compile_circuit(
+        random_circuit(seed, num_dffs=3, num_gates=10)
+    )
+    _faults, class_map = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 6, seed=seed)
+    states = all_states(compiled.num_dffs)
+
+    def behaviour(fault):
+        return frozenset(
+            simulate_concrete(compiled, sequence, q, fault) for q in states
+        )
+
+    by_rep = {}
+    for fault in enumerate_faults(compiled):
+        rep = class_map[fault.key()].key()
+        expected = by_rep.setdefault(rep, behaviour(fault))
+        assert behaviour(fault) == expected, (
+            f"fault {fault!r} differs from its class"
+        )
+
+
+def test_collapse_is_deterministic(s27_compiled):
+    f1, _ = collapse_faults(s27_compiled)
+    f2, _ = collapse_faults(s27_compiled)
+    assert [f.key() for f in f1] == [f.key() for f in f2]
+
+
+def test_union_find_path_compression():
+    uf = equivalence_classes(compile_circuit(s27()))
+    # idempotent finds
+    some = next(iter(uf.parent))
+    assert uf.find(some) == uf.find(some)

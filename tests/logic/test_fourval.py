@@ -1,0 +1,53 @@
+"""The four-valued value-history lattice of ID_X-red."""
+
+import pytest
+
+from repro.logic import fourval as fv
+from repro.logic import threeval as tv
+
+ALL = (fv.IX_X, fv.IX_X0, fv.IX_X1, fv.IX_X01)
+
+
+def test_join_is_lattice_join():
+    for a in ALL:
+        for b in ALL:
+            j = fv.ix_join(a, b)
+            # join is an upper bound ...
+            assert j | a == j and j | b == j
+            # ... and the least one (bits only from a and b)
+            assert j == (a | b)
+
+
+def test_join_properties():
+    for a in ALL:
+        assert fv.ix_join(a, a) == a
+        assert fv.ix_join(a, fv.IX_X) == a
+        assert fv.ix_join(a, fv.IX_X01) == fv.IX_X01
+        for b in ALL:
+            assert fv.ix_join(a, b) == fv.ix_join(b, a)
+
+
+def test_from_threeval():
+    assert fv.ix_from_threeval(tv.ZERO) == fv.IX_X0
+    assert fv.ix_from_threeval(tv.ONE) == fv.IX_X1
+    assert fv.ix_from_threeval(tv.X) == fv.IX_X
+
+
+def test_saw_predicates():
+    assert not fv.ix_saw_zero(fv.IX_X)
+    assert not fv.ix_saw_one(fv.IX_X)
+    assert fv.ix_saw_zero(fv.IX_X0) and not fv.ix_saw_one(fv.IX_X0)
+    assert fv.ix_saw_one(fv.IX_X1) and not fv.ix_saw_zero(fv.IX_X1)
+    assert fv.ix_saw_zero(fv.IX_X01) and fv.ix_saw_one(fv.IX_X01)
+
+
+def test_rendering():
+    assert fv.ix_to_str(fv.IX_X) == "{X}"
+    assert fv.ix_to_str(fv.IX_X01) == "{X,0,1}"
+
+
+def test_accumulating_a_trace():
+    history = fv.IX_X
+    for value in (tv.X, tv.ZERO, tv.X, tv.ONE):
+        history = fv.ix_join(history, fv.ix_from_threeval(value))
+    assert history == fv.IX_X01

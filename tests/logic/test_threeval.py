@@ -1,0 +1,88 @@
+"""Three-valued logic: exhaustive table checks and the abstraction
+property relating it to Boolean logic."""
+
+import pytest
+
+from repro.logic import threeval as tv
+
+
+def completions(value):
+    """All Boolean values a three-valued value may stand for."""
+    return (0, 1) if value == tv.X else (value,)
+
+
+@pytest.mark.parametrize("a", tv.all_values())
+@pytest.mark.parametrize("b", tv.all_values())
+def test_and_abstraction(a, b):
+    result = tv.and3(a, b)
+    outcomes = {ca & cb for ca in completions(a) for cb in completions(b)}
+    if result == tv.X:
+        assert len(outcomes) >= 1  # X may stand for anything
+    else:
+        assert outcomes == {result}
+
+
+@pytest.mark.parametrize("a", tv.all_values())
+@pytest.mark.parametrize("b", tv.all_values())
+def test_or_abstraction(a, b):
+    result = tv.or3(a, b)
+    outcomes = {ca | cb for ca in completions(a) for cb in completions(b)}
+    if result != tv.X:
+        assert outcomes == {result}
+
+
+@pytest.mark.parametrize("a", tv.all_values())
+@pytest.mark.parametrize("b", tv.all_values())
+def test_xor_abstraction(a, b):
+    result = tv.xor3(a, b)
+    outcomes = {ca ^ cb for ca in completions(a) for cb in completions(b)}
+    if result != tv.X:
+        assert outcomes == {result}
+
+
+@pytest.mark.parametrize("a", tv.all_values())
+def test_not_abstraction(a):
+    result = tv.not3(a)
+    outcomes = {1 - ca for ca in completions(a)}
+    if result != tv.X:
+        assert outcomes == {result}
+
+
+def test_exact_known_tables():
+    assert tv.and3(tv.ONE, tv.ONE) == tv.ONE
+    assert tv.and3(tv.ZERO, tv.X) == tv.ZERO
+    assert tv.and3(tv.X, tv.ZERO) == tv.ZERO
+    assert tv.and3(tv.ONE, tv.X) == tv.X
+    assert tv.or3(tv.ONE, tv.X) == tv.ONE
+    assert tv.or3(tv.X, tv.ONE) == tv.ONE
+    assert tv.or3(tv.ZERO, tv.X) == tv.X
+    assert tv.xor3(tv.X, tv.ZERO) == tv.X
+    assert tv.not3(tv.X) == tv.X
+
+
+@pytest.mark.parametrize("a", tv.all_values())
+@pytest.mark.parametrize("b", tv.all_values())
+def test_commutativity(a, b):
+    assert tv.and3(a, b) == tv.and3(b, a)
+    assert tv.or3(a, b) == tv.or3(b, a)
+    assert tv.xor3(a, b) == tv.xor3(b, a)
+
+
+def test_is_known():
+    assert tv.is_known(tv.ZERO)
+    assert tv.is_known(tv.ONE)
+    assert not tv.is_known(tv.X)
+
+
+def test_char_roundtrip():
+    for v in tv.all_values():
+        assert tv.from_char(tv.to_char(v)) == v
+    assert tv.from_char("x") == tv.X
+    with pytest.raises(ValueError):
+        tv.from_char("2")
+
+
+def test_demorgan_consistency():
+    for a in tv.all_values():
+        for b in tv.all_values():
+            assert tv.not3(tv.and3(a, b)) == tv.or3(tv.not3(a), tv.not3(b))

@@ -1,0 +1,78 @@
+"""Test-sequence compaction."""
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits.generators import sync_controller
+from repro.circuits.iscas import s27
+from repro.faults.collapse import collapse_faults
+from repro.sequences.compaction import (
+    compact_sequence,
+    detected_set,
+    truncate_to_last_detection,
+)
+from repro.sequences.random_seq import random_sequence_for
+
+
+@pytest.mark.parametrize("strategy", ["SOT", "rMOT", "MOT"])
+def test_compaction_preserves_coverage(strategy):
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 30, seed=1)
+    result = compact_sequence(compiled, sequence, faults,
+                              strategy=strategy)
+    original = set(detected_set(compiled, sequence, faults, strategy))
+    compacted = set(
+        detected_set(compiled, result.compacted, faults, strategy)
+    )
+    assert original <= compacted
+    assert result.compacted_length <= result.original_length
+
+
+def test_truncation_cuts_dead_suffix():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 20, seed=2)
+    detections = detected_set(compiled, sequence, faults, "MOT")
+    truncated, _ = truncate_to_last_detection(
+        compiled, sequence, faults, "MOT"
+    )
+    if detections:
+        assert len(truncated) == max(detections.values())
+    else:
+        assert truncated == []
+
+
+def test_empty_when_nothing_detected():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    # the all-zero vector repeated rarely detects anything on s27
+    sequence = [(0, 0, 0, 0)]
+    result = compact_sequence(compiled, sequence, faults)
+    if not result.detected:
+        assert result.compacted == []
+
+
+def test_greedy_can_be_disabled():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 25, seed=3)
+    no_greedy = compact_sequence(compiled, sequence, faults,
+                                 greedy=False)
+    assert no_greedy.removals == []
+
+
+def test_max_trials_bounds_work():
+    compiled = compile_circuit(sync_controller(4))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 20, seed=4)
+    result = compact_sequence(compiled, sequence, faults, max_trials=3)
+    assert len(result.removals) <= 3
+
+
+def test_compaction_result_repr():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 15, seed=5)
+    result = compact_sequence(compiled, sequence, faults)
+    assert "->" in repr(result)

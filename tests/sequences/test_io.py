@@ -1,0 +1,55 @@
+"""Sequence/response file format."""
+
+import pytest
+
+from repro.logic import threeval as tv
+from repro.sequences.io import (
+    dumps_sequence,
+    load_response,
+    load_sequence,
+    loads_sequence,
+    save_response,
+    save_sequence,
+)
+
+
+def test_roundtrip_text():
+    seq = [(1, 0, 1), (0, 0, 0), (1, 1, 1)]
+    assert loads_sequence(dumps_sequence(seq)) == seq
+
+
+def test_roundtrip_file(tmp_path):
+    seq = [(1, 0), (0, 1)]
+    path = tmp_path / "t.seq"
+    save_sequence(seq, path, comment="two vectors\nfor a test")
+    assert load_sequence(path) == seq
+    text = path.read_text()
+    assert text.startswith("# two vectors\n# for a test\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "# header\n\n10  # trailing\n\n01\n"
+    assert loads_sequence(text) == [(1, 0), (0, 1)]
+
+
+def test_x_only_when_allowed():
+    with pytest.raises(ValueError, match="X not allowed"):
+        loads_sequence("1X\n")
+    assert loads_sequence("1X\n", allow_x=True) == [(1, tv.X)]
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ValueError, match="width"):
+        loads_sequence("10\n101\n")
+
+
+def test_bad_character_rejected():
+    with pytest.raises(ValueError):
+        loads_sequence("12\n")
+
+
+def test_response_roundtrip(tmp_path):
+    response = [[1, 0], [0, 0], [1, 1]]
+    path = tmp_path / "r.seq"
+    save_response(response, path)
+    assert load_response(path) == response

@@ -1,0 +1,83 @@
+"""Test-sequence generators."""
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits.generators import shift_register, traffic_light
+from repro.circuits.iscas import s27
+from repro.engines.serial_fault_sim import fault_simulate_3v
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.sequences.deterministic import deterministic_sequence
+from repro.sequences.random_seq import random_sequence, random_sequence_for
+
+
+def test_random_sequence_shape():
+    seq = random_sequence(3, 10, seed=1)
+    assert len(seq) == 10
+    assert all(len(v) == 3 for v in seq)
+    assert all(bit in (0, 1) for v in seq for bit in v)
+
+
+def test_random_sequence_deterministic_per_seed():
+    assert random_sequence(4, 20, seed=7) == random_sequence(4, 20, seed=7)
+    assert random_sequence(4, 20, seed=7) != random_sequence(4, 20, seed=8)
+
+
+def test_random_sequence_for_accepts_both_views():
+    circuit = s27()
+    compiled = compile_circuit(circuit)
+    a = random_sequence_for(circuit, 5, seed=1)
+    b = random_sequence_for(compiled, 5, seed=1)
+    assert a == b
+    assert all(len(v) == 4 for v in a)
+
+
+def test_deterministic_sequence_detects_fast():
+    compiled = compile_circuit(shift_register(6))
+    faults, _ = collapse_faults(compiled)
+    seq = deterministic_sequence(compiled, faults, seed=1)
+    fs = FaultSet(faults)
+    fault_simulate_3v(compiled, seq, fs)
+    # a shift register is fully testable; the greedy sequence gets all
+    assert fs.counts()["detected"] == len(faults)
+    # and it is much shorter than the random default workload
+    assert len(seq) < 100
+
+
+def test_deterministic_sequence_is_reproducible():
+    compiled = compile_circuit(traffic_light())
+    faults, _ = collapse_faults(compiled)
+    a = deterministic_sequence(compiled, faults, seed=3)
+    b = deterministic_sequence(compiled, faults, seed=3)
+    assert a == b
+
+
+def test_deterministic_sequence_does_not_mutate_inputs():
+    compiled = compile_circuit(traffic_light())
+    faults, _ = collapse_faults(compiled)
+    fs = FaultSet(faults)
+    deterministic_sequence(compiled, fs, seed=1)
+    assert fs.counts()["detected"] == 0  # statuses untouched
+
+
+def test_deterministic_sequence_respects_max_length():
+    compiled = compile_circuit(traffic_light())
+    faults, _ = collapse_faults(compiled)
+    seq = deterministic_sequence(compiled, faults, max_length=7, seed=1)
+    assert len(seq) <= 7
+
+
+def test_deterministic_beats_random_at_equal_length():
+    """The point of a fault-oriented sequence: at the same length it
+    covers at least as much as a random one (on an initialisable
+    circuit)."""
+    compiled = compile_circuit(traffic_light())
+    faults, _ = collapse_faults(compiled)
+    det = deterministic_sequence(compiled, faults, seed=2)
+    rnd = random_sequence_for(compiled, len(det), seed=2)
+    fs_det = FaultSet(faults)
+    fault_simulate_3v(compiled, det, fs_det)
+    fs_rnd = FaultSet(faults)
+    fault_simulate_3v(compiled, rnd, fs_rnd)
+    assert fs_det.counts()["detected"] >= fs_rnd.counts()["detected"]

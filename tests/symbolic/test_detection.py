@@ -1,0 +1,77 @@
+"""Detection functions and Lemma 1."""
+
+import pytest
+
+from repro.bdd import BddManager, StateVariables
+from repro.bdd.manager import FALSE, TRUE
+from repro.symbolic.detection import detection_function, is_mot_detectable
+
+
+def test_figure3_worked_example():
+    """D(x,y) = [x == ~y] * [x == y] == 0 (the paper's computation)."""
+    sv = StateVariables(1)
+    m = BddManager(num_vars=sv.num_vars)
+    x = m.mk_var(sv.x(0))
+    good = [[x], [x]]  # o(x,1) = x, o(x,2) = x
+    faulty = [[m.not_(x)], [x]]  # over x; renamed to y inside
+    d = detection_function(m, good, faulty, sv.x_to_y())
+    assert d == FALSE
+    assert is_mot_detectable(m, good, faulty, sv.x_to_y())
+
+
+def test_identical_machines_never_detected():
+    sv = StateVariables(2)
+    m = BddManager(num_vars=sv.num_vars)
+    x0, x1 = m.mk_var(sv.x(0)), m.mk_var(sv.x(1))
+    outs = [[m.xor(x0, x1)], [x0], [m.and_(x0, x1)]]
+    d = detection_function(m, outs, outs, sv.x_to_y())
+    # D(x, y) restricted to x == y must be 1: a machine cannot be
+    # distinguished from itself
+    for a0 in (0, 1):
+        for a1 in (0, 1):
+            assign = {
+                sv.x(0): a0, sv.x(1): a1, sv.y(0): a0, sv.y(1): a1,
+            }
+            assert m.evaluate(d, assign) == 1
+    assert d != FALSE
+
+
+def test_constant_difference_detected_immediately():
+    sv = StateVariables(1)
+    m = BddManager(num_vars=sv.num_vars)
+    assert detection_function(m, [[TRUE]], [[FALSE]], sv.x_to_y()) == FALSE
+
+
+def test_shared_variable_view():
+    """Without a rename map the machines share x (the rMOT view):
+    a fault visible only against *some* initial states survives."""
+    sv = StateVariables(1)
+    m = BddManager(num_vars=sv.num_vars)
+    x = m.mk_var(sv.x(0))
+    good = [[x]]
+    faulty = [[m.not_(x)]]
+    shared = detection_function(m, good, faulty, rename_map=None)
+    assert shared == FALSE  # x != ~x for every x: detected even shared
+    good2 = [[x]]
+    faulty2 = [[FALSE]]
+    shared2 = detection_function(m, good2, faulty2, rename_map=None)
+    assert shared2 == m.not_(x)  # only x=1 distinguishes
+
+
+def test_length_mismatch_rejected():
+    sv = StateVariables(1)
+    m = BddManager(num_vars=sv.num_vars)
+    with pytest.raises(ValueError):
+        detection_function(m, [[TRUE]], [], sv.x_to_y())
+    with pytest.raises(ValueError):
+        detection_function(m, [[TRUE]], [[TRUE, FALSE]], sv.x_to_y())
+
+
+def test_early_exit_on_zero():
+    sv = StateVariables(1)
+    m = BddManager(num_vars=sv.num_vars)
+    x = m.mk_var(sv.x(0))
+    # first frame already kills it; later frames would blow up if built
+    good = [[TRUE], [x]]
+    faulty = [[FALSE], [m.not_(x)]]
+    assert detection_function(m, good, faulty, sv.x_to_y()) == FALSE

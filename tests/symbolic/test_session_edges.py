@@ -1,0 +1,96 @@
+"""Additional SymbolicSession edge cases: clones, trial steps, and the
+3-valued re-entry conversion rules the hybrid simulator depends on."""
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE
+from repro.circuit.compile import compile_circuit
+from repro.circuits.iscas import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import UNDETECTED, FaultSet
+from repro.logic import threeval as tv
+from repro.sequences.random_seq import random_sequence_for
+from repro.symbolic.fault_sim import SymbolicSession
+
+
+def build(strategy="MOT"):
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    fs = FaultSet(faults)
+    session = SymbolicSession(compiled, strategy)
+    session.attach_faults(fs.undetected())
+    return compiled, fs, session
+
+
+def test_clone_does_not_alias_state():
+    compiled, fs, session = build()
+    clone = session.clone()
+    sequence = random_sequence_for(compiled, 6, seed=1)
+    for vector in sequence:
+        clone.step(vector, mark_detected=False)
+    # the original session is untouched
+    assert session.time == 0
+    assert len(session.live_records()) == len(fs)
+
+
+def test_trial_step_leaves_statuses_alone():
+    compiled, fs, session = build()
+    sequence = random_sequence_for(compiled, 20, seed=2)
+    trial = session.clone()
+    detected_in_trial = 0
+    for vector in sequence:
+        detected_in_trial += len(
+            trial.step(vector, mark_detected=False)
+        )
+    assert detected_in_trial > 0
+    assert fs.counts()["detected"] == 0  # nothing marked
+
+
+def test_clone_then_commit_equals_direct_run():
+    compiled, fs1, s1 = build()
+    compiled2, fs2, s2 = build()
+    sequence = random_sequence_for(compiled, 10, seed=3)
+    for vector in sequence:
+        s1.step(vector)
+        s2 = s2.clone()  # fork every frame, commit the fork
+        s2.step(vector)
+    d1 = {r.fault.key() for r in fs1.detected()}
+    d2 = {r.fault.key() for r in fs2.detected()}
+    assert d1 == d2
+
+
+def test_state_bit_conversion_rules():
+    compiled, fs, _ = build()
+    session = SymbolicSession(
+        compiled, "MOT", good_state_3v=[0, 1, tv.X]
+    )
+    assert session.good_state[0] == FALSE
+    assert session.good_state[1] == TRUE
+    assert not session.manager.is_const(session.good_state[2])
+    # X bit got the x-variable of flip-flop 2
+    assert session.manager.var(session.good_state[2]) == \
+        session.state_vars.x(2)
+
+
+def test_attach_fault_with_matching_diff_is_dropped():
+    compiled, fs, _ = build()
+    session = SymbolicSession(compiled, "MOT",
+                              good_state_3v=[0, 1, tv.X])
+    record = fs.records[0]
+    # diff equal to the good state (bit 0 = 0) is no difference at all
+    session.attach_fault(record, state_diff_3v={0: 0})
+    assert session._store[id(record)][1] == {}
+    # a genuine difference is kept as a constant
+    record2 = fs.records[1]
+    session.attach_fault(record2, state_diff_3v={0: 1})
+    assert session._store[id(record2)][1] == {0: TRUE}
+    # X faulty bit where the good bit is known gets the free variable
+    record3 = fs.records[2]
+    session.attach_fault(record3, state_diff_3v={0: tv.X})
+    diff = session._store[id(record3)][1]
+    assert 0 in diff and not session.manager.is_const(diff[0])
+    # X faulty bit where the good bit is X collapses onto the shared
+    # variable (sound for all three strategies, see hybrid docstring)
+    record4 = fs.records[3]
+    session.attach_fault(record4, state_diff_3v={2: tv.X})
+    assert session._store[id(record4)][1] == {}

@@ -1,0 +1,115 @@
+"""Symbolic fault diagnosis."""
+
+import random
+
+import pytest
+
+from repro.baselines.enumeration import all_states, simulate_concrete
+from repro.circuit.compile import compile_circuit
+from repro.circuits.generators import johnson, traffic_light
+from repro.circuits.iscas import s27
+from repro.diagnosis import diagnose
+from repro.faults.collapse import collapse_faults
+from repro.sequences.random_seq import random_sequence_for
+from repro.symbolic.evaluation import generate_response
+
+
+@pytest.mark.parametrize("fault_index", [0, 5, 12, 20])
+def test_true_fault_is_always_a_candidate(fault_index):
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    fault = faults[fault_index]
+    sequence = random_sequence_for(compiled, 20, seed=fault_index)
+    rng = random.Random(fault_index)
+    state = [rng.randrange(2) for _ in range(compiled.num_dffs)]
+    response = generate_response(compiled, sequence, state, fault=fault)
+    result = diagnose(compiled, sequence, response, faults)
+    keys = {c.fault.key() for c in result.candidates}
+    assert fault.key() in keys
+    # and the fault must never be exonerated
+    assert fault.key() not in {f.key() for f in result.exonerated}
+
+
+def test_exonerations_match_enumeration():
+    """A fault is exonerated iff NO initial state of the faulty machine
+    reproduces the response — verified against brute force."""
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 8, seed=3)
+    fault = faults[7]
+    response = generate_response(compiled, sequence, [1, 0, 1],
+                                 fault=fault)
+    result = diagnose(compiled, sequence, response, faults)
+    response_t = tuple(tuple(frame) for frame in response)
+    for candidate in faults:
+        reproducible = any(
+            simulate_concrete(compiled, sequence, q, candidate)
+            == response_t
+            for q in all_states(compiled.num_dffs)
+        )
+        is_candidate = candidate.key() in {
+            c.fault.key() for c in result.candidates
+        }
+        assert is_candidate == reproducible, candidate
+
+
+def test_witness_states_really_explain():
+    compiled = compile_circuit(johnson(5))
+    faults, _ = collapse_faults(compiled)
+    fault = faults[3]
+    sequence = random_sequence_for(compiled, 15, seed=2)
+    response = generate_response(
+        compiled, sequence, [0, 1, 0, 1, 1], fault=fault
+    )
+    result = diagnose(compiled, sequence, response, faults)
+    response_t = tuple(tuple(frame) for frame in response)
+    for candidate in result.candidates[:5]:
+        assert candidate.witness is not None
+        replay = simulate_concrete(
+            compiled, sequence, candidate.witness, candidate.fault
+        )
+        assert replay == response_t
+
+
+def test_fault_free_consistency_flag():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 15, seed=9)
+    clean = generate_response(compiled, sequence, [0, 0, 0])
+    result = diagnose(compiled, sequence, clean, faults)
+    assert result.fault_free_consistent
+    assert not result.is_faulty
+
+
+def test_longer_sequences_narrow_candidates():
+    compiled = compile_circuit(traffic_light())
+    faults, _ = collapse_faults(compiled)
+    fault = faults[10]
+    sequence = random_sequence_for(compiled, 40, seed=5)
+    response = generate_response(compiled, sequence, [0, 0, 0],
+                                 fault=fault)
+    short = diagnose(compiled, sequence[:5], response[:5], faults)
+    full = diagnose(compiled, sequence, response, faults)
+    assert len(full.candidates) <= len(short.candidates)
+
+
+def test_length_mismatch_rejected():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    with pytest.raises(ValueError):
+        diagnose(compiled, [(0, 0, 0, 0)], [], faults)
+
+
+def test_known_initial_state_sharpens_diagnosis():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    fault = faults[4]
+    sequence = random_sequence_for(compiled, 15, seed=6)
+    state = [1, 1, 0]
+    response = generate_response(compiled, sequence, state, fault=fault)
+    free = diagnose(compiled, sequence, response, faults)
+    pinned = diagnose(
+        compiled, sequence, response, faults, initial_state=state
+    )
+    assert len(pinned.candidates) <= len(free.candidates)
+    assert fault.key() in {c.fault.key() for c in pinned.candidates}

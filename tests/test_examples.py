@@ -1,0 +1,28 @@
+"""Every shipped example must run to completion (they contain their own
+assertions about the phenomena they demonstrate)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name
+    for p in (pathlib.Path(__file__).parent.parent / "examples").glob(
+        "*.py"
+    )
+)
+
+
+def test_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"

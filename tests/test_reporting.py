@@ -1,0 +1,63 @@
+"""Coverage reports."""
+
+import json
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits.iscas import s27
+from repro.engines.serial_fault_sim import fault_simulate_3v
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.reporting import coverage_report
+from repro.sequences.random_seq import random_sequence_for
+from repro.symbolic.hybrid import hybrid_fault_simulate
+from repro.xred.idxred import eliminate_x_redundant
+
+
+def full_run():
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    fault_set = FaultSet(faults)
+    sequence = random_sequence_for(compiled, 40, seed=1)
+    eliminate_x_redundant(compiled, sequence, fault_set)
+    fault_simulate_3v(compiled, sequence, fault_set)
+    result = hybrid_fault_simulate(compiled, sequence, fault_set,
+                                   strategy="MOT")
+    return compiled, fault_set, sequence, result
+
+
+def test_summary_consistency():
+    compiled, fault_set, sequence, result = full_run()
+    report = coverage_report(compiled, fault_set, sequence,
+                             exact_mot=result.exact)
+    s = report.summary()
+    assert s["total_faults"] == 32
+    assert (
+        s["conventional_detected"] + s["symbolic_extra_detected"]
+        == s["detected"]
+    )
+    assert sum(s["detected_by"].values()) == s["detected"]
+    assert s["sequence_length"] == 40
+    assert 0.0 <= s["coverage"] <= 1.0
+
+
+def test_render_mentions_the_exactness_guarantee():
+    compiled, fault_set, sequence, result = full_run()
+    report = coverage_report(compiled, fault_set, sequence,
+                             exact_mot=result.exact)
+    text = report.render()
+    assert "fault coverage report" in text
+    assert "by 3-valued SOT" in text
+    if result.exact:
+        assert "PROVED undetectable" in text
+
+
+def test_json_roundtrip():
+    compiled, fault_set, sequence, result = full_run()
+    report = coverage_report(compiled, fault_set, sequence)
+    payload = json.loads(report.to_json())
+    assert payload["total_faults"] == 32
+    assert len(payload["faults"]) == 32
+    statuses = {f["status"] for f in payload["faults"]}
+    assert statuses <= {"detected", "undetected", "x-redundant"}
+    detected = [f for f in payload["faults"] if f["status"] == "detected"]
+    assert all(f["detected_at"] is not None for f in detected)

@@ -1,0 +1,93 @@
+"""Shared helpers for the test suite: random circuit generation and a
+slow-but-obviously-correct reference implementation of faulty-machine
+evaluation used to cross-check the event-driven engine."""
+
+import random
+
+from repro.circuit import gates as gatelib
+from repro.circuit.netlist import Circuit
+from repro.engines.evaluate import eval_gate
+from repro.faults.model import BRANCH, DBRANCH, STEM
+
+GATE_KINDS = ("AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUF")
+
+
+def random_circuit(
+    seed,
+    num_pis=3,
+    num_dffs=3,
+    num_gates=12,
+    num_pos=2,
+    name=None,
+):
+    """A random, valid, connected-ish sequential circuit.
+
+    Gates draw fanins from all previously available nets, so the
+    combinational part is acyclic by construction; flip-flop D inputs
+    and primary outputs are drawn from the full net list at the end.
+    """
+    rng = random.Random(seed)
+    c = Circuit(name or f"rand{seed}")
+    nets = []
+    for i in range(num_pis):
+        c.add_input(f"i{i}")
+        nets.append(f"i{i}")
+    for i in range(num_dffs):
+        # D inputs are patched below once gate nets exist
+        c.add_dff(f"q{i}", "__pending__")
+        nets.append(f"q{i}")
+    for g in range(num_gates):
+        kind = rng.choice(GATE_KINDS)
+        arity = 1 if kind in ("NOT", "BUF") else rng.choice((2, 2, 2, 3))
+        fanins = [rng.choice(nets) for _ in range(arity)]
+        net = f"g{g}"
+        c.add_gate(net, kind, fanins)
+        nets.append(net)
+    gate_nets = [f"g{g}" for g in range(num_gates)]
+    for i in range(num_dffs):
+        c.dffs[f"q{i}"] = rng.choice(gate_nets)
+    for _ in range(num_pos):
+        c.add_output(rng.choice(gate_nets))
+    return c
+
+
+def reference_faulty_values(compiled, algebra, pi_values, faulty_state,
+                            fault):
+    """Full (non-event-driven) evaluation of the faulty machine's frame.
+
+    Returns the per-signal value list; *faulty_state* is the faulty
+    machine's complete present state (aligned with ``compiled.ppis``).
+    """
+    values = [None] * compiled.num_signals
+    stem_force = None
+    branch = None
+    if fault is not None:
+        if fault.lead[0] == STEM:
+            stem_force = (fault.lead[1], algebra.const(fault.value))
+        elif fault.lead[0] == BRANCH:
+            branch = (fault.lead[1], fault.lead[2])
+
+    for sig, value in zip(compiled.pis, pi_values):
+        values[sig] = value
+    for sig, value in zip(compiled.ppis, faulty_state):
+        values[sig] = value
+    if stem_force is not None and values[stem_force[0]] is not None:
+        values[stem_force[0]] = stem_force[1]
+
+    for cg in compiled.gates:
+        if stem_force is not None and cg.out == stem_force[0]:
+            values[cg.out] = stem_force[1]
+            continue
+        operands = [values[src] for src in cg.fanins]
+        if branch is not None and cg.pos == branch[0]:
+            operands[branch[1]] = algebra.const(fault.value)
+        values[cg.out] = eval_gate(algebra, cg.kind, operands)
+    return values
+
+
+def reference_faulty_next_state(compiled, algebra, values, fault):
+    """Next state of the faulty machine given its frame *values*."""
+    state = [values[sig] for sig in compiled.dff_d]
+    if fault is not None and fault.lead[0] == DBRANCH:
+        state[fault.lead[1]] = algebra.const(fault.value)
+    return state

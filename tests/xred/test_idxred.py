@@ -1,0 +1,181 @@
+"""The ID_X-red procedure.
+
+The make-or-break property (Section III's correctness claim): a fault
+classified X-redundant is NEVER detected by three-valued SOT fault
+simulation of the given sequence.  Checked exhaustively on randomized
+circuits, plus structural unit tests for each step.
+"""
+
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuit.netlist import Circuit
+from repro.circuits.generators import counter, shift_register
+from repro.circuits.iscas import s27
+from repro.engines.serial_fault_sim import fault_simulate_3v
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.faults.universe import enumerate_faults
+from repro.logic.fourval import IX_X, IX_X0, IX_X01, IX_X1
+from repro.sequences.random_seq import random_sequence_for
+from repro.xred.idxred import eliminate_x_redundant, id_x_red
+from tests.util import random_circuit
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_soundness_on_random_circuits(seed):
+    compiled = compile_circuit(
+        random_circuit(seed, num_gates=16, num_dffs=3)
+    )
+    faults = enumerate_faults(compiled)
+    sequence = random_sequence_for(compiled, 15, seed=seed)
+    result = id_x_red(compiled, sequence, faults)
+    x_red = [f for f in faults if result.is_x_redundant(f)]
+    # none of them may be detected by the conventional simulation
+    fs = FaultSet(x_red)
+    fault_simulate_3v(compiled, sequence, fs)
+    assert fs.counts()["detected"] == 0, [
+        r.fault.describe(compiled) for r in fs.detected()
+    ]
+
+
+@pytest.mark.parametrize("name,factory", [
+    ("s27", s27),
+    ("counter", lambda: counter(6)),
+    ("shift", lambda: shift_register(6)),
+])
+def test_soundness_on_benchmarks(name, factory):
+    compiled = compile_circuit(factory())
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 50, seed=3)
+    fs = FaultSet(faults)
+    eliminate_x_redundant(compiled, sequence, fs)
+    x_red_records = fs.x_redundant()
+    check = FaultSet([r.fault for r in x_red_records])
+    fault_simulate_3v(compiled, sequence, check)
+    assert check.counts()["detected"] == 0
+
+
+def test_counter_without_reset_is_mostly_x_redundant():
+    compiled = compile_circuit(counter(8))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 100, seed=1)
+    result = id_x_red(compiled, sequence, faults)
+    x_red = sum(1 for f in faults if result.is_x_redundant(f))
+    assert x_red > 0.8 * len(faults)
+
+
+def test_shift_register_has_no_x_redundant_faults():
+    compiled = compile_circuit(shift_register(6))
+    faults, _ = collapse_faults(compiled)
+    # a long varied sequence exercises both values on every lead
+    sequence = random_sequence_for(compiled, 60, seed=4)
+    result = id_x_red(compiled, sequence, faults)
+    assert not any(result.is_x_redundant(f) for f in faults)
+
+
+def test_never_activated_faults_eliminated():
+    # a lead held at constant 1 cannot host a detectable s-a-1
+    c = Circuit("const-ish")
+    c.add_input("a")
+    c.add_gate("one", "CONST1", [])
+    c.add_gate("o", "AND", ["a", "one"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    faults = enumerate_faults(compiled)
+    sequence = [(0,), (1,), (0,), (1,)]
+    result = id_x_red(compiled, sequence, faults)
+    one = compiled.index["one"]
+    from repro.faults.model import Fault, STEM
+
+    assert result.is_x_redundant(Fault((STEM, one), 1))
+    assert not result.is_x_redundant(Fault((STEM, one), 0))
+
+
+def test_unobservable_region_eliminated():
+    # g's effect is blocked: the AND side input is constant 0
+    c = Circuit("blocked")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("zero", "CONST0", [])
+    c.add_gate("g", "NOT", ["a"])
+    c.add_gate("o", "AND", ["g", "zero"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    faults = enumerate_faults(compiled)
+    sequence = [(0, 0), (1, 1)]
+    result = id_x_red(compiled, sequence, faults)
+    g = compiled.index["g"]
+    from repro.faults.model import Fault, STEM
+
+    assert result.is_x_redundant(Fault((STEM, g), 0))
+    assert result.is_x_redundant(Fault((STEM, g), 1))
+
+
+def test_step2_kills_dangling_logic():
+    c = Circuit("dangle")
+    c.add_input("a")
+    c.add_gate("used", "NOT", ["a"])
+    c.add_gate("dead", "NOT", ["a"])
+    c.add_gate("dead2", "AND", ["dead", "a"])
+    c.add_output("used")
+    compiled = compile_circuit(c)
+    faults = enumerate_faults(compiled)
+    sequence = [(0,), (1,)]
+    result = id_x_red(compiled, sequence, faults)
+    assert result.stem_ix[compiled.index["dead"]] == IX_X
+    assert result.stem_ix[compiled.index["dead2"]] == IX_X
+    assert result.stem_ix[compiled.index["used"]] != IX_X
+
+
+def test_step2_iterates_through_flipflops():
+    # q2 only observes q1, q1 only feeds q2; nothing reaches a PO:
+    # the fixpoint must kill the whole loop even though it takes more
+    # than one backward pass
+    c = Circuit("loop")
+    c.add_input("a")
+    c.add_dff("q1", "d1")
+    c.add_dff("q2", "d2")
+    c.add_gate("d1", "AND", ["a", "q2"])
+    c.add_gate("d2", "NOT", ["q1"])
+    c.add_gate("o", "BUF", ["a"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    sequence = [(1,), (0,), (1,)]
+    result = id_x_red(compiled, sequence, enumerate_faults(compiled))
+    assert result.stem_ix[compiled.index["q1"]] == IX_X
+    assert result.stem_ix[compiled.index["q2"]] == IX_X
+    faults = enumerate_faults(compiled)
+    from repro.faults.model import STEM, Fault
+
+    assert result.is_x_redundant(Fault((STEM, compiled.index["d1"]), 0))
+
+
+def test_histories_feed_step4():
+    # lead that saw only 0 -> s-a-0 never activated -> undetectable
+    c = Circuit("hist")
+    c.add_input("a")
+    c.add_gate("z", "AND", ["a", "a"])
+    c.add_gate("o", "BUF", ["z"])
+    c.add_output("o")
+    compiled = compile_circuit(c)
+    result = id_x_red(compiled, [(0,), (0,)], enumerate_faults(compiled))
+    z = compiled.index["z"]
+    assert result.stem_ix[z] == IX_X0
+    from repro.faults.model import STEM, Fault
+
+    assert result.is_x_redundant(Fault((STEM, z), 0))
+    assert not result.is_x_redundant(Fault((STEM, z), 1))
+
+
+def test_runs_in_reasonable_time_on_large_circuit():
+    from repro.circuits.generators import pipeline_datapath
+
+    compiled = compile_circuit(pipeline_datapath(12, 4))
+    faults = enumerate_faults(compiled)
+    sequence = random_sequence_for(compiled, 100, seed=1)
+    import time
+
+    start = time.perf_counter()
+    id_x_red(compiled, sequence, faults)
+    assert time.perf_counter() - start < 5.0
