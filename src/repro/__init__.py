@@ -66,6 +66,19 @@ from repro.atpg import generate_mot_tests
 from repro.diagnosis import diagnose
 from repro.reporting import CoverageReport, coverage_report
 from repro.sequences.compaction import compact_sequence
+from repro.runtime import (
+    BudgetExceeded,
+    CampaignResult,
+    CheckpointError,
+    CircuitFormatError,
+    DegradationExhausted,
+    DegradationLadder,
+    ReproError,
+    ResourceGovernor,
+    SignalGuard,
+    resume_campaign,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -103,5 +116,16 @@ __all__ = [
     "compact_sequence",
     "CoverageReport",
     "coverage_report",
+    "ReproError",
+    "BudgetExceeded",
+    "CheckpointError",
+    "CircuitFormatError",
+    "DegradationExhausted",
+    "ResourceGovernor",
+    "DegradationLadder",
+    "SignalGuard",
+    "CampaignResult",
+    "run_campaign",
+    "resume_campaign",
     "__version__",
 ]

@@ -10,7 +10,15 @@ class SpaceLimitExceeded(BddError):
 
     The hybrid fault simulator (Section IV.A of the paper) catches this
     to fall back to three-valued simulation for a few frames.
+
+    ``fault_key`` stays None for overflows in the fault-free symbolic
+    simulation; the symbolic fault simulator tags the exception with
+    the offending fault's key when the overflow happened while
+    propagating a single fault, which lets the campaign runtime demote
+    just that fault instead of abandoning the whole session.
     """
+
+    fault_key = None
 
     def __init__(self, limit, requested):
         self.limit = limit

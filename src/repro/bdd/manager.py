@@ -22,8 +22,6 @@ the root.  :mod:`repro.bdd.ordering` provides the interleaved x/y
 numbering used by the MOT strategy.
 """
 
-import sys
-
 from repro.bdd.errors import SpaceLimitExceeded, VariableOrderError
 
 FALSE = 0
@@ -31,8 +29,13 @@ TRUE = 1
 
 _TERMINAL_VAR = 1 << 40
 
-if sys.getrecursionlimit() < 100_000:
-    sys.setrecursionlimit(100_000)
+# Tags for the explicit task stacks of the iterative traversals below.
+# All recursive structural operations (ite, restrict, compose, rename,
+# quantification) are implemented with a work stack — BDD depth grows
+# with the variable count, and deep circuits used to force a global
+# sys.setrecursionlimit() hack.
+_EXPAND = 0
+_COMBINE = 1
 
 
 class BddManager:
@@ -47,6 +50,10 @@ class BddManager:
         self._unique = {}
         self._cache = {}
         self.peak_nodes = 2
+        # optional zero-argument callback invoked after every node
+        # allocation; the campaign runtime uses it to meter total node
+        # consumption and to poll a wall-clock deadline at fine grain
+        self.alloc_hook = None
 
     # ------------------------------------------------------------------
     # node store
@@ -68,6 +75,8 @@ class BddManager:
         self._unique[key] = idx
         if idx + 1 > self.peak_nodes:
             self.peak_nodes = idx + 1
+        if self.alloc_hook is not None:
+            self.alloc_hook()
         return idx
 
     def var(self, index):
@@ -126,31 +135,62 @@ class BddManager:
     # core operation: if-then-else
     # ------------------------------------------------------------------
     def ite(self, f, g, h):
-        """``(f AND g) OR (NOT f AND h)`` — the universal connective."""
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == h:
-            return g
-        if g == TRUE and h == FALSE:
-            return f
-        key = ("ite", f, g, h)
-        found = self._cache.get(key)
-        if found is not None:
-            return found
-        var_f = self._var[f]
-        var_g = self._var[g]
-        var_h = self._var[h]
-        top = min(var_f, var_g, var_h)
-        f1, f0 = (self._high[f], self._low[f]) if var_f == top else (f, f)
-        g1, g0 = (self._high[g], self._low[g]) if var_g == top else (g, g)
-        h1, h0 = (self._high[h], self._low[h]) if var_h == top else (h, h)
-        r1 = self.ite(f1, g1, h1)
-        r0 = self.ite(f0, g0, h0)
-        result = self.mk(top, r0, r1)
-        self._cache[key] = result
-        return result
+        """``(f AND g) OR (NOT f AND h)`` — the universal connective.
+
+        Iterative: an explicit task stack of ``(_EXPAND, f, g, h)`` and
+        ``(_COMBINE, top, key)`` entries with a parallel result stack.
+        An expand pushes its combine first, then the 0-branch, then the
+        1-branch (so the 1-branch is evaluated first); the combine pops
+        the 0-result and then the 1-result.
+        """
+        cache = self._cache
+        tasks = [(_EXPAND, f, g, h)]
+        results = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _EXPAND:
+                _tag, f, g, h = task
+                if f == TRUE:
+                    results.append(g)
+                    continue
+                if f == FALSE:
+                    results.append(h)
+                    continue
+                if g == h:
+                    results.append(g)
+                    continue
+                if g == TRUE and h == FALSE:
+                    results.append(f)
+                    continue
+                key = ("ite", f, g, h)
+                found = cache.get(key)
+                if found is not None:
+                    results.append(found)
+                    continue
+                var_f = self._var[f]
+                var_g = self._var[g]
+                var_h = self._var[h]
+                top = min(var_f, var_g, var_h)
+                f1, f0 = (
+                    (self._high[f], self._low[f]) if var_f == top else (f, f)
+                )
+                g1, g0 = (
+                    (self._high[g], self._low[g]) if var_g == top else (g, g)
+                )
+                h1, h0 = (
+                    (self._high[h], self._low[h]) if var_h == top else (h, h)
+                )
+                tasks.append((_COMBINE, top, key))
+                tasks.append((_EXPAND, f0, g0, h0))
+                tasks.append((_EXPAND, f1, g1, h1))
+            else:
+                _tag, top, key = task
+                r0 = results.pop()
+                r1 = results.pop()
+                result = self.mk(top, r0, r1)
+                cache[key] = result
+                results.append(result)
+        return results[0]
 
     # ------------------------------------------------------------------
     # Boolean connectives
@@ -195,43 +235,79 @@ class BddManager:
     # ------------------------------------------------------------------
     def restrict(self, f, var, value):
         """Cofactor of *f* with *var* fixed to *value* (0 or 1)."""
-        if self.is_terminal(f):
-            return f
-        key = ("res", f, var, value)
-        found = self._cache.get(key)
-        if found is not None:
-            return found
-        var_f = self._var[f]
-        if var_f > var:
-            result = f
-        elif var_f == var:
-            result = self._high[f] if value else self._low[f]
-        else:
-            r1 = self.restrict(self._high[f], var, value)
-            r0 = self.restrict(self._low[f], var, value)
-            result = self.mk(var_f, r0, r1)
-        self._cache[key] = result
-        return result
+        cache = self._cache
+        tasks = [(_EXPAND, f)]
+        results = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _EXPAND:
+                node = task[1]
+                if self.is_terminal(node):
+                    results.append(node)
+                    continue
+                var_f = self._var[node]
+                if var_f > var:
+                    results.append(node)
+                    continue
+                key = ("res", node, var, value)
+                found = cache.get(key)
+                if found is not None:
+                    results.append(found)
+                    continue
+                if var_f == var:
+                    result = self._high[node] if value else self._low[node]
+                    cache[key] = result
+                    results.append(result)
+                    continue
+                tasks.append((_COMBINE, var_f, key))
+                tasks.append((_EXPAND, self._low[node]))
+                tasks.append((_EXPAND, self._high[node]))
+            else:
+                _tag, var_f, key = task
+                r0 = results.pop()
+                r1 = results.pop()
+                result = self.mk(var_f, r0, r1)
+                cache[key] = result
+                results.append(result)
+        return results[0]
 
     def compose(self, f, var, g):
         """Substitute function *g* for variable *var* inside *f*."""
-        if self.is_terminal(f):
-            return f
-        var_f = self._var[f]
-        if var_f > var:
-            return f
-        key = ("cmp", f, var, g)
-        found = self._cache.get(key)
-        if found is not None:
-            return found
-        if var_f == var:
-            result = self.ite(g, self._high[f], self._low[f])
-        else:
-            r1 = self.compose(self._high[f], var, g)
-            r0 = self.compose(self._low[f], var, g)
-            result = self.ite(self.mk(var_f, FALSE, TRUE), r1, r0)
-        self._cache[key] = result
-        return result
+        cache = self._cache
+        tasks = [(_EXPAND, f)]
+        results = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _EXPAND:
+                node = task[1]
+                if self.is_terminal(node):
+                    results.append(node)
+                    continue
+                var_f = self._var[node]
+                if var_f > var:
+                    results.append(node)
+                    continue
+                key = ("cmp", node, var, g)
+                found = cache.get(key)
+                if found is not None:
+                    results.append(found)
+                    continue
+                if var_f == var:
+                    result = self.ite(g, self._high[node], self._low[node])
+                    cache[key] = result
+                    results.append(result)
+                    continue
+                tasks.append((_COMBINE, var_f, key))
+                tasks.append((_EXPAND, self._low[node]))
+                tasks.append((_EXPAND, self._high[node]))
+            else:
+                _tag, var_f, key = task
+                r0 = results.pop()
+                r1 = results.pop()
+                result = self.ite(self.mk(var_f, FALSE, TRUE), r1, r0)
+                cache[key] = result
+                results.append(result)
+        return results[0]
 
     def rename(self, f, mapping):
         """Rename variables according to the dict *mapping*.
@@ -249,27 +325,45 @@ class BddManager:
                     f"rename is not monotone: {a1}->{b1}, {a2}->{b2}"
                 )
         frozen = tuple(items)
-        return self._rename_rec(f, mapping, frozen)
+        return self._rename_walk(f, mapping, frozen)
 
-    def _rename_rec(self, f, mapping, frozen):
-        if self.is_terminal(f):
-            return f
-        key = ("ren", f, frozen)
-        found = self._cache.get(key)
-        if found is not None:
-            return found
-        var_f = self._var[f]
-        new_var = mapping.get(var_f, var_f)
-        r1 = self._rename_rec(self._high[f], mapping, frozen)
-        r0 = self._rename_rec(self._low[f], mapping, frozen)
-        for child in (r1, r0):
-            if not self.is_terminal(child) and self._var[child] <= new_var:
-                raise VariableOrderError(
-                    f"rename {var_f}->{new_var} breaks the order"
-                )
-        result = self.mk(new_var, r0, r1)
-        self._cache[key] = result
-        return result
+    def _rename_walk(self, f, mapping, frozen):
+        cache = self._cache
+        tasks = [(_EXPAND, f)]
+        results = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _EXPAND:
+                node = task[1]
+                if self.is_terminal(node):
+                    results.append(node)
+                    continue
+                key = ("ren", node, frozen)
+                found = cache.get(key)
+                if found is not None:
+                    results.append(found)
+                    continue
+                var_f = self._var[node]
+                new_var = mapping.get(var_f, var_f)
+                tasks.append((_COMBINE, var_f, new_var, key))
+                tasks.append((_EXPAND, self._low[node]))
+                tasks.append((_EXPAND, self._high[node]))
+            else:
+                _tag, var_f, new_var, key = task
+                r0 = results.pop()
+                r1 = results.pop()
+                for child in (r1, r0):
+                    if (
+                        not self.is_terminal(child)
+                        and self._var[child] <= new_var
+                    ):
+                        raise VariableOrderError(
+                            f"rename {var_f}->{new_var} breaks the order"
+                        )
+                result = self.mk(new_var, r0, r1)
+                cache[key] = result
+                results.append(result)
+        return results[0]
 
     def exists(self, f, variables):
         """Existential quantification over an iterable of variables."""
@@ -286,24 +380,45 @@ class BddManager:
         return result
 
     def _quant_one(self, f, var, existential):
-        if self.is_terminal(f):
-            return f
-        key = ("ex" if existential else "fa", f, var)
-        found = self._cache.get(key)
-        if found is not None:
-            return found
-        var_f = self._var[f]
-        if var_f > var:
-            result = f
-        elif var_f == var:
-            hi, lo = self._high[f], self._low[f]
-            result = self.or_(hi, lo) if existential else self.and_(hi, lo)
-        else:
-            r1 = self._quant_one(self._high[f], var, existential)
-            r0 = self._quant_one(self._low[f], var, existential)
-            result = self.mk(var_f, r0, r1)
-        self._cache[key] = result
-        return result
+        cache = self._cache
+        tag = "ex" if existential else "fa"
+        tasks = [(_EXPAND, f)]
+        results = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _EXPAND:
+                node = task[1]
+                if self.is_terminal(node):
+                    results.append(node)
+                    continue
+                var_f = self._var[node]
+                if var_f > var:
+                    results.append(node)
+                    continue
+                key = (tag, node, var)
+                found = cache.get(key)
+                if found is not None:
+                    results.append(found)
+                    continue
+                if var_f == var:
+                    hi, lo = self._high[node], self._low[node]
+                    result = (
+                        self.or_(hi, lo) if existential else self.and_(hi, lo)
+                    )
+                    cache[key] = result
+                    results.append(result)
+                    continue
+                tasks.append((_COMBINE, var_f, key))
+                tasks.append((_EXPAND, self._low[node]))
+                tasks.append((_EXPAND, self._high[node]))
+            else:
+                _tag, var_f, key = task
+                r0 = results.pop()
+                r1 = results.pop()
+                result = self.mk(var_f, r0, r1)
+                cache[key] = result
+                results.append(result)
+        return results[0]
 
     # ------------------------------------------------------------------
     # queries

@@ -17,6 +17,7 @@ import re
 
 from repro.circuit import gates as gatelib
 from repro.circuit.netlist import Circuit
+from repro.runtime.errors import CircuitFormatError
 
 _LINE_RE = re.compile(
     r"""^\s*
@@ -36,60 +37,112 @@ _KIND_ALIASES = {
 }
 
 
-class BenchParseError(ValueError):
-    """Raised for malformed ``.bench`` text."""
+class BenchParseError(CircuitFormatError, ValueError):
+    """Raised for malformed ``.bench`` text.
 
-    def __init__(self, message, line_no=None):
+    Carries the source (file path or circuit name) and the offending
+    line number; still a ``ValueError`` for backwards compatibility.
+    """
+
+    def __init__(self, message, line_no=None, source=None):
         self.line_no = line_no
+        self.source = source
+        self.reason = message
         if line_no is not None:
             message = f"line {line_no}: {message}"
+        if source is not None:
+            message = f"{source}: {message}"
         super().__init__(message)
 
+    def context(self):
+        return {
+            "source": self.source,
+            "line": self.line_no,
+            "reason": self.reason,
+        }
 
-def parse_bench(text, name="bench"):
-    """Parse ``.bench`` *text* into a :class:`Circuit`."""
+
+def parse_bench(text, name="bench", source=None):
+    """Parse ``.bench`` *text* into a :class:`Circuit`.
+
+    Malformed lines, duplicate net definitions and references to
+    signals never defined anywhere in the file all raise
+    :class:`BenchParseError` naming *source* (defaults to *name*) and
+    the offending line.
+    """
+    if source is None:
+        source = name
     circuit = Circuit(name)
+    # first line each net name is *used* (referenced) on, for the
+    # undefined-signal check after the whole file has been read —
+    # .bench allows forward references, so it cannot run per-line
+    used_at = {}
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         match = _LINE_RE.match(line)
         if match is None:
-            raise BenchParseError(f"cannot parse {line!r}", line_no)
+            raise BenchParseError(f"cannot parse {line!r}", line_no, source)
         if match.group("io"):
             net = match.group("ionet")
             if match.group("io") == "INPUT":
-                circuit.add_input(net)
+                try:
+                    circuit.add_input(net)
+                except ValueError as exc:
+                    raise BenchParseError(str(exc), line_no, source) from exc
             else:
                 circuit.add_output(net)
+                used_at.setdefault(net, line_no)
             continue
         lhs = match.group("lhs")
         kind = match.group("kind").upper()
         kind = _KIND_ALIASES.get(kind, kind)
         args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        for arg in args:
+            used_at.setdefault(arg, line_no)
         if kind == "DFF":
             if len(args) != 1:
                 raise BenchParseError(
-                    f"DFF takes exactly one input, got {len(args)}", line_no
+                    f"DFF takes exactly one input, got {len(args)}",
+                    line_no,
+                    source,
                 )
-            circuit.add_dff(lhs, args[0])
+            try:
+                circuit.add_dff(lhs, args[0])
+            except ValueError as exc:
+                raise BenchParseError(str(exc), line_no, source) from exc
         elif kind in gatelib.COMBINATIONAL_KINDS:
             try:
                 circuit.add_gate(lhs, kind, args)
             except ValueError as exc:
-                raise BenchParseError(str(exc), line_no) from exc
+                raise BenchParseError(str(exc), line_no, source) from exc
         else:
-            raise BenchParseError(f"unknown gate kind {kind!r}", line_no)
+            raise BenchParseError(
+                f"unknown gate kind {kind!r}", line_no, source
+            )
+    defined = set(circuit.all_nets())
+    for net, line_no in sorted(used_at.items(), key=lambda item: item[1]):
+        if net not in defined:
+            raise BenchParseError(
+                f"signal {net!r} is referenced but never defined",
+                line_no,
+                source,
+            )
     return circuit
 
 
 def load_bench(path, name=None):
-    """Load a ``.bench`` file from *path*."""
+    """Load a ``.bench`` file from *path*.
+
+    Parse errors name the file and line; a missing or unreadable file
+    raises the usual :class:`OSError`.
+    """
     with open(path) as handle:
         text = handle.read()
     if name is None:
         name = str(path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
-    return parse_bench(text, name=name)
+    return parse_bench(text, name=name, source=str(path))
 
 
 def write_bench(circuit):

@@ -7,6 +7,8 @@
     python -m repro faults s27
     python -m repro generate ctr8 --kind random --length 100 -o t.seq
     python -m repro simulate ctr8 --strategy MOT --length 100
+    python -m repro campaign ctr8 --length 200 --checkpoint run.ckpt
+    python -m repro campaign --resume run.ckpt
     python -m repro xred ctr8 --length 200
     python -m repro evaluate s27 --sequence t.seq --response r.seq
     python -m repro sync syncc6
@@ -28,6 +30,7 @@ from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
 from repro.faults.collapse import collapse_faults
 from repro.faults.status import FaultSet
 from repro.reporting import coverage_report
+from repro.runtime.errors import ReproError
 from repro.sequences.deterministic import deterministic_sequence
 from repro.sequences.io import (
     load_response,
@@ -43,6 +46,8 @@ from repro.xred.idxred import eliminate_x_redundant
 def _resolve_circuit(spec):
     if os.path.exists(spec):
         return load_bench(spec)
+    if spec.endswith(".bench") or os.sep in spec:
+        raise FileNotFoundError(f"no such circuit file: {spec}")
     return get_circuit(spec)
 
 
@@ -132,7 +137,101 @@ def cmd_xred(args):
     return 0
 
 
+def _build_governor(args):
+    from repro.runtime import ResourceGovernor
+
+    return ResourceGovernor(
+        deadline=getattr(args, "deadline", None),
+        node_budget=getattr(args, "node_budget", None),
+        fault_frame_nodes=getattr(args, "fault_frame_nodes", None),
+    )
+
+
+def _render_campaign(args, compiled, fault_set, sequence, result):
+    report = coverage_report(
+        compiled, fault_set, sequence,
+        exact_mot=result.exact and result.strategy == "MOT",
+        runtime_info=result.runtime_summary(),
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    # a signal-interrupted (but checkpointed) campaign is incomplete
+    return 3 if result.stopped == "signal" else 0
+
+
+def _simulate_campaign(args):
+    """The simulate command routed through the campaign runtime
+    (--deadline / --checkpoint)."""
+    from repro.runtime import SignalGuard, run_campaign
+
+    if args.strategy == "all":
+        raise ValueError(
+            "--deadline/--checkpoint run a single campaign; pick one "
+            "strategy, not 'all'"
+        )
+    compiled, fault_set = _prepare(args.circuit)
+    sequence = _get_sequence(compiled, args)
+    with SignalGuard() as guard:
+        result = run_campaign(
+            compiled, sequence, fault_set,
+            strategy=args.strategy,
+            node_limit=args.node_limit,
+            governor=_build_governor(args),
+            checkpoint_path=args.checkpoint,
+            signal_guard=guard,
+            circuit_spec=args.circuit,
+            xred=not args.no_xred,
+        )
+    return _render_campaign(args, compiled, fault_set, sequence, result)
+
+
+def cmd_campaign(args):
+    from repro.runtime import (
+        SignalGuard,
+        load_checkpoint,
+        resume_campaign,
+        run_campaign,
+    )
+
+    if args.resume is None and args.circuit is None:
+        raise ValueError("campaign needs a circuit (or --resume)")
+    with SignalGuard() as guard:
+        if args.resume is not None:
+            checkpoint = load_checkpoint(args.resume)
+            compiled, fault_set = _prepare(
+                args.circuit or checkpoint.circuit_spec
+            )
+            sequence = checkpoint.sequence
+            result = resume_campaign(
+                args.resume,
+                compiled=compiled,
+                fault_set=fault_set,
+                governor=_build_governor(args),
+                checkpoint_every=args.checkpoint_every,
+                signal_guard=guard,
+            )
+        else:
+            compiled, fault_set = _prepare(args.circuit)
+            sequence = _get_sequence(compiled, args)
+            result = run_campaign(
+                compiled, sequence, fault_set,
+                strategy=args.strategy,
+                node_limit=args.node_limit,
+                governor=_build_governor(args),
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                fallback_frames=args.fallback_frames,
+                signal_guard=guard,
+                circuit_spec=args.circuit,
+            )
+    return _render_campaign(args, compiled, fault_set, sequence, result)
+
+
 def cmd_simulate(args):
+    if args.deadline is not None or args.checkpoint:
+        return _simulate_campaign(args)
     compiled, fault_set = _prepare(args.circuit)
     sequence = _get_sequence(compiled, args)
     if not args.no_xred:
@@ -306,6 +405,44 @@ def build_parser():
     p.add_argument("--no-xred", action="store_true",
                    help="skip the ID_X-red pre-pass")
     p.add_argument("--json", action="store_true")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget in seconds (runs the "
+                        "campaign runtime)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write resumable checkpoints to PATH (runs "
+                        "the campaign runtime)")
+
+    p = sub.add_parser(
+        "campaign",
+        help="resilient fault-simulation campaign "
+             "(budgets, checkpoints, degradation ladder)",
+    )
+    p.add_argument("circuit", nargs="?",
+                   help="registry name or .bench file path "
+                        "(optional with --resume)")
+    p.add_argument("--sequence", help="sequence file (.seq)")
+    p.add_argument("--length", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--node-limit", type=int, default=DEFAULT_NODE_LIMIT)
+    p.add_argument("--strategy",
+                   choices=("3v", "SOT", "rMOT", "MOT"), default="MOT",
+                   help="top rung of the degradation ladder")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget in seconds")
+    p.add_argument("--node-budget", type=int, default=None,
+                   help="total live-BDD-node budget")
+    p.add_argument("--fault-frame-nodes", type=int, default=None,
+                   help="per-fault per-frame BDD allocation budget")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write resumable checkpoints to PATH")
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   metavar="N", help="checkpoint every N frames")
+    p.add_argument("--fallback-frames", type=int, default=5,
+                   help="three-valued interlude length after an "
+                        "overflow")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="resume from a checkpoint file")
+    p.add_argument("--json", action="store_true")
 
     p = sub.add_parser("evaluate",
                        help="symbolic test evaluation of a response")
@@ -352,6 +489,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "xred": cmd_xred,
     "simulate": cmd_simulate,
+    "campaign": cmd_campaign,
     "evaluate": cmd_evaluate,
     "sync": cmd_sync,
     "diagnose": cmd_diagnose,
@@ -371,6 +509,11 @@ def main(argv=None):
         except OSError:
             pass
         return 0
+    except (ReproError, FileNotFoundError, OSError, ValueError) as exc:
+        # bad inputs (missing files, malformed .bench, unknown circuit,
+        # mismatched checkpoint, ...) fail with one line, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -92,7 +92,7 @@ class _Pack:
         return ones, zeros
 
 
-def _simulate_pack(compiled, pack, sequence, initial_state):
+def _simulate_pack(compiled, pack, sequence, initial_state, frame_hook=None):
     """Simulate one pack; returns per-bit first detection frame (or None)."""
     width = pack.width
     full = pack.full
@@ -103,6 +103,8 @@ def _simulate_pack(compiled, pack, sequence, initial_state):
     good_state = list(initial_state)
 
     for time, vector in enumerate(sequence, start=1):
+        if frame_hook is not None:
+            frame_hook(time)
         good_values = simulate_frame(
             compiled, THREE_VALUED, vector, good_state
         )
@@ -165,11 +167,18 @@ def fault_simulate_3v_parallel(
     fault_set,
     initial_state=None,
     pack_width=256,
+    frame_hook=None,
 ):
     """Packed three-valued SOT fault simulation.
 
     Marks detected records in *fault_set* with strategy ``BY_3V`` (same
     contract as the serial engine).
+
+    *frame_hook*, when given, is called with the 1-based frame number
+    before each frame of each pack (the frame count restarts per pack);
+    the campaign runtime uses it to poll its wall-clock deadline — a
+    raising hook aborts the sweep, leaving already-marked detections
+    in place (which is sound).
     """
     if initial_state is None:
         initial_state = [threeval.X] * compiled.num_dffs
@@ -177,7 +186,9 @@ def fault_simulate_3v_parallel(
     for start in range(0, len(live), pack_width):
         batch = live[start : start + pack_width]
         pack = _Pack(compiled, batch)
-        detected_at = _simulate_pack(compiled, pack, sequence, initial_state)
+        detected_at = _simulate_pack(
+            compiled, pack, sequence, initial_state, frame_hook=frame_hook
+        )
         for record, time in zip(batch, detected_at):
             if time is not None and record.status == UNDETECTED:
                 record.mark_detected(BY_3V, time)

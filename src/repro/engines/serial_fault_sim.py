@@ -55,6 +55,7 @@ def fault_simulate_3v(
     fault_set,
     initial_state=None,
     drop_detected=True,
+    frame_hook=None,
 ):
     """Run three-valued SOT fault simulation over *sequence*.
 
@@ -62,6 +63,10 @@ def fault_simulate_3v(
     detected or X-redundant is skipped (this is how ``ID_X-red``
     accelerates the run).  Detected faults are marked in-place in
     *fault_set* with strategy ``BY_3V``.
+
+    *frame_hook*, when given, is called with the 1-based frame number
+    before each frame is simulated; the campaign runtime uses it to
+    poll its wall-clock deadline (the hook may raise to abort).
     """
     algebra = THREE_VALUED
     if isinstance(fault_set, (list, tuple)):
@@ -75,6 +80,8 @@ def fault_simulate_3v(
     events = 0
 
     for time, vector in enumerate(sequence, start=1):
+        if frame_hook is not None:
+            frame_hook(time)
         good_values = simulate_frame(compiled, algebra, vector, good_state)
         still_live = []
         for record in live:

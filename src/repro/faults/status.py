@@ -3,6 +3,10 @@
 UNDETECTED = "undetected"
 DETECTED = "detected"
 X_REDUNDANT = "x-redundant"
+# set by the campaign runtime when a fault exhausts the degradation
+# ladder; the fault is excluded from further simulation and counts as
+# unclassified in coverage reports
+QUARANTINED = "quarantined"
 
 # how a fault got detected
 BY_3V = "3-valued"
@@ -29,6 +33,19 @@ class FaultRecord:
 
     def mark_x_redundant(self):
         self.status = X_REDUNDANT
+
+    def mark_quarantined(self):
+        self.status = QUARANTINED
+        self.detected_by = None
+        self.detected_at = None
+
+    def state_to_json(self):
+        """JSON-serializable [status, detected_by, detected_at]."""
+        return [self.status, self.detected_by, self.detected_at]
+
+    def state_from_json(self, data):
+        """Restore what :meth:`state_to_json` captured."""
+        self.status, self.detected_by, self.detected_at = data
 
     def __repr__(self):
         extra = ""
@@ -80,6 +97,9 @@ class FaultSet:
     def x_redundant(self):
         return [r for r in self.records if r.status == X_REDUNDANT]
 
+    def quarantined(self):
+        return [r for r in self.records if r.status == QUARANTINED]
+
     def clone(self):
         """Deep copy of statuses (faults themselves are immutable)."""
         other = FaultSet([r.fault for r in self.records])
@@ -96,6 +116,7 @@ class FaultSet:
             "detected": len(self.detected()),
             "undetected": len(self.undetected()),
             "x_redundant": len(self.x_redundant()),
+            "quarantined": len(self.quarantined()),
         }
 
     def coverage(self):
@@ -103,3 +124,15 @@ class FaultSet:
         if not self.records:
             return 0.0
         return len(self.detected()) / len(self.records)
+
+
+def fault_key_to_json(key):
+    """JSON-serializable form of :meth:`Fault.key` (tuples -> lists)."""
+    lead, value = key
+    return [list(lead), value]
+
+
+def fault_key_from_json(data):
+    """Inverse of :func:`fault_key_to_json`."""
+    lead, value = data
+    return (tuple(lead), value)

@@ -28,11 +28,14 @@ class CoverageReport:
     """Summary of a (possibly multi-stage) fault-simulation run."""
 
     def __init__(self, compiled, fault_set, sequence_length=None,
-                 exact_mot=False):
+                 exact_mot=False, runtime_info=None):
         self.compiled = compiled
         self.fault_set = fault_set
         self.sequence_length = sequence_length
         self.exact_mot = exact_mot
+        # optional CampaignResult.runtime_summary() dict: stop reason,
+        # budgets, degradation and checkpoint accounting
+        self.runtime_info = runtime_info
 
     # ------------------------------------------------------------------
     def by_strategy(self):
@@ -50,11 +53,12 @@ class CoverageReport:
         total = counts["total"]
         conventional = strategies.get(BY_3V, 0)
         symbolic_extra = counts["detected"] - conventional
-        return {
+        payload = {
             "total_faults": total,
             "detected": counts["detected"],
             "undetected": counts["undetected"],
             "x_redundant_remaining": counts["x_redundant"],
+            "quarantined": counts["quarantined"],
             "coverage": counts["detected"] / total if total else 0.0,
             "conventional_detected": conventional,
             "symbolic_extra_detected": symbolic_extra,
@@ -62,6 +66,9 @@ class CoverageReport:
             "sequence_length": self.sequence_length,
             "exact_mot": self.exact_mot,
         }
+        if self.runtime_info is not None:
+            payload["runtime"] = self.runtime_info
+        return payload
 
     # ------------------------------------------------------------------
     def render(self):
@@ -85,11 +92,31 @@ class CoverageReport:
             f"  unclassified:             "
             f"{s['undetected'] + s['x_redundant_remaining']}"
         )
+        if s["quarantined"]:
+            lines.append(
+                f"  quarantined:              {s['quarantined']}"
+            )
         if self.exact_mot:
             lines.append(
                 "  (exact MOT run: every unclassified fault is PROVED "
                 "undetectable by this sequence)"
             )
+        if self.runtime_info is not None:
+            r = self.runtime_info
+            lines.append(
+                f"  campaign: {r['stopped']} after {r['frames_total']} "
+                f"frames ({r['frames_symbolic']} symbolic, "
+                f"{r['frames_three_valued']} three-valued)"
+            )
+            lines.append(
+                f"    fallbacks {r['fallbacks']}, demotions "
+                f"{r['demotions']}, gc runs {r['gc_runs']}, "
+                f"checkpoints {r['checkpoints_written']}"
+            )
+            if r.get("resumed_from") is not None:
+                lines.append(
+                    f"    resumed from frame {r['resumed_from']}"
+                )
         return "\n".join(lines)
 
     def to_json(self):
@@ -106,7 +133,9 @@ class CoverageReport:
         return json.dumps(payload, indent=2)
 
 
-def coverage_report(compiled, fault_set, sequence=None, exact_mot=False):
+def coverage_report(compiled, fault_set, sequence=None, exact_mot=False,
+                    runtime_info=None):
     """Build a :class:`CoverageReport`."""
     length = len(sequence) if sequence is not None else None
-    return CoverageReport(compiled, fault_set, length, exact_mot)
+    return CoverageReport(compiled, fault_set, length, exact_mot,
+                          runtime_info=runtime_info)

@@ -1,0 +1,68 @@
+"""Campaign runtime: budgets, checkpoints and graceful degradation.
+
+Leaf modules (:mod:`errors`, :mod:`governor`, :mod:`ladder`) are
+imported eagerly.  The campaign driver and checkpoint machinery are
+exposed lazily (PEP 562): :mod:`repro.circuit.bench` imports
+:mod:`repro.runtime.errors` for its error taxonomy, and an eager import
+of :mod:`repro.runtime.campaign` here would close a circular import
+through the engines back to :mod:`repro.circuit`.
+"""
+
+from repro.runtime.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    CircuitFormatError,
+    DegradationExhausted,
+    ReproError,
+)
+from repro.runtime.governor import ResourceGovernor
+from repro.runtime.ladder import (
+    THREE_VALUED_RUNG,
+    DegradationLadder,
+    LadderState,
+    Rung,
+)
+
+_CAMPAIGN_EXPORTS = {
+    "Campaign",
+    "CampaignResult",
+    "run_campaign",
+    "resume_campaign",
+    "DEFAULT_CHECKPOINT_EVERY",
+}
+_CHECKPOINT_EXPORTS = {
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointWriter",
+    "SignalGuard",
+    "load_checkpoint",
+}
+
+__all__ = sorted(
+    {
+        "ReproError",
+        "BudgetExceeded",
+        "CheckpointError",
+        "CircuitFormatError",
+        "DegradationExhausted",
+        "ResourceGovernor",
+        "DegradationLadder",
+        "LadderState",
+        "Rung",
+        "THREE_VALUED_RUNG",
+    }
+    | _CAMPAIGN_EXPORTS
+    | _CHECKPOINT_EXPORTS
+)
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.runtime import campaign
+
+        return getattr(campaign, name)
+    if name in _CHECKPOINT_EXPORTS:
+        from repro.runtime import checkpoint
+
+        return getattr(checkpoint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

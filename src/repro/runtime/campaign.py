@@ -1,0 +1,826 @@
+"""The resilient campaign driver.
+
+:func:`run_campaign` wraps the whole fault-simulation flow — the
+``ID_X-red`` pre-pass, the word-parallel three-valued pre-pass and the
+symbolic strategies — behind one driver that composes
+
+* a :class:`~repro.runtime.governor.ResourceGovernor` (wall-clock
+  deadline, total-node and per-fault frame budgets),
+* between-frame checkpoints plus ``SIGINT``/``SIGTERM`` handling
+  (:mod:`repro.runtime.checkpoint`), and
+* the per-fault :class:`~repro.runtime.ladder.DegradationLadder`.
+
+Faults live in one *group* per ladder rung.  Symbolic groups run a
+:class:`~repro.symbolic.fault_sim.SymbolicSession` each (own OBDD
+manager, own node limit); the bottom ``3v`` group runs the serial
+three-valued engine.  All groups advance in lockstep, one test vector
+per iteration, against a shared conservative three-valued good-machine
+trajectory.  When a session raises
+
+* :class:`SpaceLimitExceeded` attributable to a single fault — that
+  fault is demoted one rung (or quarantined off the bottom),
+* :class:`SpaceLimitExceeded` in the fault-free simulation — the whole
+  group falls back to three-valued frames for a few vectors and then
+  re-opens, exactly like the paper's hybrid simulator,
+* :class:`BudgetExceeded` without a fault key (deadline / total
+  nodes) — the frame is *completed* three-valued for the remaining
+  groups (so every fault sits on the same frame boundary), a final
+  checkpoint is written and a partial :class:`CampaignResult` is
+  returned.
+
+A step that raises never mutates its session, so every recovery path
+resumes from consistent state.  Any fallback, demotion or resume makes
+the classification conservative: the result is flagged
+``exact=False``.
+"""
+
+from repro.bdd.errors import SpaceLimitExceeded
+from repro.engines.algebra import THREE_VALUED
+from repro.engines.evaluate import next_state_of, simulate_frame
+from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
+from repro.engines.propagate import propagate_fault
+from repro.engines.serial_fault_sim import _check_sot_detection
+from repro.faults.status import BY_3V, QUARANTINED, FaultSet
+from repro.logic import threeval
+from repro.runtime.checkpoint import CheckpointWriter, load_checkpoint
+from repro.runtime.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    DegradationExhausted,
+)
+from repro.runtime.governor import ResourceGovernor
+from repro.runtime.ladder import DegradationLadder, LadderState
+from repro.symbolic.fault_sim import SymbolicSession
+from repro.symbolic.hybrid import (
+    _GC_RETRY_FRACTION,
+    DEFAULT_FALLBACK_FRAMES,
+    DEFAULT_NODE_LIMIT,
+    HybridFaultSimResult,
+)
+from repro.xred.idxred import eliminate_x_redundant
+
+DEFAULT_CHECKPOINT_EVERY = 25
+
+COMPLETED = "completed"
+
+
+class CampaignResult(HybridFaultSimResult):
+    """A :class:`HybridFaultSimResult` plus budget / degradation /
+    checkpoint accounting."""
+
+    def __init__(
+        self,
+        fault_set,
+        strategy_name,
+        frames_total,
+        frames_symbolic,
+        frames_three_valued,
+        fallbacks,
+        gc_runs,
+        peak_nodes,
+        demotions,
+        demotion_log,
+        quarantined,
+        checkpoints_written,
+        checkpoint_path,
+        resumed_from,
+        stopped,
+        budget,
+        ladder_names,
+        rung_population,
+    ):
+        super().__init__(
+            fault_set,
+            strategy_name,
+            frames_total,
+            frames_symbolic,
+            frames_three_valued,
+            fallbacks,
+            gc_runs,
+            peak_nodes,
+        )
+        self.demotions = demotions
+        self.demotion_log = demotion_log
+        self.quarantined = quarantined
+        self.checkpoints_written = checkpoints_written
+        self.checkpoint_path = checkpoint_path
+        self.resumed_from = resumed_from
+        self.stopped = stopped
+        self.budget = budget
+        self.ladder = ladder_names
+        self.rung_population = rung_population
+
+    @property
+    def exact(self):
+        """True only for an uninterrupted, undegraded, complete run."""
+        return (
+            self.stopped == COMPLETED
+            and self.fallbacks == 0
+            and self.demotions == 0
+            and not self.quarantined
+            and self.resumed_from is None
+            and self.frames_three_valued == 0
+        )
+
+    def runtime_summary(self):
+        """Accounting dict for reports and JSON export."""
+        return {
+            "stopped": self.stopped,
+            "frames_total": self.frames_total,
+            "frames_symbolic": self.frames_symbolic,
+            "frames_three_valued": self.frames_three_valued,
+            "fallbacks": self.fallbacks,
+            "gc_runs": self.gc_runs,
+            "demotions": self.demotions,
+            "quarantined": len(self.quarantined),
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_path": self.checkpoint_path,
+            "resumed_from": self.resumed_from,
+            "peak_nodes": self.peak_nodes,
+            "exact": self.exact,
+            "ladder": self.ladder,
+            "rung_population": self.rung_population,
+            "budget": self.budget,
+        }
+
+    def __repr__(self):
+        counts = self.fault_set.counts()
+        flag = "exact" if self.exact else "conservative"
+        return (
+            f"CampaignResult({self.strategy}, "
+            f"{counts['detected']}/{counts['total']} detected, "
+            f"{self.stopped} after {self.frames_total} frames, {flag})"
+        )
+
+
+class _Group:
+    """The faults currently on one ladder rung.
+
+    A symbolic group is either *running* (``session`` holds the
+    records) or in a three-valued *interlude* after a whole-group
+    space-limit fallback (``records``/``diffs`` hold them until the
+    interlude expires and a fresh session re-opens).  The bottom
+    ``3v`` group only ever uses ``records``/``diffs``.
+    """
+
+    def __init__(self, rung_index, rung):
+        self.rung_index = rung_index
+        self.rung = rung
+        self.session = None
+        self.records = {}  # id(record) -> record (outside a session)
+        self.diffs = {}  # id(record) -> {dff: 3v value} vs campaign state
+        self.interlude_left = 0
+
+    def live_count(self):
+        if self.session is not None:
+            return len(self.session.live_records())
+        return len(self.records)
+
+
+class Campaign:
+    """One resilient fault-simulation campaign (see module docstring)."""
+
+    def __init__(
+        self,
+        compiled,
+        sequence,
+        fault_set,
+        strategy="MOT",
+        ladder=None,
+        node_limit=DEFAULT_NODE_LIMIT,
+        governor=None,
+        checkpoint_path=None,
+        checkpoint_every=DEFAULT_CHECKPOINT_EVERY,
+        fallback_frames=DEFAULT_FALLBACK_FRAMES,
+        initial_state=None,
+        variable_scheme="interleaved",
+        progress_hook=None,
+        rng=None,
+        signal_guard=None,
+        circuit_spec=None,
+        xred=True,
+        pre_pass_3v=True,
+    ):
+        if fallback_frames < 1:
+            raise ValueError("fallback_frames must be at least 1")
+        if isinstance(fault_set, (list, tuple)):
+            fault_set = FaultSet(fault_set)
+        if ladder is None:
+            ladder = DegradationLadder.from_strategy(strategy)
+        elif not isinstance(ladder, DegradationLadder):
+            ladder = DegradationLadder(ladder)
+        self.compiled = compiled
+        self.sequence = [tuple(v) for v in sequence]
+        self.fault_set = fault_set
+        self.ladder = ladder
+        self.node_limit = node_limit
+        self.governor = governor or ResourceGovernor()
+        self.checkpoint_every = max(int(checkpoint_every), 1)
+        self.fallback_frames = fallback_frames
+        self.variable_scheme = variable_scheme
+        self.progress_hook = progress_hook
+        self.rng = rng
+        self.signal_guard = signal_guard
+        self.circuit_spec = circuit_spec or compiled.circuit.name
+        self.xred = xred
+        self.pre_pass_3v = pre_pass_3v
+
+        if initial_state is None:
+            initial_state = [threeval.X] * compiled.num_dffs
+        self.initial_state = list(initial_state)
+        self.good_3v = list(initial_state)
+
+        self.ladder_state = LadderState(ladder)
+        self.groups = [_Group(i, rung) for i, rung in enumerate(ladder.rungs)]
+        self._record_of = {r.fault.key(): r for r in fault_set}
+
+        self.frame = 0
+        self.frames_symbolic = 0
+        self.frames_three_valued = 0
+        self.fallbacks = 0
+        self.gc_runs = 0
+        self.peak_nodes = 2
+        self.quarantined = []  # fault keys
+        self.resumed_from = None
+        self.stopped = None
+        self._resume_elapsed = 0.0
+
+        self._writer = (
+            CheckpointWriter(checkpoint_path) if checkpoint_path else None
+        )
+        self._attached = False  # faults distributed onto the ladder
+
+    # ------------------------------------------------------------------
+    # construction from a checkpoint
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint,
+        compiled,
+        fault_set,
+        governor=None,
+        checkpoint_path=None,
+        checkpoint_every=DEFAULT_CHECKPOINT_EVERY,
+        progress_hook=None,
+        rng=None,
+        signal_guard=None,
+    ):
+        """Rebuild a campaign from the last snapshot of *checkpoint*.
+
+        Symbolic sessions are *not* serialized; they re-open from the
+        snapshot's three-valued projection, so the resumed result is
+        conservative and flagged ``exact=False``.
+        """
+        keys = [r.fault.key() for r in fault_set]
+        if keys != checkpoint.fault_keys:
+            raise CheckpointError(
+                checkpoint.path,
+                "fault universe does not match the checkpointed campaign "
+                f"({len(keys)} vs {len(checkpoint.fault_keys)} faults)",
+            )
+        ladder = DegradationLadder.from_json(checkpoint.ladder_json())
+        campaign = cls(
+            compiled,
+            checkpoint.sequence,
+            fault_set,
+            ladder=ladder,
+            node_limit=checkpoint.node_limit,
+            governor=governor,
+            checkpoint_path=checkpoint_path or checkpoint.path,
+            checkpoint_every=checkpoint_every,
+            fallback_frames=checkpoint.fallback_frames,
+            variable_scheme=checkpoint.variable_scheme,
+            progress_hook=progress_hook,
+            rng=rng,
+            signal_guard=signal_guard,
+            circuit_spec=checkpoint.circuit_spec,
+            xred=False,
+            pre_pass_3v=False,
+        )
+        campaign.frame = checkpoint.frame
+        campaign.resumed_from = checkpoint.frame
+        campaign.good_3v = checkpoint.good_state
+        counters = checkpoint.counters
+        campaign.frames_symbolic = counters.get("frames_symbolic", 0)
+        campaign.frames_three_valued = counters.get("frames_three_valued", 0)
+        campaign.fallbacks = counters.get("fallbacks", 0)
+        campaign.gc_runs = counters.get("gc_runs", 0)
+        campaign.peak_nodes = counters.get("peak_nodes", 2)
+        campaign.ladder_state.demotions = counters.get("demotions", 0)
+        campaign.governor.nodes_allocated = counters.get("nodes_allocated", 0)
+        campaign._resume_elapsed = checkpoint.elapsed
+
+        if rng is not None and checkpoint.rng_state() is not None:
+            rng.setstate(checkpoint.rng_state())
+
+        for record, (state, rung_index, diff) in zip(
+            fault_set, checkpoint.fault_states()
+        ):
+            record.state_from_json(state)
+            if record.status == QUARANTINED:
+                campaign.quarantined.append(record.fault.key())
+            if rung_index is None:
+                continue
+            campaign.ladder_state.assign(record.fault.key(), rung_index)
+            group = campaign.groups[rung_index]
+            group.records[id(record)] = record
+            group.diffs[id(record)] = diff or {}
+        campaign._attached = True
+        return campaign
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+    def run(self):
+        """Drive the campaign to completion (or a graceful stop)."""
+        self.governor.start(
+            elapsed_before=self._resume_elapsed,
+            nodes_before=self.governor.nodes_allocated,
+        )
+        try:
+            if not self._attached:
+                self._write_header()
+                stopped_early = self._pre_passes()
+                self._distribute_faults()
+                if stopped_early:
+                    return self._finish(stopped_early)
+            return self._main_loop()
+        finally:
+            if self._writer is not None:
+                self._writer.close()
+
+    def _pre_passes(self):
+        """ID_X-red and the conventional three-valued pass.
+
+        Returns a stop reason if a budget expired mid-pass, else None.
+        """
+        try:
+            self.governor.check_frame(0)
+            if self.xred:
+                eliminate_x_redundant(
+                    self.compiled,
+                    self.sequence,
+                    self.fault_set,
+                    initial_state=self.initial_state,
+                )
+            if self.pre_pass_3v:
+                fault_simulate_3v_parallel(
+                    self.compiled,
+                    self.sequence,
+                    self.fault_set,
+                    initial_state=self.initial_state,
+                    frame_hook=self.governor.check_frame,
+                )
+        except BudgetExceeded as exc:
+            return exc.kind
+        return None
+
+    def _distribute_faults(self):
+        if any(rung.symbolic for rung in self.ladder.rungs):
+            candidates = self.fault_set.symbolic_candidates()
+        else:
+            candidates = self.fault_set.undetected()
+        start_group = self.groups[0]
+        for record in candidates:
+            self.ladder_state.assign(record.fault.key(), 0)
+            start_group.records[id(record)] = record
+            start_group.diffs[id(record)] = {}
+        self._attached = True
+
+    def _main_loop(self):
+        sequence = self.sequence
+        while self.frame < len(sequence):
+            if not any(group.live_count() for group in self.groups):
+                break
+            if (
+                self.signal_guard is not None
+                and self.signal_guard.stop_requested
+            ):
+                return self._finish("signal")
+            try:
+                self.governor.check_frame(self.frame)
+            except BudgetExceeded as exc:
+                return self._finish(exc.kind)
+            stop = self._run_frame(sequence[self.frame])
+            self.frame += 1
+            if stop is not None:
+                return self._finish(stop)
+            if (
+                self.frame % self.checkpoint_every == 0
+                and self.frame < len(sequence)
+            ):
+                self._write_checkpoint()
+                self._emit_progress()
+        return self._finish(COMPLETED)
+
+    def _run_frame(self, vector):
+        """One lockstep frame; returns a stop reason (budget kind) or None.
+
+        A campaign-level budget can expire while some groups have
+        already stepped; the frame is then *completed* three-valued for
+        the remaining groups so every fault sits on the same frame
+        boundary when the final checkpoint is written.
+        """
+        time = self.frame + 1  # detection times are 1-based
+        good_values = simulate_frame(
+            self.compiled, THREE_VALUED, vector, self.good_3v
+        )
+        stop = None
+        stepped_symbolic = False
+        stepped_3v = False
+        pending = list(self.groups)
+        while pending:
+            group = pending.pop(0)
+            if stop is not None:
+                # budget expired mid-frame: drain remaining groups 3v
+                if group.rung.symbolic and group.session is not None:
+                    self._begin_interlude(group)
+                if group.records:
+                    self._three_valued_step(
+                        good_values, group, time,
+                        quarantine_on_budget=not group.rung.symbolic,
+                    )
+                    stepped_3v = True
+                if group.interlude_left > 0:
+                    group.interlude_left -= 1
+                continue
+            if not group.rung.symbolic:
+                if group.records:
+                    self._three_valued_step(
+                        good_values, group, time, quarantine_on_budget=True
+                    )
+                    stepped_3v = True
+                continue
+            if group.interlude_left > 0:
+                if group.records:
+                    self._three_valued_step(good_values, group, time)
+                    stepped_3v = True
+                group.interlude_left -= 1
+                continue
+            if group.session is None and group.records:
+                try:
+                    self._open_session(group)
+                except SpaceLimitExceeded:
+                    # the rung's limit cannot even hold the state
+                    # encoding: run this group three-valued for a while
+                    self.fallbacks += 1
+                    group.session = None
+                    group.interlude_left = self.fallback_frames
+                    self._three_valued_step(good_values, group, time)
+                    group.interlude_left -= 1
+                    stepped_3v = True
+                    continue
+                except BudgetExceeded as exc:
+                    stop = exc.kind
+                    group.session = None
+                    pending.insert(0, group)
+                    continue
+            if group.session is not None and group.session.live_records():
+                try:
+                    outcome = self._step_symbolic_group(group, vector)
+                except BudgetExceeded as exc:
+                    stop = exc.kind
+                    pending.insert(0, group)
+                    continue
+                if outcome == "interlude":
+                    self._three_valued_step(good_values, group, time)
+                    group.interlude_left -= 1
+                    stepped_3v = True
+                elif outcome:
+                    stepped_symbolic = True
+        self.good_3v = next_state_of(self.compiled, good_values)
+        if stepped_symbolic:
+            self.frames_symbolic += 1
+        if stepped_3v:
+            self.frames_three_valued += 1
+        return stop
+
+    # ------------------------------------------------------------------
+    # symbolic groups
+    # ------------------------------------------------------------------
+    def _open_session(self, group):
+        """Fresh session for *group* from the current three-valued state."""
+        session = SymbolicSession(
+            self.compiled,
+            group.rung.strategy,
+            good_state_3v=self.good_3v,
+            node_limit=group.rung.node_limit(self.node_limit),
+            variable_scheme=self.variable_scheme,
+            start_time=self.frame,
+        )
+        self.governor.attach_manager(session.manager)
+        if self.governor.fault_frame_nodes is not None:
+            session.fault_cost_hook = self.governor.check_fault_frame_nodes
+        for key, record in group.records.items():
+            session.attach_fault(record, group.diffs.get(key))
+        group.records = {}
+        group.diffs = {}
+        group.session = session
+
+    def _step_symbolic_group(self, group, vector):
+        """One frame for a symbolic group, with the retry protocol.
+
+        Returns True on a successful step, ``"interlude"`` after a
+        whole-group fallback (the caller then simulates this frame
+        three-valued), False when the group emptied out.  Per-fault
+        blow-ups demote just the offending fault and retry; the step is
+        atomic, so a retry re-runs the frame from unchanged state.
+        """
+        gc_tried = False
+        while True:
+            session = group.session
+            if not session.live_records():
+                return False
+            try:
+                detected = session.step(vector)
+            except SpaceLimitExceeded as exc:
+                self.peak_nodes = max(
+                    self.peak_nodes, session.manager.peak_nodes
+                )
+                if not gc_tried:
+                    session.compact()
+                    self.gc_runs += 1
+                    gc_tried = True
+                    limit = session.manager.node_limit or 0
+                    if session.manager.num_nodes < _GC_RETRY_FRACTION * limit:
+                        continue
+                if exc.fault_key is not None:
+                    self._demote(group, exc.fault_key)
+                    continue
+                self._begin_interlude(group)
+                return "interlude"
+            except BudgetExceeded as exc:
+                if exc.fault_key is not None:
+                    self._demote(group, exc.fault_key)
+                    continue
+                raise
+            self.peak_nodes = max(self.peak_nodes, session.manager.peak_nodes)
+            for record in detected:
+                self.ladder_state.forget(record.fault.key())
+            return True
+
+    def _demote(self, group, fault_key):
+        """Move one fault a rung down (or quarantine it off the end)."""
+        record = self._record_of[fault_key]
+        if group.session is not None and id(record) in group.session._store:
+            diff = group.session.detach(record, relative_to=self.good_3v)
+        else:
+            group.records.pop(id(record), None)
+            diff = group.diffs.pop(id(record), {})
+        try:
+            new_index = self.ladder_state.demote(fault_key, frame=self.frame)
+        except DegradationExhausted:
+            self._quarantine(record)
+            return
+        target = self.groups[new_index]
+        if target.rung.symbolic and target.session is not None:
+            try:
+                target.session.attach_fault(record, diff)
+                return
+            except SpaceLimitExceeded:
+                # the target session is itself out of headroom; push the
+                # whole target group into a three-valued interlude and
+                # park the record with it
+                target.session._store.pop(id(record), None)
+                self._begin_interlude(target)
+        target.records[id(record)] = record
+        target.diffs[id(record)] = diff or {}
+
+    def _quarantine(self, record):
+        record.mark_quarantined()
+        key = record.fault.key()
+        self.ladder_state.forget(key)
+        self.quarantined.append(key)
+
+    def _begin_interlude(self, group):
+        """Whole-group fallback: project to three-valued, drop the
+        session, simulate ``fallback_frames`` frames conventionally."""
+        self.fallbacks += 1
+        session = group.session
+        records = {}
+        diffs = {}
+        for record in session.live_records():
+            records[id(record)] = record
+            diffs[id(record)] = session.detach(record, relative_to=self.good_3v)
+        group.session = None
+        group.records = records
+        group.diffs = diffs
+        group.interlude_left = self.fallback_frames
+
+    # ------------------------------------------------------------------
+    # three-valued stepping (interludes and the bottom rung)
+    # ------------------------------------------------------------------
+    def _three_valued_step(
+        self, good_values, group, time, quarantine_on_budget=False
+    ):
+        records, diffs = group.records, group.diffs
+        for key in list(records):
+            record = records[key]
+            result = propagate_fault(
+                self.compiled,
+                THREE_VALUED,
+                good_values,
+                record.fault,
+                diffs[key],
+            )
+            if quarantine_on_budget:
+                try:
+                    self.governor.check_fault_frame_events(
+                        record, len(result.diff)
+                    )
+                except BudgetExceeded:
+                    del records[key], diffs[key]
+                    self._quarantine(record)
+                    continue
+            if _check_sot_detection(
+                self.compiled, good_values, result, THREE_VALUED
+            ):
+                record.mark_detected(BY_3V, time)
+                self.ladder_state.forget(record.fault.key())
+                del records[key], diffs[key]
+            else:
+                diffs[key] = result.next_state_diff
+
+    # ------------------------------------------------------------------
+    # checkpoints, progress, finishing
+    # ------------------------------------------------------------------
+    def _write_header(self):
+        if self._writer is None:
+            return
+        self._writer.write_header(
+            circuit_spec=self.circuit_spec,
+            sequence=self.sequence,
+            fault_keys=[r.fault.key() for r in self.fault_set],
+            ladder=self.ladder,
+            node_limit=self.node_limit,
+            initial_state=self.initial_state,
+            variable_scheme=self.variable_scheme,
+            fallback_frames=self.fallback_frames,
+        )
+
+    def _live_snapshot(self):
+        """(rung_indices, diffs) keyed by id(record) for all live faults."""
+        rungs = {}
+        diffs = {}
+        for group in self.groups:
+            if group.session is not None:
+                session_diffs = group.session.snapshot_diffs(
+                    relative_to=self.good_3v
+                )
+                for record in group.session.live_records():
+                    rungs[id(record)] = group.rung_index
+                    diffs[id(record)] = session_diffs[id(record)]
+            for key, record in group.records.items():
+                rungs[id(record)] = group.rung_index
+                diffs[id(record)] = group.diffs.get(key, {})
+        return rungs, diffs
+
+    def _counters(self):
+        return {
+            "frames_symbolic": self.frames_symbolic,
+            "frames_three_valued": self.frames_three_valued,
+            "fallbacks": self.fallbacks,
+            "gc_runs": self.gc_runs,
+            "demotions": self.ladder_state.demotions,
+            "peak_nodes": self.peak_nodes,
+            "nodes_allocated": self.governor.nodes_allocated,
+        }
+
+    def _write_checkpoint(self):
+        if self._writer is None:
+            return
+        rungs, diffs = self._live_snapshot()
+        self._writer.write_checkpoint(
+            frame=self.frame,
+            good_state_3v=self.good_3v,
+            fault_set=self.fault_set,
+            rung_indices=rungs,
+            diffs_3v=diffs,
+            counters=self._counters(),
+            rng_state=self.rng.getstate() if self.rng else None,
+            elapsed=round(self.governor.elapsed(), 6),
+        )
+
+    def _progress_payload(self):
+        counts = self.fault_set.counts()
+        return {
+            "frame": self.frame,
+            "frames_total": len(self.sequence),
+            "detected": counts["detected"],
+            "live": sum(group.live_count() for group in self.groups),
+            "quarantined": len(self.quarantined),
+            "rung_population": self.ladder_state.population(),
+            "fallbacks": self.fallbacks,
+            "demotions": self.ladder_state.demotions,
+            "peak_nodes": self.peak_nodes,
+            "elapsed": round(self.governor.elapsed(), 3),
+        }
+
+    def _emit_progress(self):
+        payload = self._progress_payload()
+        if self._writer is not None:
+            self._writer.write_progress(payload)
+        if self.progress_hook is not None:
+            self.progress_hook(payload)
+
+    def _finish(self, stopped):
+        self.stopped = stopped
+        for group in self.groups:
+            if group.session is not None:
+                self.peak_nodes = max(
+                    self.peak_nodes, group.session.manager.peak_nodes
+                )
+        self._write_checkpoint()
+        self._emit_progress()
+        return CampaignResult(
+            self.fault_set,
+            self.ladder.rungs[0].strategy,
+            frames_total=self.frame,
+            frames_symbolic=self.frames_symbolic,
+            frames_three_valued=self.frames_three_valued,
+            fallbacks=self.fallbacks,
+            gc_runs=self.gc_runs,
+            peak_nodes=self.peak_nodes,
+            demotions=self.ladder_state.demotions,
+            demotion_log=list(self.ladder_state.demotion_log),
+            quarantined=list(self.quarantined),
+            checkpoints_written=(
+                self._writer.checkpoints_written if self._writer else 0
+            ),
+            checkpoint_path=self._writer.path if self._writer else None,
+            resumed_from=self.resumed_from,
+            stopped=stopped,
+            budget=self.governor.accounting(),
+            ladder_names=self.ladder.names(),
+            rung_population=self.ladder_state.population(),
+        )
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def run_campaign(compiled, sequence, fault_set, **kwargs):
+    """Run a resilient fault-simulation campaign; see :class:`Campaign`.
+
+    Accepts every :class:`Campaign` keyword (strategy, ladder,
+    node_limit, governor, checkpoint_path, checkpoint_every,
+    fallback_frames, initial_state, variable_scheme, progress_hook,
+    rng, signal_guard, circuit_spec, xred, pre_pass_3v) and returns a
+    :class:`CampaignResult`.
+    """
+    return Campaign(compiled, sequence, fault_set, **kwargs).run()
+
+
+def _load_compiled(circuit_spec):
+    import os
+
+    from repro.circuit.compile import compile_circuit
+
+    if os.path.exists(circuit_spec):
+        from repro.circuit.bench import load_bench
+
+        return compile_circuit(load_bench(circuit_spec))
+    from repro.circuits.registry import get_circuit
+
+    return compile_circuit(get_circuit(circuit_spec))
+
+
+def resume_campaign(
+    checkpoint_path,
+    compiled=None,
+    fault_set=None,
+    governor=None,
+    checkpoint_every=DEFAULT_CHECKPOINT_EVERY,
+    progress_hook=None,
+    rng=None,
+    signal_guard=None,
+):
+    """Resume a campaign from the last snapshot in *checkpoint_path*.
+
+    When *compiled* / *fault_set* are omitted they are rebuilt from the
+    checkpoint header (registry name or ``.bench`` path, collapsed
+    fault universe) and validated against the recorded fault keys.
+    Returns a :class:`CampaignResult` with ``resumed_from`` set and
+    ``exact=False``.
+    """
+    checkpoint = load_checkpoint(checkpoint_path)
+    if compiled is None:
+        compiled = _load_compiled(checkpoint.circuit_spec)
+    if fault_set is None:
+        from repro.faults.collapse import collapse_faults
+
+        faults, _ = collapse_faults(compiled)
+        fault_set = FaultSet(faults)
+    campaign = Campaign.from_checkpoint(
+        checkpoint,
+        compiled,
+        fault_set,
+        governor=governor,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        progress_hook=progress_hook,
+        rng=rng,
+        signal_guard=signal_guard,
+    )
+    return campaign.run()

@@ -1,0 +1,323 @@
+"""Between-frame campaign checkpoints (versioned JSON lines).
+
+A checkpoint file is append-only JSON-lines:
+
+* one ``header`` record written when the campaign starts — circuit
+  spec, the full test sequence (vectors as ``01`` strings), ladder,
+  node limit, the serialized fault keys (identity check on resume),
+* periodic ``checkpoint`` records — frame index, the conservative
+  three-valued good state, per-fault status / rung / three-valued
+  state diff, RNG state and the campaign counters,
+* periodic ``progress`` records (informational only).
+
+Every record carries ``"version": 1``; readers reject other versions.
+
+What is deliberately **not** serialized: the symbolic sessions (BDDs,
+detection functions).  Resuming re-opens fresh symbolic sessions from
+the three-valued projection, exactly like the paper's space-limit
+fallback — so a resumed campaign is conservative and its result is
+flagged ``exact=False``.
+
+:class:`SignalGuard` turns ``SIGINT``/``SIGTERM`` into a cooperative
+stop request the campaign polls at frame boundaries, writing a final
+checkpoint before exiting cleanly.
+"""
+
+import json
+import os
+import signal
+
+from repro.faults.status import (
+    fault_key_from_json,
+    fault_key_to_json,
+)
+from repro.logic import threeval
+from repro.runtime.errors import CheckpointError
+
+CHECKPOINT_VERSION = 1
+
+
+def state_to_text(state_3v):
+    """Render a three-valued state vector as a '01X' string."""
+    return "".join(threeval.to_char(v) for v in state_3v)
+
+
+def state_from_text(text):
+    return [threeval.from_char(c) for c in text]
+
+
+def _diff_to_json(diff_3v):
+    """A {dff_index: three-valued value} diff as a JSON object."""
+    if diff_3v is None:
+        return None
+    return {str(dff): threeval.to_char(v) for dff, v in diff_3v.items()}
+
+
+def _diff_from_json(data):
+    if data is None:
+        return None
+    return {int(dff): threeval.from_char(v) for dff, v in data.items()}
+
+
+def rng_state_to_json(state):
+    """``random.Random.getstate()`` tuples as JSON-friendly lists."""
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def rng_state_from_json(data):
+    version, internal, gauss = data
+    return (version, tuple(internal), gauss)
+
+
+class CheckpointWriter:
+    """Appends header/checkpoint/progress records to a JSONL file."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.records_written = 0
+        self.checkpoints_written = 0
+        try:
+            self._handle = open(self.path, "a")
+        except OSError as exc:
+            raise CheckpointError(path, f"cannot open for append: {exc}")
+
+    def _write(self, record):
+        record["version"] = CHECKPOINT_VERSION
+        try:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        except (OSError, TypeError, ValueError) as exc:
+            raise CheckpointError(self.path, f"cannot write record: {exc}")
+        self.records_written += 1
+
+    def write_header(
+        self,
+        circuit_spec,
+        sequence,
+        fault_keys,
+        ladder,
+        node_limit,
+        initial_state,
+        variable_scheme,
+        fallback_frames,
+    ):
+        self._write(
+            {
+                "type": "header",
+                "circuit": circuit_spec,
+                "sequence": [
+                    "".join(str(b) for b in vector) for vector in sequence
+                ],
+                "fault_keys": [fault_key_to_json(k) for k in fault_keys],
+                "ladder": ladder.to_json(),
+                "node_limit": node_limit,
+                "initial_state": state_to_text(initial_state),
+                "variable_scheme": variable_scheme,
+                "fallback_frames": fallback_frames,
+            }
+        )
+
+    def write_checkpoint(
+        self,
+        frame,
+        good_state_3v,
+        fault_set,
+        rung_indices,
+        diffs_3v,
+        counters,
+        rng_state=None,
+        elapsed=None,
+    ):
+        """Snapshot everything needed to resume after *frame* frames.
+
+        *rung_indices* and *diffs_3v* map ``id(record)`` to the rung
+        index / three-valued state diff of each still-live record.
+        """
+        faults = []
+        for record in fault_set:
+            faults.append(
+                {
+                    "state": record.state_to_json(),
+                    "rung": rung_indices.get(id(record)),
+                    "diff": _diff_to_json(diffs_3v.get(id(record))),
+                }
+            )
+        record = {
+            "type": "checkpoint",
+            "frame": frame,
+            "good_state": state_to_text(good_state_3v),
+            "faults": faults,
+            "counters": counters,
+            "elapsed": elapsed,
+        }
+        if rng_state is not None:
+            record["rng_state"] = rng_state_to_json(rng_state)
+        self._write(record)
+        self.checkpoints_written += 1
+
+    def write_progress(self, payload):
+        record = {"type": "progress"}
+        record.update(payload)
+        self._write(record)
+
+    def close(self):
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+class Checkpoint:
+    """The parsed last checkpoint of a campaign file."""
+
+    def __init__(self, path, header, snapshot):
+        self.path = str(path)
+        self.header = header
+        self.snapshot = snapshot
+
+    # -- header accessors ------------------------------------------------
+    @property
+    def circuit_spec(self):
+        return self.header["circuit"]
+
+    @property
+    def sequence(self):
+        return [
+            tuple(int(c) for c in line) for line in self.header["sequence"]
+        ]
+
+    @property
+    def fault_keys(self):
+        return [fault_key_from_json(k) for k in self.header["fault_keys"]]
+
+    @property
+    def node_limit(self):
+        return self.header["node_limit"]
+
+    @property
+    def variable_scheme(self):
+        return self.header["variable_scheme"]
+
+    @property
+    def fallback_frames(self):
+        return self.header["fallback_frames"]
+
+    def ladder_json(self):
+        return self.header["ladder"]
+
+    # -- snapshot accessors ----------------------------------------------
+    @property
+    def frame(self):
+        return self.snapshot["frame"]
+
+    @property
+    def good_state(self):
+        return state_from_text(self.snapshot["good_state"])
+
+    @property
+    def counters(self):
+        return self.snapshot["counters"]
+
+    @property
+    def elapsed(self):
+        return self.snapshot.get("elapsed") or 0.0
+
+    def fault_states(self):
+        """Per-fault [state, rung, diff] aligned with the header keys."""
+        return [
+            (
+                entry["state"],
+                entry["rung"],
+                _diff_from_json(entry["diff"]),
+            )
+            for entry in self.snapshot["faults"]
+        ]
+
+    def rng_state(self):
+        data = self.snapshot.get("rng_state")
+        return None if data is None else rng_state_from_json(data)
+
+
+def load_checkpoint(path):
+    """Parse the header and the *last* checkpoint record of *path*."""
+    if not os.path.exists(path):
+        raise CheckpointError(path, "file does not exist")
+    header = None
+    snapshot = None
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CheckpointError(path, f"line {line_no}: {exc}")
+            version = record.get("version")
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    path,
+                    f"line {line_no}: unsupported version {version!r} "
+                    f"(expected {CHECKPOINT_VERSION})",
+                )
+            kind = record.get("type")
+            if kind == "header":
+                header = record
+            elif kind == "checkpoint":
+                snapshot = record
+    if header is None:
+        raise CheckpointError(path, "no header record")
+    if snapshot is None:
+        raise CheckpointError(path, "no checkpoint record to resume from")
+    if len(snapshot["faults"]) != len(header["fault_keys"]):
+        raise CheckpointError(
+            path, "checkpoint fault list does not match header fault keys"
+        )
+    return Checkpoint(path, header, snapshot)
+
+
+class SignalGuard:
+    """Turns SIGINT/SIGTERM into a cooperative stop request.
+
+    The campaign polls :attr:`stop_requested` at frame boundaries;
+    when set it writes a final checkpoint and returns a partial
+    result instead of dying mid-frame.  A second SIGINT falls through
+    to the previous handler (usually KeyboardInterrupt), so a hung
+    campaign can still be killed interactively.
+    """
+
+    def __init__(self, signals=(signal.SIGINT, signal.SIGTERM)):
+        self.signals = signals
+        self.stop_requested = None  # signal name once requested
+        self._previous = {}
+        self._installed = False
+
+    def _handler(self, signum, frame):
+        if self.stop_requested is not None:
+            # second signal: restore and re-raise the default behaviour
+            self.uninstall()
+            os.kill(os.getpid(), signum)
+            return
+        self.stop_requested = signal.Signals(signum).name
+
+    def install(self):
+        for sig in self.signals:
+            self._previous[sig] = signal.signal(sig, self._handler)
+        self._installed = True
+        return self
+
+    def uninstall(self):
+        if not self._installed:
+            return
+        for sig, previous in self._previous.items():
+            signal.signal(sig, previous)
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self):
+        return self.install()
+
+    def __exit__(self, *exc_info):
+        self.uninstall()
+        return False

@@ -1,0 +1,92 @@
+"""Exception taxonomy of the campaign runtime.
+
+Every error the runtime raises derives from :class:`ReproError` and
+carries machine-readable context (budget kind, limits, fault keys,
+checkpoint paths) so callers — the CLI, a service wrapper, a test —
+can react without parsing message strings.
+
+This module is a leaf: it must not import anything from
+:mod:`repro`, because low-level packages (the ``.bench`` loader, the
+OBDD manager) raise these errors too.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all structured errors raised by this package."""
+
+    def context(self):
+        """Machine-readable payload describing the error (a dict)."""
+        return {}
+
+
+class BudgetExceeded(ReproError):
+    """A resource governor budget was exhausted.
+
+    ``kind`` is one of ``"deadline"``, ``"nodes"`` or
+    ``"fault-frame-nodes"`` / ``"fault-frame-events"`` (per-fault frame
+    cost).  ``fault_key`` is set when the violation is attributable to
+    a single fault, in which case the campaign demotes that fault on
+    its degradation ladder instead of stopping.
+    """
+
+    def __init__(self, kind, limit, observed, fault_key=None, frame=None):
+        self.kind = kind
+        self.limit = limit
+        self.observed = observed
+        self.fault_key = fault_key
+        self.frame = frame
+        where = f" (fault {fault_key})" if fault_key is not None else ""
+        at = f" at frame {frame}" if frame is not None else ""
+        super().__init__(
+            f"{kind} budget exceeded{at}{where}: "
+            f"observed {observed}, limit {limit}"
+        )
+
+    def context(self):
+        return {
+            "kind": self.kind,
+            "limit": self.limit,
+            "observed": self.observed,
+            "fault_key": self.fault_key,
+            "frame": self.frame,
+        }
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file could not be written, read or validated."""
+
+    def __init__(self, path, reason):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"checkpoint {self.path}: {reason}")
+
+    def context(self):
+        return {"path": self.path, "reason": self.reason}
+
+
+class DegradationExhausted(ReproError):
+    """A fault fell off the bottom of the degradation ladder.
+
+    The campaign catches this and quarantines the fault; it only
+    propagates to callers driving the ladder directly.
+    """
+
+    def __init__(self, fault_key, rungs_tried):
+        self.fault_key = fault_key
+        self.rungs_tried = list(rungs_tried)
+        super().__init__(
+            f"fault {fault_key} exhausted the degradation ladder "
+            f"({' -> '.join(self.rungs_tried)})"
+        )
+
+    def context(self):
+        return {"fault_key": self.fault_key, "rungs_tried": self.rungs_tried}
+
+
+class CircuitFormatError(ReproError):
+    """A circuit description (e.g. ``.bench`` text) is ill-formed.
+
+    :class:`repro.circuit.bench.BenchParseError` derives from this so
+    loader failures are part of the structured taxonomy while staying a
+    ``ValueError`` for backwards compatibility.
+    """

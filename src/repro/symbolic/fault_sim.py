@@ -16,6 +16,7 @@ state exactly as it was before the step.
 """
 
 from repro.bdd import BddManager, StateVariables
+from repro.bdd.errors import SpaceLimitExceeded
 from repro.bdd.manager import FALSE, TRUE
 from repro.engines.algebra import BddAlgebra
 from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
@@ -35,6 +36,7 @@ class SymbolicSession:
         good_state_3v=None,
         node_limit=None,
         variable_scheme="interleaved",
+        start_time=0,
     ):
         if isinstance(strategy, str):
             strategy = get_strategy(strategy)
@@ -55,7 +57,15 @@ class SymbolicSession:
         ]
         # id(record) -> [record, state_diff (dict dff->bdd), accumulator]
         self._store = {}
-        self.time = 0
+        # start_time offsets detection times: a campaign opening a
+        # session mid-sequence passes the current frame index so
+        # detected_at stays absolute across session re-opens
+        self.time = start_time
+        # optional callback (record, nodes_allocated_this_frame) called
+        # after each fault's propagation inside step(); the campaign
+        # governor uses it to bound per-fault frame cost.  A raising
+        # hook aborts the step without mutating the session.
+        self.fault_cost_hook = None
 
     # ------------------------------------------------------------------
     def _state_bit_to_bdd(self, dff_idx, value3v):
@@ -116,16 +126,27 @@ class SymbolicSession:
         detected = []
         new_store = {}
         for key, (record, state_diff, acc) in self._store.items():
-            result = propagate_fault(
-                compiled, algebra, good_values, record.fault, state_diff
-            )
-            po_diff = {}
-            for sig, faulty in result.diff.items():
-                for po_pos in compiled.po_sinks[sig]:
-                    po_diff[po_pos] = faulty
-            hit = False
-            if po_diff or observe_silent:
-                hit, acc = self.strategy.observe(ctx, acc, po_diff)
+            nodes_before = self.manager.num_nodes
+            try:
+                result = propagate_fault(
+                    compiled, algebra, good_values, record.fault, state_diff
+                )
+                po_diff = {}
+                for sig, faulty in result.diff.items():
+                    for po_pos in compiled.po_sinks[sig]:
+                        po_diff[po_pos] = faulty
+                hit = False
+                if po_diff or observe_silent:
+                    hit, acc = self.strategy.observe(ctx, acc, po_diff)
+            except SpaceLimitExceeded as exc:
+                # attribute the overflow to this fault so the campaign
+                # runtime can demote it instead of dropping the session
+                exc.fault_key = record.fault.key()
+                raise
+            if self.fault_cost_hook is not None:
+                self.fault_cost_hook(
+                    record, self.manager.num_nodes - nodes_before
+                )
             if hit:
                 detected.append(record)
             else:
@@ -163,9 +184,35 @@ class SymbolicSession:
             for key, (record, diff, acc) in self._store.items()
         }
         other.time = self.time
+        other.fault_cost_hook = self.fault_cost_hook
         return other
 
     # ------------------------------------------------------------------
+    def _to_3v(self, bdd):
+        value = self.manager.const_value(bdd)
+        return threeval.X if value is None else value
+
+    def project_state_3v(self):
+        """The fault-free state projected down to three-valued logic."""
+        return [self._to_3v(b) for b in self.good_state]
+
+    def _diff_relative(self, state_diff, good_3v):
+        """Three-valued faulty-state diff of one fault vs *good_3v*.
+
+        The faulty machine differs from this session's good state only
+        on the keys of *state_diff*; the reference state may differ
+        elsewhere too (e.g. the campaign's shared three-valued
+        trajectory is less defined than the symbolic one), so every
+        memory element is compared.  Projected faulty values are sound
+        individually, which keeps the combined diff conservative.
+        """
+        diff3 = {}
+        for dff_idx, good_bdd in enumerate(self.good_state):
+            value = self._to_3v(state_diff.get(dff_idx, good_bdd))
+            if value != good_3v[dff_idx]:
+                diff3[dff_idx] = value
+        return diff3
+
     def snapshot_3v(self):
         """Project the session state down to three-valued logic.
 
@@ -173,22 +220,36 @@ class SymbolicSession:
         ``id(record)`` to a three-valued state-difference dict — the
         format :func:`attach_faults` and the three-valued engine accept.
         """
-        manager = self.manager
+        good_3v = self.project_state_3v()
+        return good_3v, self.snapshot_diffs(relative_to=good_3v)
 
-        def to_3v(bdd):
-            value = manager.const_value(bdd)
-            return threeval.X if value is None else value
+    def snapshot_diffs(self, relative_to=None):
+        """Per-fault three-valued state diffs keyed by ``id(record)``.
 
-        good_3v = [to_3v(b) for b in self.good_state]
-        diffs = {}
-        for key, (record, state_diff, _acc) in self._store.items():
-            diff3 = {}
-            for dff_idx, bdd in state_diff.items():
-                value = to_3v(bdd)
-                if value != good_3v[dff_idx]:
-                    diff3[dff_idx] = value
-            diffs[key] = diff3
-        return good_3v, diffs
+        *relative_to* is the three-valued good state the diffs are
+        expressed against (default: this session's own projection).
+        The campaign runtime passes its shared good-machine state here
+        when checkpointing.
+        """
+        if relative_to is None:
+            relative_to = self.project_state_3v()
+        return {
+            key: self._diff_relative(entry[1], relative_to)
+            for key, entry in self._store.items()
+        }
+
+    def detach(self, record, relative_to=None):
+        """Remove *record* from the session without touching its status.
+
+        Returns the fault's three-valued state diff (against
+        *relative_to*, defaulting to the session's projected good
+        state) so the caller can hand the fault to a three-valued
+        engine or another session.
+        """
+        entry = self._store.pop(id(record))
+        if relative_to is None:
+            relative_to = self.project_state_3v()
+        return self._diff_relative(entry[1], relative_to)
 
     def compact(self):
         """Garbage-collect the manager, keeping only live session roots.

@@ -94,6 +94,62 @@ def test_bad_arity_error():
         parse_bench("INPUT(a)\nb = AND(a)\n")
 
 
+def test_duplicate_definition_names_file_and_line(tmp_path):
+    path = tmp_path / "dup.bench"
+    path.write_text("INPUT(a)\nINPUT(a)\nb = NOT(a)\nOUTPUT(b)\n")
+    with pytest.raises(BenchParseError) as exc:
+        load_bench(path)
+    message = str(exc.value)
+    assert str(path) in message
+    assert "line 2" in message
+
+
+def test_duplicate_gate_output_rejected():
+    text = "INPUT(a)\nb = NOT(a)\nb = BUF(a)\nOUTPUT(b)\n"
+    with pytest.raises(BenchParseError) as exc:
+        parse_bench(text)
+    assert "line 3" in str(exc.value)
+
+
+def test_undefined_gate_fanin_rejected():
+    text = "INPUT(a)\nb = AND(a, ghost)\nOUTPUT(b)\n"
+    with pytest.raises(BenchParseError) as exc:
+        parse_bench(text, name="frag")
+    message = str(exc.value)
+    assert "'ghost'" in message and "never defined" in message
+    assert "line 2" in message
+
+
+def test_undefined_output_net_rejected():
+    with pytest.raises(BenchParseError) as exc:
+        parse_bench("INPUT(a)\nOUTPUT(nowhere)\nb = NOT(a)\n")
+    assert "'nowhere'" in str(exc.value)
+    assert "line 2" in str(exc.value)
+
+
+def test_forward_references_still_allowed():
+    # .bench lists gates in arbitrary order; a use before its
+    # definition is fine as long as the definition exists somewhere
+    c = parse_bench("INPUT(a)\no = NOT(later)\nlater = BUF(a)\nOUTPUT(o)\n")
+    assert c.gates["o"].fanins == ("later",)
+
+
+def test_parse_error_is_structured():
+    from repro.runtime.errors import CircuitFormatError, ReproError
+
+    with pytest.raises(BenchParseError) as exc:
+        parse_bench("INPUT(a)\ngibberish\n", source="chip.bench")
+    err = exc.value
+    assert isinstance(err, CircuitFormatError)
+    assert isinstance(err, ReproError)
+    assert isinstance(err, ValueError)  # backwards compatibility
+    assert err.context() == {
+        "source": "chip.bench",
+        "line": 2,
+        "reason": "cannot parse 'gibberish'",
+    }
+
+
 def test_s27_text_is_stable():
     # the embedded benchmark must stay byte-identical (it is the one
     # piece of real ISCAS-89 data in the repository)

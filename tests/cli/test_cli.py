@@ -208,3 +208,118 @@ def test_equiv(tmp_path, capsys):
                                       "G17 = BUF(G11)"))
     code, out = run(capsys, "equiv", "s27", str(path))
     assert code == 1 and "DIFFERENT" in out
+
+
+# ----------------------------------------------------------------------
+# failure modes: bad inputs exit 2 with a one-line message
+# ----------------------------------------------------------------------
+def run_err(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_missing_bench_file_exits_2(capsys):
+    code, out, err = run_err(capsys, "simulate", "no/such/file.bench")
+    assert code == 2
+    assert err.startswith("error:")
+    assert err.strip().count("\n") == 0  # one line, no traceback
+
+
+def test_unknown_circuit_exits_2(capsys):
+    code, _out, err = run_err(capsys, "stats", "not-a-circuit")
+    assert code == 2
+    assert "unknown circuit" in err
+
+
+def test_malformed_bench_exits_2(tmp_path, capsys):
+    path = tmp_path / "broken.bench"
+    path.write_text("INPUT(a)\nTOTAL NONSENSE\n")
+    code, _out, err = run_err(capsys, "faults", str(path))
+    assert code == 2
+    assert str(path) in err and "line 2" in err
+
+
+def test_invalid_strategy_rejected():
+    with pytest.raises(SystemExit) as exc:
+        main(["simulate", "s27", "--strategy", "bogus"])
+    assert exc.value.code == 2
+
+
+def test_missing_sequence_file_exits_2(capsys):
+    code, _out, err = run_err(
+        capsys, "simulate", "s27", "--sequence", "missing.seq"
+    )
+    assert code == 2
+    assert err.startswith("error:")
+
+
+# ----------------------------------------------------------------------
+# the campaign subcommand and the simulate runtime flags
+# ----------------------------------------------------------------------
+def test_campaign_and_resume(tmp_path, capsys):
+    ck = tmp_path / "run.ckpt"
+    code, out, _err = run_err(
+        capsys, "campaign", "s27", "--length", "30",
+        "--checkpoint", str(ck), "--checkpoint-every", "10",
+    )
+    assert code == 0
+    assert "campaign: completed" in out
+    assert ck.exists()
+    code, out, _err = run_err(capsys, "campaign", "--resume", str(ck))
+    assert code == 0
+    assert "resumed from frame 30" in out
+
+
+def test_campaign_without_circuit_or_resume_exits_2(capsys):
+    code, _out, err = run_err(capsys, "campaign")
+    assert code == 2
+    assert "circuit" in err
+
+
+def test_campaign_json_runtime_block(capsys):
+    code, out, _err = run_err(
+        capsys, "campaign", "s27", "--length", "20", "--json",
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["runtime"]["stopped"] == "completed"
+    assert payload["runtime"]["exact"] is True
+    assert payload["runtime"]["ladder"] == ["MOT", "rMOT", "SOT", "3v"]
+
+
+def test_simulate_deadline_routes_through_campaign(capsys):
+    code, out, _err = run_err(
+        capsys, "simulate", "s27", "--length", "20",
+        "--deadline", "0.0",
+    )
+    assert code == 0
+    assert "campaign: deadline" in out
+
+
+def test_simulate_checkpoint_flag(tmp_path, capsys):
+    ck = tmp_path / "sim.ckpt"
+    code, out, _err = run_err(
+        capsys, "simulate", "s27", "--length", "20",
+        "--checkpoint", str(ck),
+    )
+    assert code == 0
+    assert "campaign: completed" in out
+    assert ck.exists()
+
+
+def test_simulate_deadline_rejects_strategy_all(capsys):
+    code, _out, err = run_err(
+        capsys, "simulate", "s27", "--deadline", "5",
+        "--strategy", "all",
+    )
+    assert code == 2
+    assert "strategy" in err
+
+
+def test_resume_missing_checkpoint_exits_2(capsys):
+    code, _out, err = run_err(
+        capsys, "campaign", "--resume", "absent.ckpt"
+    )
+    assert code == 2
+    assert "checkpoint" in err

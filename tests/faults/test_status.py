@@ -19,6 +19,7 @@ def test_initial_counts():
     fs = make_set()
     assert fs.counts() == {
         "total": 6, "detected": 0, "undetected": 6, "x_redundant": 0,
+        "quarantined": 0,
     }
     assert fs.coverage() == 0.0
 

@@ -1,0 +1,134 @@
+"""Checkpoint file format, reader validation and the signal guard."""
+
+import json
+import signal
+
+import pytest
+
+from repro.faults.model import STEM, Fault
+from repro.faults.status import BY_3V, FaultSet
+from repro.logic import threeval
+from repro.runtime import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointWriter,
+    DegradationLadder,
+    SignalGuard,
+    load_checkpoint,
+)
+from repro.runtime.checkpoint import state_from_text, state_to_text
+
+X, O, I = threeval.X, threeval.ZERO, threeval.ONE
+
+
+def test_state_text_round_trip():
+    state = [X, O, I, X, I]
+    assert state_to_text(state) == "X01X1"
+    assert state_from_text("X01X1") == state
+
+
+def write_campaign_file(path, frames=(10, 20)):
+    fault_set = FaultSet([Fault((STEM, 0), 0), Fault((STEM, 1), 1)])
+    fault_set.records[0].mark_detected(BY_3V, 4)
+    writer = CheckpointWriter(path)
+    writer.write_header(
+        circuit_spec="s27",
+        sequence=[(0, 1), (1, 1)],
+        fault_keys=[r.fault.key() for r in fault_set],
+        ladder=DegradationLadder(),
+        node_limit=5000,
+        initial_state=[X, X, X],
+        variable_scheme="interleaved",
+        fallback_frames=5,
+    )
+    live = fault_set.records[1]
+    for frame in frames:
+        writer.write_checkpoint(
+            frame=frame,
+            good_state_3v=[I, O, X],
+            fault_set=fault_set,
+            rung_indices={id(live): 1},
+            diffs_3v={id(live): {0: O}},
+            counters={"fallbacks": 1},
+            elapsed=2.5,
+        )
+        writer.write_progress({"frame": frame})
+    writer.close()
+    return fault_set
+
+
+def test_write_and_load_takes_last_checkpoint(tmp_path):
+    path = tmp_path / "run.ckpt"
+    write_campaign_file(path, frames=(10, 20))
+    checkpoint = load_checkpoint(path)
+    assert checkpoint.frame == 20  # the *last* snapshot wins
+    assert checkpoint.circuit_spec == "s27"
+    assert checkpoint.sequence == [(0, 1), (1, 1)]
+    assert checkpoint.fault_keys == [((STEM, 0), 0), ((STEM, 1), 1)]
+    assert checkpoint.node_limit == 5000
+    assert checkpoint.good_state == [I, O, X]
+    assert checkpoint.counters == {"fallbacks": 1}
+    assert checkpoint.elapsed == 2.5
+    states = checkpoint.fault_states()
+    assert states[0][0] == ["detected", BY_3V, 4]
+    assert states[1][1] == 1  # live fault parked on rung 1
+    assert states[1][2] == {0: O}
+    ladder = DegradationLadder.from_json(checkpoint.ladder_json())
+    assert ladder.names() == ["MOT", "rMOT", "SOT", "3v"]
+
+
+def test_every_record_carries_the_version(tmp_path):
+    path = tmp_path / "run.ckpt"
+    write_campaign_file(path)
+    with open(path) as handle:
+        records = [json.loads(line) for line in handle]
+    assert records
+    assert all(r["version"] == CHECKPOINT_VERSION for r in records)
+
+
+def test_unsupported_version_rejected(tmp_path):
+    path = tmp_path / "run.ckpt"
+    path.write_text(json.dumps({"type": "header", "version": 99}) + "\n")
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(path)
+    assert "version" in str(exc.value)
+
+
+def test_missing_file_and_missing_records(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_checkpoint(tmp_path / "absent.ckpt")
+    # header but no checkpoint record: nothing to resume from
+    path = tmp_path / "header_only.ckpt"
+    fault_set = FaultSet([Fault((STEM, 0), 0)])
+    writer = CheckpointWriter(path)
+    writer.write_header(
+        circuit_spec="s27", sequence=[(0, 1)],
+        fault_keys=[fault_set.records[0].fault.key()],
+        ladder=DegradationLadder(), node_limit=None,
+        initial_state=[X], variable_scheme="interleaved",
+        fallback_frames=5,
+    )
+    writer.close()
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(path)
+    assert "no checkpoint record" in str(exc.value)
+
+
+def test_corrupt_line_names_the_line(tmp_path):
+    path = tmp_path / "run.ckpt"
+    write_campaign_file(path)
+    with open(path, "a") as handle:
+        handle.write("{not json\n")
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(path)
+    assert "line" in str(exc.value)
+
+
+def test_signal_guard_turns_sigterm_into_stop_request():
+    guard = SignalGuard(signals=(signal.SIGTERM,))
+    with guard:
+        assert guard.stop_requested is None
+        signal.raise_signal(signal.SIGTERM)
+        assert guard.stop_requested == "SIGTERM"
+    # uninstalled afterwards: default disposition restored
+    assert signal.getsignal(signal.SIGTERM) is not guard._handler

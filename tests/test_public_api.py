@@ -34,6 +34,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.atpg",
     "repro.diagnosis",
+    "repro.runtime",
 ]
 
 
