@@ -147,6 +147,18 @@ def _build_governor(args):
     )
 
 
+def _fabric_kwargs(args):
+    """Shard-fabric keywords for run_campaign (empty = single-process)."""
+    if getattr(args, "workers", None) is None:
+        return {}
+    return {
+        "workers": args.workers,
+        "shard_size": getattr(args, "shard_size", None),
+        "shard_timeout": getattr(args, "shard_timeout", None),
+        "max_retries": getattr(args, "max_retries", None),
+    }
+
+
 def _render_campaign(args, compiled, fault_set, sequence, result):
     report = coverage_report(
         compiled, fault_set, sequence,
@@ -163,13 +175,13 @@ def _render_campaign(args, compiled, fault_set, sequence, result):
 
 def _simulate_campaign(args):
     """The simulate command routed through the campaign runtime
-    (--deadline / --checkpoint)."""
+    (--deadline / --checkpoint / --workers)."""
     from repro.runtime import SignalGuard, run_campaign
 
     if args.strategy == "all":
         raise ValueError(
-            "--deadline/--checkpoint run a single campaign; pick one "
-            "strategy, not 'all'"
+            "--deadline/--checkpoint/--workers run a single campaign; "
+            "pick one strategy, not 'all'"
         )
     compiled, fault_set = _prepare(args.circuit)
     sequence = _get_sequence(compiled, args)
@@ -183,34 +195,72 @@ def _simulate_campaign(args):
             signal_guard=guard,
             circuit_spec=args.circuit,
             xred=not args.no_xred,
+            **_fabric_kwargs(args),
         )
     return _render_campaign(args, compiled, fault_set, sequence, result)
 
 
-def cmd_campaign(args):
+def _resume_any(args, guard):
+    """Resume either checkpoint flavor: campaign (frame snapshots) or
+    fabric (completed shards) — sniffed from the file itself."""
     from repro.runtime import (
-        SignalGuard,
         load_checkpoint,
         resume_campaign,
-        run_campaign,
+        sniff_checkpoint_kind,
     )
+
+    if sniff_checkpoint_kind(args.resume) == "fabric":
+        from repro.runtime.fabric import (
+            FabricConfig,
+            load_fabric_checkpoint,
+            resume_sharded_campaign,
+        )
+
+        checkpoint = load_fabric_checkpoint(args.resume)
+        compiled, fault_set = _prepare(
+            args.circuit or checkpoint.circuit_spec
+        )
+        config = None
+        if getattr(args, "workers", None) is not None:
+            config = FabricConfig(
+                workers=args.workers,
+                shard_size=getattr(args, "shard_size", None),
+                shard_timeout=getattr(args, "shard_timeout", None),
+                max_retries=getattr(args, "max_retries", None) or 2,
+            )
+        result = resume_sharded_campaign(
+            args.resume,
+            compiled=compiled,
+            fault_set=fault_set,
+            governor=_build_governor(args),
+            signal_guard=guard,
+            config=config,
+        )
+        return compiled, fault_set, checkpoint.sequence, result
+    checkpoint = load_checkpoint(args.resume)
+    compiled, fault_set = _prepare(
+        args.circuit or checkpoint.circuit_spec
+    )
+    result = resume_campaign(
+        args.resume,
+        compiled=compiled,
+        fault_set=fault_set,
+        governor=_build_governor(args),
+        checkpoint_every=args.checkpoint_every,
+        signal_guard=guard,
+    )
+    return compiled, fault_set, checkpoint.sequence, result
+
+
+def cmd_campaign(args):
+    from repro.runtime import SignalGuard, run_campaign
 
     if args.resume is None and args.circuit is None:
         raise ValueError("campaign needs a circuit (or --resume)")
     with SignalGuard() as guard:
         if args.resume is not None:
-            checkpoint = load_checkpoint(args.resume)
-            compiled, fault_set = _prepare(
-                args.circuit or checkpoint.circuit_spec
-            )
-            sequence = checkpoint.sequence
-            result = resume_campaign(
-                args.resume,
-                compiled=compiled,
-                fault_set=fault_set,
-                governor=_build_governor(args),
-                checkpoint_every=args.checkpoint_every,
-                signal_guard=guard,
+            compiled, fault_set, sequence, result = _resume_any(
+                args, guard
             )
         else:
             compiled, fault_set = _prepare(args.circuit)
@@ -225,12 +275,17 @@ def cmd_campaign(args):
                 fallback_frames=args.fallback_frames,
                 signal_guard=guard,
                 circuit_spec=args.circuit,
+                **_fabric_kwargs(args),
             )
     return _render_campaign(args, compiled, fault_set, sequence, result)
 
 
 def cmd_simulate(args):
-    if args.deadline is not None or args.checkpoint:
+    if (
+        args.deadline is not None
+        or args.checkpoint
+        or args.workers is not None
+    ):
         return _simulate_campaign(args)
     compiled, fault_set = _prepare(args.circuit)
     sequence = _get_sequence(compiled, args)
@@ -367,6 +422,22 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_fabric_options(p):
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="run on a pool of N worker processes "
+                            "(0 = sharded but in-process)")
+        p.add_argument("--shard-size", type=int, default=None,
+                       metavar="FAULTS",
+                       help="faults per shard (default: auto)")
+        p.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and retry a shard running longer "
+                            "than this")
+        p.add_argument("--max-retries", type=int, default=None,
+                       metavar="N",
+                       help="crashes before a shard is bisected "
+                            "(default 2)")
+
     def add_common(p, sequence_opts=True):
         p.add_argument("circuit",
                        help="registry name or .bench file path")
@@ -411,6 +482,7 @@ def build_parser():
     p.add_argument("--checkpoint", default=None, metavar="PATH",
                    help="write resumable checkpoints to PATH (runs "
                         "the campaign runtime)")
+    _add_fabric_options(p)
 
     p = sub.add_parser(
         "campaign",
@@ -441,8 +513,10 @@ def build_parser():
                    help="three-valued interlude length after an "
                         "overflow")
     p.add_argument("--resume", default=None, metavar="PATH",
-                   help="resume from a checkpoint file")
+                   help="resume from a checkpoint file (campaign or "
+                        "fabric flavor, auto-detected)")
     p.add_argument("--json", action="store_true")
+    _add_fabric_options(p)
 
     p = sub.add_parser("evaluate",
                        help="symbolic test evaluation of a response")

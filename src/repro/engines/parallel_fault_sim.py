@@ -13,6 +13,8 @@ fault universes over 200-vector sequences, where single-fault
 propagation in pure Python would dominate the benchmark wall-clock.
 """
 
+import inspect
+
 from repro.circuit import gates as gatelib
 from repro.engines.evaluate import next_state_of, simulate_frame
 from repro.engines.algebra import THREE_VALUED
@@ -92,7 +94,23 @@ class _Pack:
         return ones, zeros
 
 
-def _simulate_pack(compiled, pack, sequence, initial_state, frame_hook=None):
+def _hook_accepts_pack(frame_hook):
+    """Whether *frame_hook* can take the ``pack`` keyword argument.
+
+    Decided once per sweep (not per frame) so legacy single-argument
+    hooks keep working without a try/except on the hot path.
+    """
+    try:
+        parameters = inspect.signature(frame_hook).parameters
+    except (TypeError, ValueError):
+        return False
+    return "pack" in parameters or any(
+        p.kind == inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def _simulate_pack(compiled, pack, sequence, initial_state,
+                   frame_hook=None, pack_index=0, hook_takes_pack=False):
     """Simulate one pack; returns per-bit first detection frame (or None)."""
     width = pack.width
     full = pack.full
@@ -104,7 +122,10 @@ def _simulate_pack(compiled, pack, sequence, initial_state, frame_hook=None):
 
     for time, vector in enumerate(sequence, start=1):
         if frame_hook is not None:
-            frame_hook(time)
+            if hook_takes_pack:
+                frame_hook(time, pack=pack_index)
+            else:
+                frame_hook(time)
         good_values = simulate_frame(
             compiled, THREE_VALUED, vector, good_state
         )
@@ -178,16 +199,24 @@ def fault_simulate_3v_parallel(
     before each frame of each pack (the frame count restarts per pack);
     the campaign runtime uses it to poll its wall-clock deadline — a
     raising hook aborts the sweep, leaving already-marked detections
-    in place (which is sound).
+    in place (which is sound).  A hook that accepts a ``pack`` keyword
+    (like :meth:`ResourceGovernor.check_frame`) additionally receives
+    the 0-based pack index, so budget errors on multi-pack sweeps name
+    the absolute (pack, frame) position instead of a frame number that
+    restarts every pack.
     """
     if initial_state is None:
         initial_state = [threeval.X] * compiled.num_dffs
     live = fault_set.undetected()
-    for start in range(0, len(live), pack_width):
+    hook_takes_pack = (
+        frame_hook is not None and _hook_accepts_pack(frame_hook)
+    )
+    for pack_index, start in enumerate(range(0, len(live), pack_width)):
         batch = live[start : start + pack_width]
         pack = _Pack(compiled, batch)
         detected_at = _simulate_pack(
-            compiled, pack, sequence, initial_state, frame_hook=frame_hook
+            compiled, pack, sequence, initial_state, frame_hook=frame_hook,
+            pack_index=pack_index, hook_takes_pack=hook_takes_pack,
         )
         for record, time in zip(batch, detected_at):
             if time is not None and record.status == UNDETECTED:

@@ -117,6 +117,25 @@ class CoverageReport:
                 lines.append(
                     f"    resumed from frame {r['resumed_from']}"
                 )
+            fabric = r.get("fabric")
+            if fabric is not None:
+                lines.append(
+                    f"  fabric: {fabric['workers']} workers, "
+                    f"{fabric['shards_completed']}/"
+                    f"{fabric['shards_planned']} shards"
+                )
+                detail = []
+                for key in ("retries", "respawns", "bisections",
+                            "timeouts", "quarantined_by_crash"):
+                    if fabric.get(key):
+                        detail.append(f"{key.replace('_', ' ')} "
+                                      f"{fabric[key]}")
+                if fabric.get("resumed_shards"):
+                    detail.append(
+                        f"resumed shards {fabric['resumed_shards']}"
+                    )
+                if detail:
+                    lines.append("    " + ", ".join(detail))
         return "\n".join(lines)
 
     def to_json(self):

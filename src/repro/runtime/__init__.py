@@ -14,6 +14,7 @@ from repro.runtime.errors import (
     CircuitFormatError,
     DegradationExhausted,
     ReproError,
+    WorkerCrashed,
 )
 from repro.runtime.governor import ResourceGovernor
 from repro.runtime.ladder import (
@@ -36,6 +37,15 @@ _CHECKPOINT_EXPORTS = {
     "CheckpointWriter",
     "SignalGuard",
     "load_checkpoint",
+    "read_jsonl_records",
+    "sniff_checkpoint_kind",
+}
+_FABRIC_EXPORTS = {
+    "FabricConfig",
+    "ShardFabric",
+    "load_fabric_checkpoint",
+    "resume_sharded_campaign",
+    "run_sharded_campaign",
 }
 
 __all__ = sorted(
@@ -45,6 +55,7 @@ __all__ = sorted(
         "CheckpointError",
         "CircuitFormatError",
         "DegradationExhausted",
+        "WorkerCrashed",
         "ResourceGovernor",
         "DegradationLadder",
         "LadderState",
@@ -53,6 +64,7 @@ __all__ = sorted(
     }
     | _CAMPAIGN_EXPORTS
     | _CHECKPOINT_EXPORTS
+    | _FABRIC_EXPORTS
 )
 
 
@@ -65,4 +77,8 @@ def __getattr__(name):
         from repro.runtime import checkpoint
 
         return getattr(checkpoint, name)
+    if name in _FABRIC_EXPORTS:
+        from repro.runtime import fabric
+
+        return getattr(fabric, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

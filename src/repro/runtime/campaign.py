@@ -88,6 +88,7 @@ class CampaignResult(HybridFaultSimResult):
         budget,
         ladder_names,
         rung_population,
+        fabric=None,
     ):
         super().__init__(
             fault_set,
@@ -109,6 +110,8 @@ class CampaignResult(HybridFaultSimResult):
         self.budget = budget
         self.ladder = ladder_names
         self.rung_population = rung_population
+        #: shard-fabric accounting dict, None for single-process runs
+        self.fabric = fabric
 
     @property
     def exact(self):
@@ -124,7 +127,7 @@ class CampaignResult(HybridFaultSimResult):
 
     def runtime_summary(self):
         """Accounting dict for reports and JSON export."""
-        return {
+        summary = {
             "stopped": self.stopped,
             "frames_total": self.frames_total,
             "frames_symbolic": self.frames_symbolic,
@@ -142,6 +145,9 @@ class CampaignResult(HybridFaultSimResult):
             "rung_population": self.rung_population,
             "budget": self.budget,
         }
+        if self.fabric is not None:
+            summary["fabric"] = self.fabric
+        return summary
 
     def __repr__(self):
         counts = self.fault_set.counts()
@@ -760,6 +766,16 @@ class Campaign:
 # ----------------------------------------------------------------------
 # public entry points
 # ----------------------------------------------------------------------
+_FABRIC_KWARGS = (
+    "workers",
+    "shard_size",
+    "shard_timeout",
+    "heartbeat_timeout",
+    "max_retries",
+    "fabric_config",
+)
+
+
 def run_campaign(compiled, sequence, fault_set, **kwargs):
     """Run a resilient fault-simulation campaign; see :class:`Campaign`.
 
@@ -768,7 +784,21 @@ def run_campaign(compiled, sequence, fault_set, **kwargs):
     fallback_frames, initial_state, variable_scheme, progress_hook,
     rng, signal_guard, circuit_spec, xred, pre_pass_3v) and returns a
     :class:`CampaignResult`.
+
+    Passing ``workers`` (or any other shard-fabric keyword:
+    ``shard_size``, ``shard_timeout``, ``heartbeat_timeout``,
+    ``max_retries``, ``fabric_config``) routes the run through the
+    multiprocess :class:`~repro.runtime.fabric.ShardFabric` instead of
+    a single in-process campaign; the returned result then also carries
+    ``fabric`` accounting.
     """
+    if any(key in kwargs for key in _FABRIC_KWARGS):
+        from repro.runtime.fabric import run_sharded_campaign
+
+        config = kwargs.pop("fabric_config", None)
+        if config is not None:
+            kwargs["config"] = config
+        return run_sharded_campaign(compiled, sequence, fault_set, **kwargs)
     return Campaign(compiled, sequence, fault_set, **kwargs).run()
 
 

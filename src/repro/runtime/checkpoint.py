@@ -71,10 +71,19 @@ def rng_state_from_json(data):
 
 
 class CheckpointWriter:
-    """Appends header/checkpoint/progress records to a JSONL file."""
+    """Appends header/checkpoint/progress records to a JSONL file.
 
-    def __init__(self, path):
+    Writes are crash-safe: every record is written as one line ending
+    in a newline, flushed and ``fsync``'d before the writer moves on.
+    A crash (power loss, ``SIGKILL``) can therefore lose at most the
+    record being written, leaving a truncated final line that
+    :func:`load_checkpoint` detects (no trailing newline / malformed
+    JSON on the last line) and skips instead of failing the resume.
+    """
+
+    def __init__(self, path, fsync=True):
         self.path = str(path)
+        self.fsync = fsync
         self.records_written = 0
         self.checkpoints_written = 0
         try:
@@ -87,6 +96,8 @@ class CheckpointWriter:
         try:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")
             self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
         except (OSError, TypeError, ValueError) as exc:
             raise CheckpointError(self.path, f"cannot write record: {exc}")
         self.records_written += 1
@@ -239,33 +250,71 @@ class Checkpoint:
         return None if data is None else rng_state_from_json(data)
 
 
-def load_checkpoint(path):
-    """Parse the header and the *last* checkpoint record of *path*."""
+def read_jsonl_records(path, expected_version=CHECKPOINT_VERSION):
+    """Yield the parsed records of a checkpoint JSONL file.
+
+    A record and its trailing newline are written (and fsync'd) as a
+    unit, so a crash mid-write leaves exactly one signature: a *final*
+    line with no trailing newline.  Such a line is skipped — the file
+    resumes from the previous complete record.  A malformed line
+    anywhere else (or one that *does* end in a newline), and any
+    version mismatch on a complete line, raise
+    :class:`CheckpointError`: that is corruption, not a torn write.
+    """
     if not os.path.exists(path):
         raise CheckpointError(path, "file does not exist")
+    with open(path) as handle:
+        lines = handle.readlines()
+    last_index = len(lines) - 1
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        torn_tail = index == last_index and not line.endswith("\n")
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            if torn_tail:
+                return  # torn final write: resume from the prior record
+            raise CheckpointError(path, f"line {index + 1}: {exc}")
+        if not isinstance(record, dict):
+            if torn_tail:
+                return
+            raise CheckpointError(
+                path, f"line {index + 1}: record is not a JSON object"
+            )
+        version = record.get("version")
+        if version != expected_version:
+            if torn_tail:
+                return  # torn mid-record but still parseable JSON
+            raise CheckpointError(
+                path,
+                f"line {index + 1}: unsupported version {version!r} "
+                f"(expected {expected_version})",
+            )
+        yield record
+
+
+def sniff_checkpoint_kind(path):
+    """``"campaign"`` or ``"fabric"`` from the first record of *path*."""
+    for record in read_jsonl_records(path):
+        kind = record.get("type")
+        if kind == "fabric-header":
+            return "fabric"
+        return "campaign"
+    raise CheckpointError(path, "no records")
+
+
+def load_checkpoint(path):
+    """Parse the header and the *last* checkpoint record of *path*."""
     header = None
     snapshot = None
-    with open(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise CheckpointError(path, f"line {line_no}: {exc}")
-            version = record.get("version")
-            if version != CHECKPOINT_VERSION:
-                raise CheckpointError(
-                    path,
-                    f"line {line_no}: unsupported version {version!r} "
-                    f"(expected {CHECKPOINT_VERSION})",
-                )
-            kind = record.get("type")
-            if kind == "header":
-                header = record
-            elif kind == "checkpoint":
-                snapshot = record
+    for record in read_jsonl_records(path):
+        kind = record.get("type")
+        if kind == "header":
+            header = record
+        elif kind == "checkpoint":
+            snapshot = record
     if header is None:
         raise CheckpointError(path, "no header record")
     if snapshot is None:

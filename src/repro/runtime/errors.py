@@ -26,17 +26,27 @@ class BudgetExceeded(ReproError):
     ``"fault-frame-nodes"`` / ``"fault-frame-events"`` (per-fault frame
     cost).  ``fault_key`` is set when the violation is attributable to
     a single fault, in which case the campaign demotes that fault on
-    its degradation ladder instead of stopping.
+    its degradation ladder instead of stopping.  ``pack`` is set when
+    the violation happened inside the word-parallel engine, whose frame
+    numbering restarts per pack: ``frame`` is then the 1-based frame
+    *within* pack number ``pack`` (0-based).
     """
 
-    def __init__(self, kind, limit, observed, fault_key=None, frame=None):
+    def __init__(self, kind, limit, observed, fault_key=None, frame=None,
+                 pack=None):
         self.kind = kind
         self.limit = limit
         self.observed = observed
         self.fault_key = fault_key
         self.frame = frame
+        self.pack = pack
         where = f" (fault {fault_key})" if fault_key is not None else ""
-        at = f" at frame {frame}" if frame is not None else ""
+        if frame is not None and pack is not None:
+            at = f" at pack {pack}, frame {frame}"
+        elif frame is not None:
+            at = f" at frame {frame}"
+        else:
+            at = ""
         super().__init__(
             f"{kind} budget exceeded{at}{where}: "
             f"observed {observed}, limit {limit}"
@@ -49,6 +59,7 @@ class BudgetExceeded(ReproError):
             "observed": self.observed,
             "fault_key": self.fault_key,
             "frame": self.frame,
+            "pack": self.pack,
         }
 
 
@@ -81,6 +92,31 @@ class DegradationExhausted(ReproError):
 
     def context(self):
         return {"fault_key": self.fault_key, "rungs_tried": self.rungs_tried}
+
+
+class WorkerCrashed(ReproError):
+    """A shard-fabric worker process died (or hung) and could not be
+    replaced.
+
+    The fabric normally absorbs worker deaths — respawn, retry with
+    backoff, bisect poison shards — so this only propagates when the
+    pool itself is unusable (e.g. every freshly spawned worker dies
+    before reporting ready).
+    """
+
+    def __init__(self, worker_id, reason, shard_id=None):
+        self.worker_id = worker_id
+        self.reason = reason
+        self.shard_id = shard_id
+        at = f" running shard {shard_id}" if shard_id is not None else ""
+        super().__init__(f"worker {worker_id}{at}: {reason}")
+
+    def context(self):
+        return {
+            "worker_id": self.worker_id,
+            "reason": self.reason,
+            "shard_id": self.shard_id,
+        }
 
 
 class CircuitFormatError(ReproError):

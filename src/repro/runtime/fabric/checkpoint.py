@@ -1,0 +1,145 @@
+"""Crash-safe shard-level checkpoints for the fabric coordinator.
+
+The fabric reuses the campaign checkpoint primitives (fsync'd JSONL
+append, torn-tail-tolerant reads) but records coarser units: one
+``fabric-header`` when the sharded campaign starts, then one ``shard``
+record per *completed* shard, written the moment its result lands.  A
+killed coordinator therefore resumes with every finished shard's
+verdicts intact and only re-runs the remainder — in-flight shards are
+deliberately not snapshotted (re-running a shard is exact, so the only
+cost of losing one is time).
+"""
+
+from repro.faults.status import fault_key_from_json, fault_key_to_json
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    read_jsonl_records,
+    state_to_text,
+    state_from_text,
+)
+from repro.runtime.errors import CheckpointError
+
+
+class FabricCheckpointWriter(CheckpointWriter):
+    """Appends fabric-header/shard records to a JSONL file."""
+
+    def write_fabric_header(
+        self,
+        circuit_spec,
+        sequence,
+        fault_keys,
+        ladder,
+        node_limit,
+        initial_state,
+        variable_scheme,
+        fallback_frames,
+        xred,
+        pre_pass_3v,
+        config,
+    ):
+        self._write(
+            {
+                "type": "fabric-header",
+                "circuit": circuit_spec,
+                "sequence": [
+                    "".join(str(b) for b in vector) for vector in sequence
+                ],
+                "fault_keys": [fault_key_to_json(k) for k in fault_keys],
+                "ladder": ladder.to_json(),
+                "node_limit": node_limit,
+                "initial_state": state_to_text(initial_state),
+                "variable_scheme": variable_scheme,
+                "fallback_frames": fallback_frames,
+                "xred": xred,
+                "pre_pass_3v": pre_pass_3v,
+                "config": config,
+            }
+        )
+
+    def write_shard(self, shard_id, indices, payload):
+        self._write(
+            {
+                "type": "shard",
+                "id": list(shard_id),
+                "indices": list(indices),
+                "states": payload["states"],
+                "summary": {
+                    key: value
+                    for key, value in payload.items()
+                    if key not in ("states", "demotion_log", "quarantined")
+                },
+                "quarantined": [
+                    fault_key_to_json(k) for k in payload["quarantined"]
+                ],
+            }
+        )
+        self.checkpoints_written += 1
+
+
+class FabricCheckpoint:
+    """The parsed header and completed-shard records of a fabric file."""
+
+    def __init__(self, path, header, shards):
+        self.path = str(path)
+        self.header = header
+        #: {shard_id tuple: shard record}, last write wins
+        self.shards = shards
+
+    @property
+    def circuit_spec(self):
+        return self.header["circuit"]
+
+    @property
+    def sequence(self):
+        return [
+            tuple(int(c) for c in line) for line in self.header["sequence"]
+        ]
+
+    @property
+    def fault_keys(self):
+        return [fault_key_from_json(k) for k in self.header["fault_keys"]]
+
+    @property
+    def node_limit(self):
+        return self.header["node_limit"]
+
+    @property
+    def initial_state(self):
+        return state_from_text(self.header["initial_state"])
+
+    @property
+    def variable_scheme(self):
+        return self.header["variable_scheme"]
+
+    @property
+    def fallback_frames(self):
+        return self.header["fallback_frames"]
+
+    @property
+    def config(self):
+        return self.header.get("config", {})
+
+    def ladder_json(self):
+        return self.header["ladder"]
+
+    def covered_indices(self):
+        """Indices of every fault a completed shard already classified."""
+        covered = set()
+        for record in self.shards.values():
+            covered.update(record["indices"])
+        return covered
+
+
+def load_fabric_checkpoint(path):
+    """Parse a fabric checkpoint: the header plus completed shards."""
+    header = None
+    shards = {}
+    for record in read_jsonl_records(path):
+        kind = record.get("type")
+        if kind == "fabric-header":
+            header = record
+        elif kind == "shard":
+            shards[tuple(record["id"])] = record
+    if header is None:
+        raise CheckpointError(path, "no fabric-header record")
+    return FabricCheckpoint(path, header, shards)

@@ -1,0 +1,938 @@
+"""The shard-fabric coordinator: a fault-tolerant worker pool.
+
+:class:`ShardFabric` splits a campaign's live fault universe into
+shards (:mod:`.sharding`), runs them on a pool of worker processes
+(:mod:`.worker`) and merges the per-fault verdicts back into the master
+:class:`~repro.faults.status.FaultSet` deterministically (sorted by
+shard id, never by completion order).  Sharding is exact: fault
+simulation is per-fault independent, so the merged verdicts of an
+undegraded run are identical to a single-process run.
+
+Failure handling, from mildest to worst:
+
+* **slow shard** — per-shard wall-clock timeout (``shard_timeout``);
+  the worker is SIGKILLed and the shard handled as a crash,
+* **hung worker** — heartbeat liveness (``heartbeat_timeout``); same,
+* **crashed worker** (segfault-class death, OOM kill, chaos
+  injection) — the shard is retried with exponential backoff plus
+  jitter and a fresh worker is spawned into the vacant slot,
+* **poison shard** — a shard that has killed its worker
+  ``max_retries`` times is *bisected*; the halves retry independently,
+  so the bisection tree isolates the offending fault in a singleton
+  shard, which is then routed into the campaign's existing quarantine
+  (status ``quarantined``) instead of looping forever,
+* **dead pool** — if every freshly spawned worker dies before its
+  first message, :class:`~repro.runtime.errors.WorkerCrashed` is
+  raised rather than spinning.
+
+The governor's budgets are apportioned: each dispatch hands the worker
+the *remaining* wall-clock deadline and an equal share of the node
+budget.  Completed shards are absorbed into a crash-safe checkpoint
+the moment they land, so a killed coordinator resumes with partial
+progress (:func:`resume_sharded_campaign`).  ``SIGINT`` (via
+:class:`~repro.runtime.checkpoint.SignalGuard`) drains the pool
+gracefully: no new dispatches, in-flight shards finish, a partial
+result is returned with ``stopped == "signal"``.
+"""
+
+import multiprocessing
+import random
+import time as _time
+from multiprocessing.connection import wait as _connection_wait
+
+from repro.faults.status import (
+    UNDETECTED,
+    X_REDUNDANT,
+    FaultSet,
+    fault_key_from_json,
+)
+from repro.runtime.errors import CheckpointError, WorkerCrashed
+from repro.runtime.fabric.checkpoint import (
+    FabricCheckpointWriter,
+    load_fabric_checkpoint,
+)
+from repro.runtime.fabric.sharding import (
+    aligned_shard_size,
+    plan_shards,
+    shard_id_text,
+)
+from repro.runtime.fabric.worker import run_shard, worker_main
+from repro.runtime.governor import ResourceGovernor
+from repro.runtime.ladder import DegradationLadder
+
+COMPLETED = "completed"
+
+#: how long the event loop sleeps at most between bookkeeping passes
+_POLL_INTERVAL = 0.25
+
+
+class FabricConfig:
+    """Tuning knobs of the shard fabric (all with safe defaults)."""
+
+    def __init__(
+        self,
+        workers=2,
+        shard_size=None,
+        pack_width=256,
+        shard_timeout=None,
+        heartbeat_timeout=None,
+        heartbeat_interval=0.05,
+        max_retries=2,
+        backoff_base=0.05,
+        backoff_cap=2.0,
+        backoff_jitter=0.5,
+        start_method=None,
+        seed=0,
+        events=None,
+        chaos=None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = inline)")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self.workers = workers
+        self.shard_size = shard_size
+        self.pack_width = pack_width
+        self.shard_timeout = shard_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.start_method = start_method
+        self.seed = seed
+        #: observability hook: called with one dict per fabric event
+        #: (dispatch, heartbeat, result, crash, respawn, bisect,
+        #: quarantine, drain); the fault-injection tests use it to kill
+        #: workers at precise moments
+        self.events = events
+        #: deterministic fault injection for tests/CI: a dict with
+        #: ``crash_keys`` / ``hang_keys`` / ``hang_seconds``
+        self.chaos = chaos
+
+    def to_json(self):
+        return {
+            "workers": self.workers,
+            "shard_size": self.shard_size,
+            "pack_width": self.pack_width,
+            "shard_timeout": self.shard_timeout,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "max_retries": self.max_retries,
+        }
+
+
+class _WorkerHandle:
+    """Coordinator-side state of one pool worker."""
+
+    __slots__ = ("worker_id", "process", "conn", "shard",
+                 "dispatched_at", "last_beat", "killing", "ready")
+
+    def __init__(self, worker_id, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.shard = None  # in-flight Shard, if busy
+        self.dispatched_at = None
+        self.last_beat = None
+        self.killing = False  # SIGKILL issued, death not yet reaped
+        self.ready = False  # first message received
+
+    @property
+    def busy(self):
+        return self.shard is not None
+
+
+class _FabricAccounting:
+    """Counters surfaced as ``runtime_summary()["fabric"]``."""
+
+    def __init__(self):
+        self.workers = 0
+        self.shards_planned = 0
+        self.shards_completed = 0
+        self.retries = 0
+        self.respawns = 0
+        self.bisections = 0
+        self.timeouts = 0
+        self.quarantined_by_crash = []  # fault keys, in fault order
+        self.resumed_shards = 0
+
+    def to_json(self):
+        return {
+            "workers": self.workers,
+            "shards_planned": self.shards_planned,
+            "shards_completed": self.shards_completed,
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "bisections": self.bisections,
+            "timeouts": self.timeouts,
+            "quarantined_by_crash": len(self.quarantined_by_crash),
+            "resumed_shards": self.resumed_shards,
+        }
+
+
+class ShardFabric:
+    """One sharded, fault-tolerant campaign (see module docstring)."""
+
+    def __init__(
+        self,
+        compiled,
+        sequence,
+        fault_set,
+        strategy="MOT",
+        ladder=None,
+        node_limit=None,
+        governor=None,
+        checkpoint_path=None,
+        fallback_frames=5,
+        initial_state=None,
+        variable_scheme="interleaved",
+        xred=True,
+        pre_pass_3v=True,
+        circuit_spec=None,
+        signal_guard=None,
+        config=None,
+        resume_from=None,
+    ):
+        from repro.symbolic.hybrid import DEFAULT_NODE_LIMIT
+
+        if isinstance(fault_set, (list, tuple)):
+            fault_set = FaultSet(fault_set)
+        if ladder is None:
+            ladder = DegradationLadder.from_strategy(strategy)
+        elif not isinstance(ladder, DegradationLadder):
+            ladder = DegradationLadder(ladder)
+        self.compiled = compiled
+        self.sequence = [tuple(v) for v in sequence]
+        self.fault_set = fault_set
+        self.ladder = ladder
+        self.node_limit = (
+            DEFAULT_NODE_LIMIT if node_limit is None else node_limit
+        )
+        self.governor = governor or ResourceGovernor()
+        self.checkpoint_path = checkpoint_path
+        self.fallback_frames = fallback_frames
+        if initial_state is None:
+            from repro.logic import threeval
+
+            initial_state = [threeval.X] * compiled.num_dffs
+        self.initial_state = list(initial_state)
+        self.variable_scheme = variable_scheme
+        self.xred = xred
+        self.pre_pass_3v = pre_pass_3v
+        self.circuit_spec = circuit_spec or compiled.circuit.name
+        self.signal_guard = signal_guard
+        self.config = config or FabricConfig()
+        self.resume_from = resume_from
+
+        self._faults = [record.fault for record in fault_set]
+        self._rng = random.Random(self.config.seed)
+        self._handles = {}  # worker_id -> _WorkerHandle
+        self._next_worker_id = 0
+        self._pending = []  # Shards awaiting dispatch
+        self._results = {}  # shard_id -> payload
+        self._shard_records = {}  # shard_id -> indices (for merge order)
+        self._stop_reason = None
+        self._draining = False
+        self._writer = None
+        self._worker_nodes = 0  # node allocations reported by shards
+        self._spawn_failures = 0  # consecutive deaths before readiness
+        self.accounting = _FabricAccounting()
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def _emit(self, event, **fields):
+        if self.config.events is not None:
+            fields["event"] = event
+            self.config.events(fields)
+
+    # ------------------------------------------------------------------
+    # planning and resumption
+    # ------------------------------------------------------------------
+    def _live_indices(self):
+        return [
+            index
+            for index, record in enumerate(self.fault_set)
+            if record.status in (UNDETECTED, X_REDUNDANT)
+        ]
+
+    def _absorb_resume(self):
+        """Apply completed shards of a prior run; returns covered set."""
+        checkpoint = self.resume_from
+        if checkpoint is None:
+            return set(), 0
+        keys = [record.fault.key() for record in self.fault_set]
+        if keys != checkpoint.fault_keys:
+            raise CheckpointError(
+                checkpoint.path,
+                "fault universe does not match the checkpointed campaign "
+                f"({len(keys)} vs {len(checkpoint.fault_keys)} faults)",
+            )
+        next_ordinal = 0
+        for shard_id in sorted(checkpoint.shards):
+            record = checkpoint.shards[shard_id]
+            payload = dict(record["summary"])
+            payload["states"] = record["states"]
+            payload["demotion_log"] = []
+            payload["quarantined"] = [
+                fault_key_from_json(k) for k in record["quarantined"]
+            ]
+            self._apply_payload(shard_id, record["indices"], payload,
+                                checkpointed=True)
+            self.accounting.resumed_shards += 1
+            next_ordinal = max(next_ordinal, shard_id[0] + 1)
+        return checkpoint.covered_indices(), next_ordinal
+
+    def _plan(self):
+        covered, next_ordinal = self._absorb_resume()
+        live = [i for i in self._live_indices() if i not in covered]
+        align = (
+            self.config.pack_width
+            if self.pre_pass_3v
+            or any(not rung.symbolic for rung in self.ladder.rungs)
+            else None
+        )
+        size = aligned_shard_size(
+            len(live), max(self.config.workers, 1),
+            shard_size=self.config.shard_size, align=align,
+        )
+        shards = plan_shards(live, size)
+        for shard in shards:
+            shard.shard_id = (shard.shard_id[0] + next_ordinal,)
+        self._pending = shards
+        # absorbed shards count as planned: completed/planned then reads
+        # as overall progress even on a resumed run
+        self.accounting.shards_planned = (
+            len(shards) + self.accounting.resumed_shards
+        )
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _open_writer(self):
+        if self.checkpoint_path is None:
+            return
+        self._writer = FabricCheckpointWriter(self.checkpoint_path)
+        if self.resume_from is None:
+            self._writer.write_fabric_header(
+                circuit_spec=self.circuit_spec,
+                sequence=self.sequence,
+                fault_keys=[r.fault.key() for r in self.fault_set],
+                ladder=self.ladder,
+                node_limit=self.node_limit,
+                initial_state=self.initial_state,
+                variable_scheme=self.variable_scheme,
+                fallback_frames=self.fallback_frames,
+                xred=self.xred,
+                pre_pass_3v=self.pre_pass_3v,
+                config=self.config.to_json(),
+            )
+
+    # ------------------------------------------------------------------
+    # the worker pool
+    # ------------------------------------------------------------------
+    def _context(self):
+        method = self.config.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+    def _init_payload(self):
+        return {
+            "compiled": self.compiled,
+            "faults": self._faults,
+            "sequence": self.sequence,
+            "ladder": self.ladder.to_json(),
+            "node_limit": self.node_limit,
+            "fallback_frames": self.fallback_frames,
+            "initial_state": self.initial_state,
+            "variable_scheme": self.variable_scheme,
+            "xred": self.xred,
+            "pre_pass_3v": self.pre_pass_3v,
+            "heartbeat_interval": self.config.heartbeat_interval,
+            "chaos": self.config.chaos,
+        }
+
+    def _spawn_worker(self, ctx, init):
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=worker_main,
+            args=(worker_id, child_conn, init),
+            name=f"fabric-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(worker_id, process, parent_conn)
+        handle.last_beat = _time.monotonic()
+        self._handles[worker_id] = handle
+        self.accounting.workers = max(
+            self.accounting.workers, len(self._handles)
+        )
+        return handle
+
+    def _task_opts(self):
+        """Apportion the governor's budgets for one dispatch."""
+        deadline = None
+        if self.governor.deadline is not None:
+            deadline = max(self.governor.deadline - self.governor.elapsed(),
+                           0.0)
+        node_share = None
+        if self.governor.node_budget is not None:
+            node_share = max(
+                self.governor.node_budget // max(self.config.workers, 1), 1
+            )
+        return {
+            "deadline": deadline,
+            "node_budget": node_share,
+            "fault_frame_nodes": self.governor.fault_frame_nodes,
+            "fault_frame_events": self.governor.fault_frame_events,
+        }
+
+    def _dispatch(self, handle, shard):
+        opts = self._task_opts()
+        handle.shard = shard
+        handle.dispatched_at = _time.monotonic()
+        handle.last_beat = handle.dispatched_at
+        handle.conn.send(("run", shard.shard_id, shard.indices, opts))
+        self._emit(
+            "dispatch",
+            worker_id=handle.worker_id,
+            pid=handle.process.pid,
+            shard=shard_id_text(shard.shard_id),
+            faults=len(shard),
+        )
+
+    def _kill_worker(self, handle, reason):
+        handle.killing = True
+        self.accounting.timeouts += 1
+        self._emit(
+            "timeout", worker_id=handle.worker_id, reason=reason,
+            shard=shard_id_text(handle.shard.shard_id)
+            if handle.shard else None,
+        )
+        try:
+            handle.process.kill()
+        except OSError:
+            pass
+
+    def _shutdown_pool(self):
+        for handle in self._handles.values():
+            try:
+                handle.conn.send(("stop",))
+            except OSError:
+                pass
+        for handle in self._handles.values():
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            if handle.process.is_alive():  # pragma: no cover - stubborn
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._handles.clear()
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _backoff(self, crashes):
+        delay = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2 ** (crashes - 1)),
+        )
+        return delay * (1.0 + self.config.backoff_jitter * self._rng.random())
+
+    def _record_crash(self, shard, reason):
+        """Retry, bisect or quarantine a shard whose attempt died."""
+        if shard.shard_id in self._results:
+            return  # a late result already landed; nothing to redo
+        shard.crashes += 1
+        self._emit(
+            "crash", shard=shard_id_text(shard.shard_id),
+            crashes=shard.crashes, reason=reason,
+        )
+        if shard.crashes < self.config.max_retries:
+            self.accounting.retries += 1
+            shard.not_before = _time.monotonic() + self._backoff(shard.crashes)
+            self._pending.append(shard)
+            return
+        if len(shard) > 1:
+            self.accounting.bisections += 1
+            low, high = shard.split()
+            self._emit(
+                "bisect", shard=shard_id_text(shard.shard_id),
+                into=[shard_id_text(low.shard_id),
+                      shard_id_text(high.shard_id)],
+            )
+            self._pending.extend((low, high))
+            return
+        # a singleton shard that keeps killing workers: the fault is
+        # poison — quarantine it instead of looping forever
+        index = shard.indices[0]
+        record = self.fault_set.records[index]
+        record.mark_quarantined()
+        self.accounting.quarantined_by_crash.append(record.fault.key())
+        self._emit(
+            "quarantine", shard=shard_id_text(shard.shard_id),
+            fault=str(record.fault.key()),
+        )
+
+    def _on_worker_death(self, handle, reason):
+        self._handles.pop(handle.worker_id, None)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        shard = handle.shard
+        handle.shard = None
+        if shard is not None:
+            self._record_crash(shard, reason)
+        if not handle.ready:
+            # died before its first message: the pool itself is broken
+            # (import error under spawn, OOM on start-up, ...), not a
+            # poison shard — bail out instead of respawning forever
+            self._spawn_failures += 1
+            if self._spawn_failures >= 3:
+                raise WorkerCrashed(
+                    handle.worker_id,
+                    f"{self._spawn_failures} consecutive workers died "
+                    f"before reporting ready (last: {reason})",
+                    shard_id=(
+                        shard_id_text(shard.shard_id) if shard else None
+                    ),
+                )
+        return shard
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _apply_payload(self, shard_id, indices, payload, checkpointed=False):
+        if shard_id in self._results:
+            return
+        self._results[shard_id] = payload
+        self._shard_records[shard_id] = list(indices)
+        for index, state in zip(indices, payload["states"]):
+            self.fault_set.records[index].state_from_json(state)
+        self._worker_nodes += payload.get("nodes_allocated", 0)
+        self.accounting.shards_completed += 1
+        if self._writer is not None and not checkpointed:
+            self._writer.write_shard(shard_id, indices, payload)
+
+    def _accept_result(self, handle, shard_id, payload):
+        shard = handle.shard
+        handle.shard = None
+        if shard is None or shard.shard_id != shard_id:
+            # a late result from a worker we already gave up on
+            shard = None
+        indices = (
+            shard.indices if shard is not None
+            else self._find_pending_indices(shard_id)
+        )
+        if indices is None:
+            return
+        self._apply_payload(shard_id, indices, payload)
+        self._emit(
+            "result", worker_id=handle.worker_id,
+            shard=shard_id_text(shard_id), stopped=payload["stopped"],
+        )
+
+    def _find_pending_indices(self, shard_id):
+        for position, shard in enumerate(self._pending):
+            if shard.shard_id == shard_id:
+                del self._pending[position]
+                return shard.indices
+        return None
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def _check_stop_conditions(self):
+        if (
+            self.signal_guard is not None
+            and self.signal_guard.stop_requested
+            and not self._draining
+        ):
+            self._draining = True
+            self._stop_reason = "signal"
+            self._emit("drain", reason="signal")
+        if (
+            self.governor.deadline is not None
+            and self.governor.elapsed() >= self.governor.deadline
+            and not self._draining
+        ):
+            self._draining = True
+            self._stop_reason = "deadline"
+            self._emit("drain", reason="deadline")
+
+    def _dispatch_ready(self, ctx, init):
+        if self._draining:
+            return
+        now = _time.monotonic()
+        idle = [h for h in self._handles.values()
+                if not h.busy and not h.killing]
+        while idle and self._pending:
+            ready = [s for s in self._pending if s.not_before <= now]
+            if not ready:
+                break
+            ready.sort(key=lambda s: s.shard_id)
+            shard = ready[0]
+            self._pending.remove(shard)
+            self._dispatch(idle.pop(), shard)
+        # keep the pool at strength while work remains
+        want = min(self.config.workers,
+                   len(self._pending) + sum(
+                       1 for h in self._handles.values() if h.busy))
+        while len(self._handles) < want:
+            self._spawn_worker(ctx, init)
+            self.accounting.respawns += 1
+
+    def _enforce_timeouts(self):
+        now = _time.monotonic()
+        for handle in list(self._handles.values()):
+            if not handle.busy or handle.killing:
+                continue
+            if (
+                self.config.shard_timeout is not None
+                and now - handle.dispatched_at > self.config.shard_timeout
+            ):
+                self._kill_worker(handle, "shard-timeout")
+            elif (
+                self.config.heartbeat_timeout is not None
+                and now - handle.last_beat > self.config.heartbeat_timeout
+            ):
+                self._kill_worker(handle, "heartbeat-timeout")
+
+    def _wait_timeout(self):
+        timeout = _POLL_INTERVAL
+        now = _time.monotonic()
+        for shard in self._pending:
+            if shard.not_before > now:
+                timeout = min(timeout, shard.not_before - now)
+        return max(timeout, 0.01)
+
+    def _handle_message(self, handle, message):
+        if not handle.ready:
+            handle.ready = True
+            self._spawn_failures = 0
+        kind = message[0]
+        if kind == "ready":
+            handle.last_beat = _time.monotonic()
+        elif kind == "heartbeat":
+            _, worker_id, shard_id, frame = message
+            handle.last_beat = _time.monotonic()
+            self._emit(
+                "heartbeat", worker_id=worker_id,
+                pid=handle.process.pid,
+                shard=shard_id_text(shard_id), frame=frame,
+            )
+        elif kind == "result":
+            _, _worker_id, shard_id, payload = message
+            self._accept_result(handle, shard_id, payload)
+        elif kind == "error":
+            _, _worker_id, shard_id, reason = message
+            shard = handle.shard
+            handle.shard = None
+            if shard is not None and shard.shard_id == shard_id:
+                self._record_crash(shard, reason)
+
+    def _pump_events(self):
+        """Wait for pipe traffic or worker deaths and process them."""
+        sources = {}
+        for handle in self._handles.values():
+            sources[handle.conn] = handle
+            sources[handle.process.sentinel] = handle
+        if not sources:
+            return
+        ready = _connection_wait(list(sources), timeout=self._wait_timeout())
+        dead = []
+        for source in ready:
+            handle = sources[source]
+            if source is handle.conn:
+                try:
+                    while handle.conn.poll():
+                        self._handle_message(handle, handle.conn.recv())
+                except (EOFError, OSError):
+                    dead.append(handle)
+            elif not handle.process.is_alive():
+                dead.append(handle)
+        for handle in dead:
+            if handle.worker_id not in self._handles:
+                continue  # reaped via the other source already
+            # drain any result the worker managed to send before dying
+            # (e.g. killed for a timeout it had just beaten)
+            try:
+                while handle.conn.poll():
+                    self._handle_message(handle, handle.conn.recv())
+            except (EOFError, OSError):
+                pass
+            handle.process.join(timeout=0.1)
+            code = handle.process.exitcode
+            reason = (
+                "killed" if handle.killing else f"worker died (exit {code})"
+            )
+            self._on_worker_death(handle, reason)
+
+    def _run_pool(self):
+        ctx = self._context()
+        init = self._init_payload()
+        for _ in range(min(self.config.workers, max(len(self._pending), 1))):
+            self._spawn_worker(ctx, init)
+
+        def any_busy():
+            return any(h.busy for h in self._handles.values())
+
+        try:
+            while (self._pending and not self._draining) or any_busy():
+                self._check_stop_conditions()
+                self._dispatch_ready(ctx, init)
+                self._enforce_timeouts()
+                self._pump_events()
+        finally:
+            self._shutdown_pool()
+
+    def _run_inline(self):
+        """``workers=0``: same sharding/merge path, no processes."""
+        while self._pending:
+            self._check_stop_conditions()
+            if self._draining:
+                break
+            self._pending.sort(key=lambda s: s.shard_id)
+            shard = self._pending.pop(0)
+            opts = self._task_opts()
+            if self.governor.node_budget is not None:
+                # sequential execution: each shard gets what is left of
+                # the whole budget, not a per-worker slice
+                opts["node_budget"] = max(
+                    self.governor.node_budget - self._worker_nodes, 1
+                )
+            governor = ResourceGovernor(
+                deadline=opts["deadline"],
+                node_budget=opts["node_budget"],
+                fault_frame_nodes=opts["fault_frame_nodes"],
+                fault_frame_events=opts["fault_frame_events"],
+            )
+            try:
+                payload = run_shard(
+                    self.compiled, self._faults, self.sequence,
+                    shard.indices, self._campaign_kwargs(),
+                    governor=governor,
+                )
+            except Exception as exc:
+                shard.not_before = 0.0  # no backoff sleeps inline
+                self._record_crash(shard, f"{type(exc).__name__}: {exc}")
+                continue
+            self._apply_payload(shard.shard_id, shard.indices, payload)
+            self._emit(
+                "result", worker_id=None,
+                shard=shard_id_text(shard.shard_id),
+                stopped=payload["stopped"],
+            )
+
+    def _campaign_kwargs(self):
+        return {
+            "ladder": self.ladder,
+            "node_limit": self.node_limit,
+            "checkpoint_path": None,
+            "checkpoint_every": 1,
+            "fallback_frames": self.fallback_frames,
+            "initial_state": self.initial_state,
+            "variable_scheme": self.variable_scheme,
+            "xred": self.xred,
+            "pre_pass_3v": self.pre_pass_3v,
+        }
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def _merge(self):
+        """Fold shard payloads into one result, sorted by shard id.
+
+        ``frames_total`` is the deepest frame any shard reached;
+        frame/fallback/gc counters are *summed* across shards (they are
+        work accounting, and their zero-ness — which is what
+        ``CampaignResult.exact`` inspects — is preserved either way).
+        """
+        from repro.runtime.campaign import CampaignResult
+
+        frames_total = 0
+        frames_symbolic = 0
+        frames_three_valued = 0
+        fallbacks = 0
+        gc_runs = 0
+        peak_nodes = 2
+        demotions = 0
+        demotion_log = []
+        quarantined = []
+        rung_population = {}
+        shard_stop = None
+        for shard_id in sorted(self._results):
+            payload = self._results[shard_id]
+            frames_total = max(frames_total, payload["frames_total"])
+            frames_symbolic += payload["frames_symbolic"]
+            frames_three_valued += payload["frames_three_valued"]
+            fallbacks += payload["fallbacks"]
+            gc_runs += payload["gc_runs"]
+            peak_nodes = max(peak_nodes, payload["peak_nodes"])
+            demotions += payload["demotions"]
+            demotion_log.extend(tuple(e) for e in payload["demotion_log"])
+            quarantined.extend(payload["quarantined"])
+            for rung, population in payload["rung_population"].items():
+                rung_population[rung] = (
+                    rung_population.get(rung, 0) + population
+                )
+            if payload["stopped"] != COMPLETED and shard_stop is None:
+                shard_stop = payload["stopped"]
+        quarantined.extend(self.accounting.quarantined_by_crash)
+        self.governor.nodes_allocated += self._worker_nodes
+
+        if self._stop_reason is not None:
+            stopped = self._stop_reason
+        elif shard_stop is not None:
+            stopped = shard_stop
+        elif self._pending:
+            stopped = "incomplete"  # should not happen; be honest if it does
+        else:
+            stopped = COMPLETED
+
+        fabric = self.accounting.to_json()
+        return CampaignResult(
+            self.fault_set,
+            self.ladder.rungs[0].strategy,
+            frames_total=frames_total,
+            frames_symbolic=frames_symbolic,
+            frames_three_valued=frames_three_valued,
+            fallbacks=fallbacks,
+            gc_runs=gc_runs,
+            peak_nodes=peak_nodes,
+            demotions=demotions,
+            demotion_log=demotion_log,
+            quarantined=quarantined,
+            checkpoints_written=(
+                self._writer.checkpoints_written if self._writer else 0
+            ),
+            checkpoint_path=self._writer.path if self._writer else None,
+            resumed_from=None,
+            stopped=stopped,
+            budget=self.governor.accounting(),
+            ladder_names=self.ladder.names(),
+            rung_population=rung_population,
+            fabric=fabric,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Drive the sharded campaign to completion (or graceful stop)."""
+        self.governor.start()
+        self._open_writer()
+        try:
+            self._plan()
+            if self._pending:
+                if self.config.workers == 0:
+                    self._run_inline()
+                else:
+                    self._run_pool()
+            return self._merge()
+        finally:
+            if self._writer is not None:
+                self._writer.close()
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def run_sharded_campaign(compiled, sequence, fault_set, **kwargs):
+    """Run a campaign across a pool of worker processes.
+
+    Accepts the :class:`ShardFabric` keywords; the fabric knobs can be
+    given either as a ``config=FabricConfig(...)`` or via the common
+    shortcuts ``workers`` / ``shard_size`` / ``shard_timeout`` /
+    ``heartbeat_timeout`` / ``max_retries``.  Returns a merged
+    :class:`~repro.runtime.campaign.CampaignResult` whose
+    ``runtime_summary()`` carries a ``"fabric"`` accounting block.
+    """
+    # knobs of the in-process campaign that have no fabric equivalent:
+    # the fabric checkpoints every completed shard, not every N frames
+    for name in ("checkpoint_every", "progress_hook", "rng"):
+        kwargs.pop(name, None)
+    config = kwargs.pop("config", None)
+    if config is None:
+        config_fields = {}
+        for name in ("workers", "shard_size", "shard_timeout",
+                     "heartbeat_timeout", "max_retries"):
+            if name in kwargs and kwargs[name] is not None:
+                config_fields[name] = kwargs.pop(name)
+            else:
+                kwargs.pop(name, None)
+        config = FabricConfig(**config_fields)
+    else:
+        for name in ("workers", "shard_size", "shard_timeout",
+                     "heartbeat_timeout", "max_retries"):
+            kwargs.pop(name, None)
+    return ShardFabric(compiled, sequence, fault_set,
+                       config=config, **kwargs).run()
+
+
+def resume_sharded_campaign(
+    checkpoint_path,
+    compiled=None,
+    fault_set=None,
+    governor=None,
+    signal_guard=None,
+    config=None,
+    **kwargs,
+):
+    """Resume a sharded campaign from its fabric checkpoint.
+
+    Completed shards are absorbed (their verdicts applied without
+    re-simulation); only the remainder of the fault universe is
+    re-sharded and run.  Because re-running a shard reproduces its
+    verdicts exactly, a fabric resume — unlike an in-process campaign
+    resume — does not make the result conservative.
+    """
+    checkpoint = load_fabric_checkpoint(checkpoint_path)
+    if compiled is None:
+        from repro.runtime.campaign import _load_compiled
+
+        compiled = _load_compiled(checkpoint.circuit_spec)
+    if fault_set is None:
+        from repro.faults.collapse import collapse_faults
+
+        faults, _ = collapse_faults(compiled)
+        fault_set = FaultSet(faults)
+    if config is None:
+        recorded = checkpoint.config
+        config = FabricConfig(
+            workers=recorded.get("workers", 2),
+            shard_size=recorded.get("shard_size"),
+            shard_timeout=recorded.get("shard_timeout"),
+            heartbeat_timeout=recorded.get("heartbeat_timeout"),
+            max_retries=recorded.get("max_retries", 2),
+        )
+    fabric = ShardFabric(
+        compiled,
+        checkpoint.sequence,
+        fault_set,
+        ladder=DegradationLadder.from_json(checkpoint.ladder_json()),
+        node_limit=checkpoint.node_limit,
+        governor=governor,
+        checkpoint_path=checkpoint_path,
+        fallback_frames=checkpoint.fallback_frames,
+        initial_state=checkpoint.initial_state,
+        variable_scheme=checkpoint.variable_scheme,
+        xred=checkpoint.header.get("xred", True),
+        pre_pass_3v=checkpoint.header.get("pre_pass_3v", True),
+        circuit_spec=checkpoint.circuit_spec,
+        signal_guard=signal_guard,
+        config=config,
+        resume_from=checkpoint,
+        **kwargs,
+    )
+    return fabric.run()

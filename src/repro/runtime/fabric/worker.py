@@ -1,0 +1,205 @@
+"""The shard-fabric worker process.
+
+A worker is one OS process owning one end of a :func:`multiprocessing.
+Pipe`.  It receives shard tasks from the coordinator, runs each as an
+ordinary in-process :class:`~repro.runtime.campaign.Campaign` over just
+that shard's faults, and reports back:
+
+* ``("ready", worker_id, pid)`` — once, after start-up,
+* ``("heartbeat", worker_id, shard_id, frame)`` — at frame
+  boundaries, throttled to ``heartbeat_interval`` seconds; the
+  coordinator uses the gaps to detect hung workers,
+* ``("result", worker_id, shard_id, payload)`` — the per-fault
+  verdicts and counters of a finished shard,
+* ``("error", worker_id, shard_id, message)`` — a Python-level
+  failure inside the shard run (the worker survives and stays in the
+  pool; the coordinator treats the shard like a crashed one).
+
+Workers ignore ``SIGINT``: on Ctrl-C the *coordinator* decides whether
+to drain gracefully, and a terminal delivering the signal to the whole
+process group must not kill workers mid-shard.
+
+Everything in the init payload and in messages is picklable, so the
+fabric works under both the ``fork`` and ``spawn`` start methods.
+
+The init payload may carry a ``chaos`` table (used by the
+fault-injection tests and the CI chaos job): shards containing a
+*crash* key hard-exit the worker before simulating, shards containing
+a *hang* key sleep without heartbeating — deterministic stand-ins for
+segfaults and wedged processes.
+"""
+
+import os
+import signal
+import time as _time
+
+from repro.faults.status import FaultSet
+from repro.runtime.governor import ResourceGovernor
+from repro.runtime.ladder import DegradationLadder
+
+#: exit code of a chaos-injected crash (mirrors a SIGKILL-style death)
+CHAOS_EXIT_CODE = 139
+
+
+class WorkerGovernor(ResourceGovernor):
+    """A resource governor that also emits heartbeats.
+
+    Every frame-boundary check (the campaign main loop *and* the
+    word-parallel pre-pass both route through :meth:`check_frame`)
+    doubles as a liveness beat, throttled so a fast sweep does not
+    flood the pipe.
+    """
+
+    def __init__(self, heartbeat, heartbeat_interval, **kwargs):
+        super().__init__(**kwargs)
+        self._heartbeat = heartbeat
+        self._heartbeat_interval = heartbeat_interval
+        self._last_beat = 0.0
+
+    def check_frame(self, frame, pack=None):
+        super().check_frame(frame, pack=pack)
+        now = _time.monotonic()
+        if now - self._last_beat >= self._heartbeat_interval:
+            self._last_beat = now
+            self._heartbeat(frame)
+
+
+def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
+              governor=None):
+    """Run one shard in-process and return its result payload.
+
+    *indices* select the shard's faults out of the canonical *faults*
+    order; the returned ``"states"`` list is aligned with them.  This
+    is the single execution path shared by pooled workers and the
+    fabric's inline (``workers=0``) mode, so both are tested by the
+    same code.
+    """
+    from repro.runtime.campaign import Campaign
+
+    fault_set = FaultSet([faults[i] for i in indices])
+    if not indices:
+        return {
+            "states": [],
+            "stopped": "completed",
+            "frames_total": 0,
+            "frames_symbolic": 0,
+            "frames_three_valued": 0,
+            "fallbacks": 0,
+            "gc_runs": 0,
+            "peak_nodes": 2,
+            "demotions": 0,
+            "demotion_log": [],
+            "quarantined": [],
+            "rung_population": {},
+            "nodes_allocated": 0,
+            "elapsed": 0.0,
+        }
+    campaign = Campaign(
+        compiled,
+        sequence,
+        fault_set,
+        governor=governor,
+        **campaign_kwargs,
+    )
+    result = campaign.run()
+    return {
+        "states": [record.state_to_json() for record in fault_set],
+        "stopped": result.stopped,
+        "frames_total": result.frames_total,
+        "frames_symbolic": result.frames_symbolic,
+        "frames_three_valued": result.frames_three_valued,
+        "fallbacks": result.fallbacks,
+        "gc_runs": result.gc_runs,
+        "peak_nodes": result.peak_nodes,
+        "demotions": result.demotions,
+        "demotion_log": result.demotion_log,
+        "quarantined": result.quarantined,
+        "rung_population": result.rung_population,
+        "nodes_allocated": campaign.governor.nodes_allocated,
+        "elapsed": campaign.governor.elapsed(),
+    }
+
+
+def _campaign_kwargs(init, opts):
+    return {
+        "ladder": DegradationLadder.from_json(init["ladder"]),
+        "node_limit": init["node_limit"],
+        "checkpoint_path": None,
+        # progress (and therefore governor frame checks) every frame:
+        # the worker's heartbeat cadence, throttled by wall-clock above
+        "checkpoint_every": 1,
+        "fallback_frames": init["fallback_frames"],
+        "initial_state": init["initial_state"],
+        "variable_scheme": init["variable_scheme"],
+        "xred": init["xred"],
+        "pre_pass_3v": init["pre_pass_3v"],
+    }
+
+
+def _apply_chaos(chaos, shard_keys):
+    """Deterministic fault injection for tests and the CI chaos job."""
+    if not chaos:
+        return
+    crash_keys = set(chaos.get("crash_keys") or ())
+    hang_keys = set(chaos.get("hang_keys") or ())
+    if crash_keys & shard_keys:
+        # a segfault-class death: no exception, no cleanup, no message
+        os._exit(CHAOS_EXIT_CODE)
+    if hang_keys & shard_keys:
+        # a wedged worker: alive but silent (no heartbeats)
+        _time.sleep(chaos.get("hang_seconds", 3600.0))
+
+
+def worker_main(worker_id, conn, init):
+    """Entry point of a pool worker process."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    compiled = init["compiled"]
+    faults = init["faults"]
+    sequence = init["sequence"]
+    heartbeat_interval = init.get("heartbeat_interval", 0.05)
+    chaos = init.get("chaos")
+    try:
+        conn.send(("ready", worker_id, os.getpid()))
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, shard_id, indices, opts = message
+            _apply_chaos(
+                chaos, {faults[i].key() for i in indices}
+            )
+
+            def heartbeat(frame, _shard_id=shard_id):
+                conn.send(("heartbeat", worker_id, _shard_id, frame))
+
+            governor = WorkerGovernor(
+                heartbeat,
+                heartbeat_interval,
+                deadline=opts.get("deadline"),
+                node_budget=opts.get("node_budget"),
+                fault_frame_nodes=opts.get("fault_frame_nodes"),
+                fault_frame_events=opts.get("fault_frame_events"),
+            )
+            try:
+                payload = run_shard(
+                    compiled, faults, sequence, indices,
+                    _campaign_kwargs(init, opts), governor=governor,
+                )
+            except Exception as exc:  # deterministic shard failure
+                conn.send(
+                    ("error", worker_id, shard_id,
+                     f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            conn.send(("result", worker_id, shard_id, payload))
+    except (EOFError, OSError, KeyboardInterrupt):
+        # coordinator went away (or we are being torn down): just exit
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -57,6 +57,7 @@ class ResourceGovernor:
         self.nodes_allocated = 0
         self._since_clock_check = 0
         self.frame = None  # current frame, for error context
+        self.pack = None  # current pack of the word-parallel engine
 
     # ------------------------------------------------------------------
     def start(self, elapsed_before=0.0, nodes_before=0):
@@ -79,12 +80,20 @@ class ResourceGovernor:
         elapsed = self.elapsed()
         if elapsed >= self.deadline:
             raise BudgetExceeded(
-                "deadline", self.deadline, elapsed, frame=self.frame
+                "deadline", self.deadline, elapsed, frame=self.frame,
+                pack=self.pack,
             )
 
-    def check_frame(self, frame):
-        """Frame-boundary check; also usable as an engine frame hook."""
+    def check_frame(self, frame, pack=None):
+        """Frame-boundary check; also usable as an engine frame hook.
+
+        The word-parallel engine restarts its frame count per pack and
+        passes the 0-based *pack* index along, so a raised budget names
+        the absolute (pack, frame) position instead of a frame number
+        that repeats every pack.
+        """
         self.frame = frame
+        self.pack = pack
         self.check_deadline()
 
     def note_node(self):
@@ -96,7 +105,7 @@ class ResourceGovernor:
         ):
             raise BudgetExceeded(
                 "nodes", self.node_budget, self.nodes_allocated,
-                frame=self.frame,
+                frame=self.frame, pack=self.pack,
             )
         self._since_clock_check += 1
         if self._since_clock_check >= _CLOCK_STRIDE:

@@ -126,3 +126,36 @@ def test_known_initial_state_detects_more(s27_compiled, s27_faults):
         initial_state=[0] * s27_compiled.num_dffs,
     )
     assert detected_keys(fs_x) <= detected_keys(fs_known)
+
+
+def test_frame_hook_receives_absolute_pack_context(s27_compiled,
+                                                   s27_faults,
+                                                   s27_sequence):
+    # per-pack sweeps restart their frame count; hooks that declare a
+    # ``pack`` parameter get the absolute pack index alongside it
+    seen = []
+
+    def hook(frame, pack=None):
+        seen.append((pack, frame))
+
+    fs = FaultSet(s27_faults)
+    fault_simulate_3v_parallel(
+        s27_compiled, s27_sequence, fs, pack_width=8, frame_hook=hook
+    )
+    packs = sorted({pack for pack, _ in seen})
+    assert packs == list(range(len(packs)))
+    assert len(packs) > 1  # 32 faults at width 8 -> several packs
+    for pack, frame in seen:
+        assert 0 <= frame <= len(s27_sequence)
+
+
+def test_frame_hook_without_pack_param_still_works(s27_compiled,
+                                                   s27_faults,
+                                                   s27_sequence):
+    frames = []
+    fs = FaultSet(s27_faults)
+    fault_simulate_3v_parallel(
+        s27_compiled, s27_sequence, fs, pack_width=8,
+        frame_hook=frames.append,
+    )
+    assert frames  # legacy single-argument hooks keep working

@@ -132,3 +132,78 @@ def test_signal_guard_turns_sigterm_into_stop_request():
         assert guard.stop_requested == "SIGTERM"
     # uninstalled afterwards: default disposition restored
     assert signal.getsignal(signal.SIGTERM) is not guard._handler
+
+
+# ----------------------------------------------------------------------
+# crash-safe writes and torn-tail tolerance
+# ----------------------------------------------------------------------
+def test_torn_final_line_is_tolerated(tmp_path):
+    # a coordinator killed mid-write leaves a final line without its
+    # trailing newline; the reader drops it and resumes from the last
+    # complete record
+    path = tmp_path / "run.ckpt"
+    write_campaign_file(path, frames=(10, 20))
+    whole = path.read_text()
+    a_record = whole.splitlines()[1]
+    with open(path, "a") as handle:
+        handle.write(a_record[: len(a_record) // 2])  # no newline
+    checkpoint = load_checkpoint(path)
+    assert checkpoint.frame == 20
+
+
+def test_torn_tail_even_if_valid_json_prefix(tmp_path):
+    # the torn write happens to truncate at a brace boundary: the line
+    # parses but is still missing its newline commit marker -> dropped
+    path = tmp_path / "run.ckpt"
+    write_campaign_file(path, frames=(10,))
+    with open(path, "a") as handle:
+        handle.write('{"type": "progress"')  # torn, no newline
+    checkpoint = load_checkpoint(path)
+    assert checkpoint.frame == 10
+
+
+def test_corrupt_line_with_newline_still_raises(tmp_path):
+    # a complete (newline-terminated) but malformed line is real
+    # corruption, not a torn write: refuse loudly
+    path = tmp_path / "run.ckpt"
+    write_campaign_file(path, frames=(10,))
+    with open(path, "a") as handle:
+        handle.write("{not json\n")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(path)
+
+
+def test_writer_fsyncs_by_default(tmp_path, monkeypatch):
+    import os as os_module
+
+    synced = []
+    real_fsync = os_module.fsync
+    monkeypatch.setattr(
+        "repro.runtime.checkpoint.os.fsync",
+        lambda fd: (synced.append(fd), real_fsync(fd)),
+    )
+    path = tmp_path / "run.ckpt"
+    write_campaign_file(path)
+    assert synced  # every record hit the disk before returning
+
+
+def test_sniff_checkpoint_kind(tmp_path):
+    from repro.runtime import sniff_checkpoint_kind
+
+    campaign_path = tmp_path / "campaign.ckpt"
+    write_campaign_file(campaign_path)
+    assert sniff_checkpoint_kind(campaign_path) == "campaign"
+
+    fabric_path = tmp_path / "fabric.ckpt"
+    fabric_path.write_text(
+        json.dumps(
+            {"version": CHECKPOINT_VERSION, "type": "fabric-header"}
+        )
+        + "\n"
+    )
+    assert sniff_checkpoint_kind(fabric_path) == "fabric"
+
+    empty = tmp_path / "empty.ckpt"
+    empty.write_text("")
+    with pytest.raises(CheckpointError):
+        sniff_checkpoint_kind(empty)

@@ -130,3 +130,24 @@ def test_budget_exceeded_context():
     assert ctx["limit"] == 5.0
     assert ctx["observed"] == 6.0
     assert ctx["frame"] == 12
+
+
+def test_budget_exceeded_pack_and_frame_context():
+    err = BudgetExceeded("deadline", 5.0, 6.0, frame=3, pack=2)
+    ctx = err.context()
+    assert ctx["frame"] == 3
+    assert ctx["pack"] == 2
+    assert "pack 2" in str(err) and "frame 3" in str(err)
+
+
+def test_check_frame_records_pack_for_diagnostics():
+    # the word-parallel engine restarts its frame count per pack; the
+    # governor keeps the absolute (pack, frame) pair so a budget raised
+    # mid-sweep names the exact position
+    gov = ResourceGovernor(deadline=2.5, clock=FakeClock()).start()
+    gov.check_frame(1, pack=0)
+    with pytest.raises(BudgetExceeded) as exc:
+        gov.check_frame(0, pack=4)
+        gov.check_frame(1, pack=4)
+    assert exc.value.kind == "deadline"
+    assert exc.value.context()["pack"] == 4
