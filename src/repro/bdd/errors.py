@@ -29,5 +29,29 @@ class SpaceLimitExceeded(BddError):
         )
 
 
+class MemoryPressureExceeded(SpaceLimitExceeded):
+    """Process memory crossed the hard pressure watermark.
+
+    Raised by the pressure monitor when the cheap relief rungs (cache
+    eviction, garbage collection, reorder rescue) could not bring the
+    resident set back under the hard watermark.  Subclassing
+    :class:`SpaceLimitExceeded` means every existing surrender path —
+    the hybrid three-valued fallback, the campaign's per-fault demotion
+    — handles memory pressure exactly like a node-limit overflow.
+
+    ``limit`` is the hard watermark in bytes, ``requested`` the observed
+    resident set size.
+    """
+
+    def __init__(self, limit, observed):
+        self.limit = limit
+        self.requested = observed
+        BddError.__init__(
+            self,
+            f"memory pressure: RSS {observed} bytes over hard "
+            f"watermark {limit}",
+        )
+
+
 class VariableOrderError(BddError):
     """A rename/compose would violate the fixed variable order."""

@@ -39,7 +39,20 @@ _COMBINE = 1
 
 
 class BddManager:
-    """Owner of a node store, unique table and computed table."""
+    """Owner of a node store, unique table and computed table.
+
+    **Invalidation contract.**  :meth:`collect` rebuilds the node store
+    in place: after it returns, *every* node index held outside the
+    manager is stale unless mapped through the returned old->new
+    translation (or obtained via ``return_roots=True``).  The computed
+    table is cleared as part of the rebuild — callers never need a
+    separate :meth:`clear_cache`.  Evaluating, combining or collecting
+    again with an untranslated index is undefined behaviour (it will
+    silently address a different function).  :meth:`clear_cache` and
+    :meth:`evict_cache`, by contrast, are always safe: the computed
+    table is pure memoisation and dropping any part of it changes
+    memory use, never results.
+    """
 
     def __init__(self, num_vars=0, node_limit=None):
         self.num_vars = num_vars
@@ -528,17 +541,51 @@ class BddManager:
     # ------------------------------------------------------------------
     # memory management
     # ------------------------------------------------------------------
+    @property
+    def cache_size(self):
+        """Number of computed-table entries (memory-pressure signal)."""
+        return len(self._cache)
+
     def clear_cache(self):
         """Drop the computed table (keeps all nodes)."""
         self._cache.clear()
 
-    def collect(self, roots):
+    def evict_cache(self, fraction=1.0):
+        """Drop the oldest *fraction* of computed-table entries.
+
+        Dicts preserve insertion order, so the front of the table holds
+        the entries least likely to be re-hit by the current operation
+        mix.  Safe at any point, including mid-operation: in-flight
+        traversals hold their own reference to the table and only lose
+        memoisation, never correctness.  Returns the number of entries
+        dropped.
+        """
+        if fraction >= 1.0:
+            dropped = len(self._cache)
+            self._cache.clear()
+            return dropped
+        dropped = int(len(self._cache) * fraction)
+        for key in list(self._cache.keys())[:dropped]:
+            del self._cache[key]
+        return dropped
+
+    def collect(self, roots, return_roots=False):
         """Rebuild the store keeping only nodes reachable from *roots*.
 
         Returns a dict translating old node indices (for the supplied
         roots and everything reachable from them) to new indices.  All
-        other old indices become invalid; the computed table is cleared.
+        other old indices become invalid; the computed table is cleared
+        (see the class docstring for the full invalidation contract).
+        With ``return_roots=True``, returns ``(translate, new_roots)``
+        where ``new_roots`` lists the translated *roots* in order — the
+        common case of collecting and immediately rebinding a root set.
+
+        The allocation hook is suspended for the duration of the
+        rebuild: GC re-creates nodes that were already metered when
+        first allocated, and a budget or pressure callback firing
+        mid-rebuild would unwind with the store half-translated.
         """
+        roots = list(roots)
         reachable = set()
         stack = list(roots)
         while stack:
@@ -557,12 +604,18 @@ class BddManager:
         self._unique = {}
         self._cache = {}
         translate = {FALSE: FALSE, TRUE: TRUE}
-        for node in order:
-            translate[node] = self.mk(
-                old_var[node],
-                translate[old_low[node]],
-                translate[old_high[node]],
-            )
+        hook, self.alloc_hook = self.alloc_hook, None
+        try:
+            for node in order:
+                translate[node] = self.mk(
+                    old_var[node],
+                    translate[old_low[node]],
+                    translate[old_high[node]],
+                )
+        finally:
+            self.alloc_hook = hook
+        if return_roots:
+            return translate, [translate[root] for root in roots]
         return translate
 
     def __repr__(self):

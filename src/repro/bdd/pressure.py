@@ -1,0 +1,374 @@
+"""Memory-pressure monitoring and relief for the symbolic engine.
+
+The paper's only memory-robustness mechanism is the hybrid simulator's
+hard 30,000-node space limit (Section IV.A): blow it and fall back to
+three-valued simulation.  Everything below that boundary used to be
+unmanaged — the computed table grows without bound, garbage collection
+and reordering exist but are never invoked automatically, and no layer
+sees the actual process footprint.  :class:`PressureMonitor` fills the
+gap with a graded escalation ladder fired at safe points:
+
+1. **computed-table eviction** — at throttled ``mk()`` granularity.
+   The table is pure memoisation; dropping entries never changes
+   results, so this rung is safe even mid-operation.
+2. **root-preserving garbage collection** — at frame boundaries, when
+   the node store crosses the GC watermark and enough of it is dead
+   to be worth a rebuild (:meth:`frame_relief`).
+3. **reorder rescue** — optional
+   :func:`~repro.bdd.reorder.block_window_search` over the session's
+   roots when GC alone cannot get back under the watermark.
+4. **surrender** — raise
+   :class:`~repro.bdd.errors.MemoryPressureExceeded` (a
+   :class:`~repro.bdd.errors.SpaceLimitExceeded`), handing control to
+   the existing hybrid fallback / per-fault demotion machinery.
+
+Rungs 1-3 are semantics-preserving: they change memory use, never
+verdicts.  Only rung 4 degrades, and it reuses the conservative
+(``exact=False``) paths that already exist.
+
+The monitor is engine-level: it watches one
+:class:`~repro.bdd.manager.BddManager` and relieves through a *session*
+duck type (``live_nodes()``, ``compact()``, ``reorder_rescue()``) so
+the BDD package stays free of simulator imports.
+:class:`PressureConfig` is the declarative, picklable form a campaign
+ships to every worker; each symbolic session gets its own monitor
+built from it.
+"""
+
+from repro.bdd.errors import MemoryPressureExceeded
+
+#: fraction of the node limit at which frame-boundary GC fires
+DEFAULT_GC_WATERMARK = 0.85
+#: GC runs only when live/total nodes is at or below this fraction
+DEFAULT_LIVE_FRACTION = 0.7
+#: soft / hard RSS watermarks as fractions of the RSS budget
+DEFAULT_RSS_SOFT_FRACTION = 0.7
+DEFAULT_RSS_HARD_FRACTION = 0.9
+#: allocations between alloc-granularity pressure checks
+DEFAULT_CHECK_STRIDE = 512
+
+_EVENT_LOG_CAP = 256
+
+
+class PressureConfig:
+    """Declarative memory-pressure settings.
+
+    Plain values only (picklable and JSON-able), so one config can be
+    shared by a whole campaign and shipped across the process fabric;
+    per-session :class:`PressureMonitor` instances are built with
+    :meth:`monitor`.
+
+    ``rss_budget`` is bytes — the soft watermark (GC request) and hard
+    watermark (surrender) are the configured fractions of it.
+    ``cache_budget`` is computed-table entries.  ``gc_watermark`` is a
+    fraction of the session's node limit; with no node limit only RSS
+    and cache pressure apply.
+    """
+
+    _FIELDS = (
+        "gc_watermark",
+        "live_fraction",
+        "cache_budget",
+        "rss_budget",
+        "rss_soft_fraction",
+        "rss_hard_fraction",
+        "reorder_rescue",
+        "rescue_window",
+        "rescue_passes",
+        "check_stride",
+    )
+
+    def __init__(
+        self,
+        gc_watermark=DEFAULT_GC_WATERMARK,
+        live_fraction=DEFAULT_LIVE_FRACTION,
+        cache_budget=None,
+        rss_budget=None,
+        rss_soft_fraction=DEFAULT_RSS_SOFT_FRACTION,
+        rss_hard_fraction=DEFAULT_RSS_HARD_FRACTION,
+        reorder_rescue=False,
+        rescue_window=2,
+        rescue_passes=1,
+        check_stride=DEFAULT_CHECK_STRIDE,
+        rss_sampler=None,
+    ):
+        if not 0.0 < gc_watermark <= 1.0:
+            raise ValueError("gc_watermark must be in (0, 1]")
+        if not 0.0 < live_fraction <= 1.0:
+            raise ValueError("live_fraction must be in (0, 1]")
+        if not 0.0 < rss_soft_fraction <= rss_hard_fraction <= 1.0:
+            raise ValueError(
+                "need 0 < rss_soft_fraction <= rss_hard_fraction <= 1"
+            )
+        if check_stride < 1:
+            raise ValueError("check_stride must be >= 1")
+        self.gc_watermark = gc_watermark
+        self.live_fraction = live_fraction
+        self.cache_budget = cache_budget
+        self.rss_budget = rss_budget
+        self.rss_soft_fraction = rss_soft_fraction
+        self.rss_hard_fraction = rss_hard_fraction
+        self.reorder_rescue = reorder_rescue
+        self.rescue_window = rescue_window
+        self.rescue_passes = rescue_passes
+        self.check_stride = check_stride
+        # optional injected sampler (tests); not serialized — workers
+        # construct their own default sampler for their own process
+        self.rss_sampler = rss_sampler
+
+    def monitor(self, on_event=None):
+        """Build a :class:`PressureMonitor` for one session."""
+        sampler = self.rss_sampler
+        if sampler is None and self.rss_budget is not None:
+            from repro.runtime.memory import RssSampler
+
+            sampler = RssSampler()
+        rss_soft = rss_hard = None
+        if self.rss_budget is not None:
+            rss_soft = int(self.rss_budget * self.rss_soft_fraction)
+            rss_hard = int(self.rss_budget * self.rss_hard_fraction)
+        return PressureMonitor(
+            gc_watermark=self.gc_watermark,
+            live_fraction=self.live_fraction,
+            cache_budget=self.cache_budget,
+            rss_soft=rss_soft,
+            rss_hard=rss_hard,
+            reorder_rescue=self.reorder_rescue,
+            rescue_window=self.rescue_window,
+            rescue_passes=self.rescue_passes,
+            check_stride=self.check_stride,
+            rss_sampler=sampler,
+            on_event=on_event,
+        )
+
+    def to_json(self):
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_json(cls, data):
+        kwargs = {k: v for k, v in data.items() if k in cls._FIELDS}
+        return cls(**kwargs)
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._FIELDS
+        )
+        return f"PressureConfig({parts})"
+
+
+class PressureMonitor:
+    """Watermark accounting and relief for one manager/session pair.
+
+    Two safe points drive the monitor:
+
+    * :meth:`note_alloc` hooks into the manager's node-allocation
+      callback (chained after any existing hook such as the governor's
+      budget metering) and, every ``check_stride`` allocations, runs
+      the rungs that are safe mid-operation: cache eviction and the
+      hard-RSS surrender (an exception, which unwinds cleanly).
+    * :meth:`frame_relief` runs between frames — the only point where
+      no traversal is in flight and the session can translate its
+      roots — and performs the rebuild-based rungs: root-preserving GC
+      and the optional reorder rescue.
+
+    Counters (``cache_evictions``, ``gc_runs``, ``reorder_rescues``,
+    ``nodes_freed``, ``entries_evicted``, ``peak_rss``) plus a capped
+    event log feed campaign accounting; ``on_event`` receives every
+    event dict as it happens.
+    """
+
+    def __init__(
+        self,
+        gc_watermark=DEFAULT_GC_WATERMARK,
+        live_fraction=DEFAULT_LIVE_FRACTION,
+        cache_budget=None,
+        rss_soft=None,
+        rss_hard=None,
+        reorder_rescue=False,
+        rescue_window=2,
+        rescue_passes=1,
+        check_stride=DEFAULT_CHECK_STRIDE,
+        rss_sampler=None,
+        on_event=None,
+    ):
+        self.gc_watermark = gc_watermark
+        self.live_fraction = live_fraction
+        self.cache_budget = cache_budget
+        self.rss_soft = rss_soft
+        self.rss_hard = rss_hard
+        self.reorder_rescue = reorder_rescue
+        self.rescue_window = rescue_window
+        self.rescue_passes = rescue_passes
+        self.check_stride = check_stride
+        self.on_event = on_event
+        self._sampler = rss_sampler
+        self._manager = None
+        self._since_check = 0
+        self._rss_pending = False
+
+        self.cache_evictions = 0
+        self.gc_runs = 0
+        self.reorder_rescues = 0
+        self.entries_evicted = 0
+        self.nodes_freed = 0
+        self.peak_rss = 0
+        self.events = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, manager):
+        """Chain onto *manager*'s allocation hook.
+
+        Any existing hook (the governor's budget metering) keeps
+        firing first; the monitor's check runs after it.
+        """
+        self._manager = manager
+        self._since_check = 0
+        previous = manager.alloc_hook
+        if previous is None:
+            manager.alloc_hook = self.note_alloc
+        else:
+            def chained(_previous=previous, _note=self.note_alloc):
+                _previous()
+                _note()
+
+            manager.alloc_hook = chained
+
+    def rebind(self, manager):
+        """Point the monitor at a replacement manager.
+
+        A reorder rescue swaps the session onto a fresh manager; the
+        session carries the chained allocation hook over and calls
+        this so watermark checks read the right store.
+        """
+        self._manager = manager
+        self._since_check = 0
+
+    # ------------------------------------------------------------------
+    # alloc-granularity safe point
+    # ------------------------------------------------------------------
+    def note_alloc(self):
+        self._since_check += 1
+        if self._since_check < self.check_stride:
+            return
+        self._since_check = 0
+        self.check_alloc()
+
+    def check_alloc(self):
+        """Relief rungs that are safe mid-operation.
+
+        Mutating the node store here would corrupt in-flight
+        traversals (their work stacks hold node indices), so the only
+        actions are computed-table eviction and the hard-RSS
+        surrender, which unwinds via an exception exactly like a
+        node-limit overflow.  A soft-RSS crossing just requests GC at
+        the next frame boundary.
+        """
+        manager = self._manager
+        if manager is None:
+            return
+        if (
+            self.cache_budget is not None
+            and manager.cache_size > self.cache_budget
+        ):
+            dropped = manager.evict_cache(0.5)
+            self.cache_evictions += 1
+            self.entries_evicted += dropped
+            self._event(
+                "evict", trigger="cache", dropped=dropped,
+                cache_size=manager.cache_size,
+            )
+        if self.rss_hard is None:
+            return
+        rss = self._rss()
+        if rss is None:
+            return
+        if rss >= self.rss_hard:
+            if manager.cache_size:
+                # last cheap shot before surrendering: drop the whole
+                # computed table
+                dropped = manager.evict_cache(1.0)
+                self.cache_evictions += 1
+                self.entries_evicted += dropped
+                self._event("evict", trigger="rss", dropped=dropped, rss=rss)
+            self._rss_pending = True
+            raise MemoryPressureExceeded(self.rss_hard, rss)
+        if self.rss_soft is not None and rss >= self.rss_soft:
+            self._rss_pending = True
+
+    # ------------------------------------------------------------------
+    # frame-boundary safe point
+    # ------------------------------------------------------------------
+    def frame_relief(self, session):
+        """Rebuild-based relief, called by the session between frames.
+
+        Fires when the node store crossed the GC watermark or a soft
+        RSS crossing was recorded: first a root-preserving GC (only if
+        the live fraction says a rebuild is worth it), then — when GC
+        alone did not get back under the watermark and rescue is
+        enabled — a block-window reorder of the session's roots.
+        Never raises; the hard stop lives in :meth:`check_alloc`.
+        """
+        manager = self._manager
+        if manager is None:
+            return
+        limit = manager.node_limit
+        trigger = None
+        if limit is not None and manager.num_nodes >= self.gc_watermark * limit:
+            trigger = "nodes"
+        if self._rss_pending:
+            self._rss_pending = False
+            trigger = trigger or "rss"
+        if trigger is None:
+            return
+
+        total = manager.num_nodes
+        live = session.live_nodes()
+        if live <= self.live_fraction * total:
+            freed = session.compact()
+            self.gc_runs += 1
+            self.nodes_freed += max(freed, 0)
+            self._event(
+                "gc", trigger=trigger, freed=freed, live=live, total=total,
+            )
+            manager = self._manager  # unchanged object, re-read for clarity
+            if limit is None or manager.num_nodes < self.gc_watermark * limit:
+                return
+        if not self.reorder_rescue:
+            return
+        freed = session.reorder_rescue(
+            window=self.rescue_window, passes=self.rescue_passes
+        )
+        self.reorder_rescues += 1
+        self.nodes_freed += max(freed, 0)
+        self._event("rescue", trigger=trigger, freed=freed)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def accounting(self):
+        return {
+            "cache_evictions": self.cache_evictions,
+            "entries_evicted": self.entries_evicted,
+            "gc_runs": self.gc_runs,
+            "reorder_rescues": self.reorder_rescues,
+            "nodes_freed": self.nodes_freed,
+            "peak_rss": self.peak_rss,
+            "events": len(self.events),
+        }
+
+    def _event(self, action, **fields):
+        fields["action"] = action
+        if len(self.events) < _EVENT_LOG_CAP:
+            self.events.append(fields)
+        if self.on_event is not None:
+            self.on_event(fields)
+
+    def _rss(self):
+        if self._sampler is None:
+            return None
+        value = self._sampler()
+        if value is not None and value > self.peak_rss:
+            self.peak_rss = value
+        return value

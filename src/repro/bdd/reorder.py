@@ -19,7 +19,11 @@ outlive a simulation run.
 
 from itertools import permutations
 
+from repro.bdd.errors import SpaceLimitExceeded
 from repro.bdd.manager import BddManager
+
+_EXPAND = 0
+_COMBINE = 1
 
 
 def transfer(src, roots, dst, var_map):
@@ -28,20 +32,35 @@ def transfer(src, roots, dst, var_map):
     *var_map* maps source variable numbers to destination variable
     numbers (identity for unmapped variables).  Returns the translated
     roots, in order.
+
+    Iterative (explicit work stack, like the manager's own traversals):
+    a transferred BDD can be a chain deeper than Python's recursion
+    limit — a conjunction of a few thousand literals already is.
     """
     memo = {0: 0, 1: 1}
 
-    def walk(node):
-        found = memo.get(node)
-        if found is not None:
-            return found
-        var = src.var(node)
-        new_var = var_map.get(var, var)
-        hi = walk(src.high(node))
-        lo = walk(src.low(node))
-        result = dst.ite(dst.mk_var(new_var), hi, lo)
-        memo[node] = result
-        return result
+    def walk(root):
+        tasks = [(_EXPAND, root)]
+        results = []
+        while tasks:
+            tag, node = tasks.pop()
+            if tag == _EXPAND:
+                found = memo.get(node)
+                if found is not None:
+                    results.append(found)
+                    continue
+                tasks.append((_COMBINE, node))
+                tasks.append((_EXPAND, src.low(node)))
+                tasks.append((_EXPAND, src.high(node)))
+            else:
+                lo = results.pop()
+                hi = results.pop()
+                var = src.var(node)
+                new_var = var_map.get(var, var)
+                result = dst.ite(dst.mk_var(new_var), hi, lo)
+                memo[node] = result
+                results.append(result)
+        return results[0]
 
     return [walk(root) for root in roots]
 
@@ -116,3 +135,65 @@ def window_search(manager, roots, window=3, passes=1):
     final_manager, final_roots, _ = reorder(manager, roots,
                                             current_order)
     return final_manager, final_roots, current_order
+
+
+def block_window_search(manager, roots, blocks, window=2, passes=1,
+                        node_limit=None):
+    """Window-permutation search over contiguous variable *blocks*.
+
+    Like :func:`window_search`, but the permutation unit is a *block*
+    of variables that must stay contiguous and internally ordered.
+    This is the shape the symbolic fault simulator needs: its
+    interleaved ``(x_i, y_i)`` pairs may move as units without breaking
+    the monotonicity of the MOT ``x -> y`` rename, while splitting a
+    pair would.
+
+    *blocks* lists tuples of ORIGINAL variable numbers; together they
+    must cover the support of *roots*.  Candidate rebuilds honour
+    *node_limit* — a candidate that overflows is simply skipped, so the
+    search itself can never blow up past the caller's budget.
+
+    Returns ``(new_manager, new_roots, var_map)`` for the best
+    arrangement found, or None when no rearrangement beats the current
+    one (callers keep their manager untouched in that case).
+    """
+    blocks = [tuple(block) for block in blocks]
+
+    def var_order(block_order):
+        order = []
+        for position in block_order:
+            order.extend(blocks[position])
+        return order
+
+    def rebuild(block_order):
+        return reorder(manager, roots, var_order(block_order),
+                       node_limit=node_limit)
+
+    current = list(range(len(blocks)))
+    best_size = manager.size(roots)
+
+    for _pass in range(passes):
+        improved = False
+        for start in range(0, max(1, len(current) - window + 1)):
+            head = current[:start]
+            body = current[start:start + window]
+            tail = current[start + window:]
+            for perm in permutations(body):
+                if list(perm) == body:
+                    continue
+                candidate = head + list(perm) + tail
+                try:
+                    cand_manager, cand_roots, _ = rebuild(candidate)
+                except SpaceLimitExceeded:
+                    continue
+                size = cand_manager.size(cand_roots)
+                if size < best_size:
+                    best_size = size
+                    current = candidate
+                    improved = True
+        if not improved:
+            break
+
+    if current == list(range(len(blocks))):
+        return None
+    return rebuild(current)

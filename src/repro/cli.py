@@ -137,6 +137,13 @@ def cmd_xred(args):
     return 0
 
 
+def _size(text):
+    """argparse type for byte sizes with binary suffixes (512M, 2G)."""
+    from repro.runtime.memory import parse_size
+
+    return parse_size(text)
+
+
 def _build_governor(args):
     from repro.runtime import ResourceGovernor
 
@@ -144,6 +151,39 @@ def _build_governor(args):
         deadline=getattr(args, "deadline", None),
         node_budget=getattr(args, "node_budget", None),
         fault_frame_nodes=getattr(args, "fault_frame_nodes", None),
+        rss_budget=getattr(args, "rss_budget", None),
+        cache_budget=getattr(args, "cache_budget", None),
+    )
+
+
+def _pressure_config(args):
+    """A PressureConfig when any pressure flag is set (else None).
+
+    With only ``--rss-budget``/``--cache-budget`` the campaign would
+    derive an equivalent config from the governor; building it here
+    too keeps the explicit flags (``--gc-watermark``,
+    ``--reorder-rescue``) on the same path.
+    """
+    rss_budget = getattr(args, "rss_budget", None)
+    cache_budget = getattr(args, "cache_budget", None)
+    gc_watermark = getattr(args, "gc_watermark", None)
+    reorder_rescue = getattr(args, "reorder_rescue", False)
+    if (
+        rss_budget is None
+        and cache_budget is None
+        and gc_watermark is None
+        and not reorder_rescue
+    ):
+        return None
+    from repro.bdd.pressure import DEFAULT_GC_WATERMARK, PressureConfig
+
+    return PressureConfig(
+        gc_watermark=(
+            DEFAULT_GC_WATERMARK if gc_watermark is None else gc_watermark
+        ),
+        cache_budget=cache_budget,
+        rss_budget=rss_budget,
+        reorder_rescue=reorder_rescue,
     )
 
 
@@ -156,6 +196,7 @@ def _fabric_kwargs(args):
         "shard_size": getattr(args, "shard_size", None),
         "shard_timeout": getattr(args, "shard_timeout", None),
         "max_retries": getattr(args, "max_retries", None),
+        "worker_rss_cap": getattr(args, "worker_rss_cap", None),
     }
 
 
@@ -195,6 +236,7 @@ def _simulate_campaign(args):
             signal_guard=guard,
             circuit_spec=args.circuit,
             xred=not args.no_xred,
+            pressure=_pressure_config(args),
             **_fabric_kwargs(args),
         )
     return _render_campaign(args, compiled, fault_set, sequence, result)
@@ -227,6 +269,7 @@ def _resume_any(args, guard):
                 shard_size=getattr(args, "shard_size", None),
                 shard_timeout=getattr(args, "shard_timeout", None),
                 max_retries=getattr(args, "max_retries", None) or 2,
+                worker_rss_cap=getattr(args, "worker_rss_cap", None),
             )
         result = resume_sharded_campaign(
             args.resume,
@@ -235,6 +278,7 @@ def _resume_any(args, guard):
             governor=_build_governor(args),
             signal_guard=guard,
             config=config,
+            pressure=_pressure_config(args),
         )
         return compiled, fault_set, checkpoint.sequence, result
     checkpoint = load_checkpoint(args.resume)
@@ -248,6 +292,7 @@ def _resume_any(args, guard):
         governor=_build_governor(args),
         checkpoint_every=args.checkpoint_every,
         signal_guard=guard,
+        pressure=_pressure_config(args),
     )
     return compiled, fault_set, checkpoint.sequence, result
 
@@ -275,6 +320,7 @@ def cmd_campaign(args):
                 fallback_frames=args.fallback_frames,
                 signal_guard=guard,
                 circuit_spec=args.circuit,
+                pressure=_pressure_config(args),
                 **_fabric_kwargs(args),
             )
     return _render_campaign(args, compiled, fault_set, sequence, result)
@@ -285,6 +331,7 @@ def cmd_simulate(args):
         args.deadline is not None
         or args.checkpoint
         or args.workers is not None
+        or _pressure_config(args) is not None
     ):
         return _simulate_campaign(args)
     compiled, fault_set = _prepare(args.circuit)
@@ -437,6 +484,27 @@ def build_parser():
                        metavar="N",
                        help="crashes before a shard is bisected "
                             "(default 2)")
+        p.add_argument("--worker-rss-cap", type=_size, default=None,
+                       metavar="SIZE",
+                       help="recycle a worker whose resident set "
+                            "exceeds SIZE (accepts 512M, 2G, ...)")
+
+    def _add_pressure_options(p):
+        p.add_argument("--rss-budget", type=_size, default=None,
+                       metavar="SIZE",
+                       help="process RSS budget (512M, 2G, ...): "
+                            "watermark relief below it, graceful "
+                            "checkpointed stop above it")
+        p.add_argument("--cache-budget", type=int, default=None,
+                       metavar="ENTRIES",
+                       help="computed-table entries before eviction")
+        p.add_argument("--gc-watermark", type=float, default=None,
+                       metavar="FRACTION",
+                       help="unique-table fill fraction that triggers "
+                            "root-preserving GC (default 0.85)")
+        p.add_argument("--reorder-rescue", action="store_true",
+                       help="try a variable-window reorder of the "
+                            "session before surrendering to fallback")
 
     def add_common(p, sequence_opts=True):
         p.add_argument("circuit",
@@ -482,6 +550,7 @@ def build_parser():
     p.add_argument("--checkpoint", default=None, metavar="PATH",
                    help="write resumable checkpoints to PATH (runs "
                         "the campaign runtime)")
+    _add_pressure_options(p)
     _add_fabric_options(p)
 
     p = sub.add_parser(
@@ -516,6 +585,7 @@ def build_parser():
                    help="resume from a checkpoint file (campaign or "
                         "fabric flavor, auto-detected)")
     p.add_argument("--json", action="store_true")
+    _add_pressure_options(p)
     _add_fabric_options(p)
 
     p = sub.add_parser("evaluate",

@@ -11,12 +11,14 @@ through the engines back to :mod:`repro.circuit`.
 from repro.runtime.errors import (
     BudgetExceeded,
     CheckpointError,
+    CheckpointMismatch,
     CircuitFormatError,
     DegradationExhausted,
     ReproError,
     WorkerCrashed,
 )
 from repro.runtime.governor import ResourceGovernor
+from repro.runtime.memory import RssSampler, parse_size, read_rss_bytes
 from repro.runtime.ladder import (
     THREE_VALUED_RUNG,
     DegradationLadder,
@@ -36,9 +38,11 @@ _CHECKPOINT_EXPORTS = {
     "Checkpoint",
     "CheckpointWriter",
     "SignalGuard",
+    "circuit_fingerprint",
     "load_checkpoint",
     "read_jsonl_records",
     "sniff_checkpoint_kind",
+    "verify_fingerprint",
 }
 _FABRIC_EXPORTS = {
     "FabricConfig",
@@ -53,6 +57,7 @@ __all__ = sorted(
         "ReproError",
         "BudgetExceeded",
         "CheckpointError",
+        "CheckpointMismatch",
         "CircuitFormatError",
         "DegradationExhausted",
         "WorkerCrashed",
@@ -61,6 +66,9 @@ __all__ = sorted(
         "LadderState",
         "Rung",
         "THREE_VALUED_RUNG",
+        "RssSampler",
+        "parse_size",
+        "read_rss_bytes",
     }
     | _CAMPAIGN_EXPORTS
     | _CHECKPOINT_EXPORTS

@@ -32,9 +32,22 @@ A step that raises never mutates its session, so every recovery path
 resumes from consistent state.  Any fallback, demotion or resume makes
 the classification conservative: the result is flagged
 ``exact=False``.
+
+Below the node-limit boundary the campaign can additionally arm the
+in-engine **pressure ladder** (:mod:`repro.bdd.pressure`): every
+symbolic session gets a :class:`~repro.bdd.pressure.PressureMonitor`
+that evicts the computed table, garbage-collects and (optionally)
+reorder-rescues *before* any of the surrender paths above fire.  Those
+relief rungs are semantics-preserving, so they never affect
+``exact``; a pressure *surrender*
+(:class:`~repro.bdd.errors.MemoryPressureExceeded`) flows through the
+regular ``SpaceLimitExceeded`` handling.  Pressure activity is
+aggregated into :attr:`CampaignResult.pressure` and the checkpoint
+counters.
 """
 
-from repro.bdd.errors import SpaceLimitExceeded
+from repro.bdd.errors import MemoryPressureExceeded, SpaceLimitExceeded
+from repro.bdd.pressure import PressureConfig
 from repro.engines.algebra import THREE_VALUED
 from repro.engines.evaluate import next_state_of, simulate_frame
 from repro.engines.parallel_fault_sim import fault_simulate_3v_parallel
@@ -42,7 +55,12 @@ from repro.engines.propagate import propagate_fault
 from repro.engines.serial_fault_sim import _check_sot_detection
 from repro.faults.status import BY_3V, QUARANTINED, FaultSet
 from repro.logic import threeval
-from repro.runtime.checkpoint import CheckpointWriter, load_checkpoint
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    circuit_fingerprint,
+    load_checkpoint,
+    verify_fingerprint,
+)
 from repro.runtime.errors import (
     BudgetExceeded,
     CheckpointError,
@@ -89,6 +107,7 @@ class CampaignResult(HybridFaultSimResult):
         ladder_names,
         rung_population,
         fabric=None,
+        pressure=None,
     ):
         super().__init__(
             fault_set,
@@ -112,6 +131,13 @@ class CampaignResult(HybridFaultSimResult):
         self.rung_population = rung_population
         #: shard-fabric accounting dict, None for single-process runs
         self.fabric = fabric
+        #: memory-pressure accounting dict (events, cache_evictions,
+        #: gc_runs, reorder_rescues, rss_surrenders, peak_rss, log),
+        #: None when no pressure ladder was armed and nothing fired.
+        #: The relief rungs are semantics-preserving, so this never
+        #: influences :attr:`exact` — only surrenders do, and those
+        #: already show up as fallbacks/demotions.
+        self.pressure = pressure
 
     @property
     def exact(self):
@@ -147,6 +173,8 @@ class CampaignResult(HybridFaultSimResult):
         }
         if self.fabric is not None:
             summary["fabric"] = self.fabric
+        if self.pressure is not None:
+            summary["pressure"] = self.pressure
         return summary
 
     def __repr__(self):
@@ -206,6 +234,7 @@ class Campaign:
         circuit_spec=None,
         xred=True,
         pre_pass_3v=True,
+        pressure=None,
     ):
         if fallback_frames < 1:
             raise ValueError("fallback_frames must be at least 1")
@@ -230,6 +259,29 @@ class Campaign:
         self.circuit_spec = circuit_spec or compiled.circuit.name
         self.xred = xred
         self.pre_pass_3v = pre_pass_3v
+
+        # memory-pressure policy: an explicit PressureConfig (or its
+        # JSON dict, as shipped across the shard fabric) wins; absent
+        # one, a governor carrying rss/cache budgets arms a default
+        # ladder so --rss-budget alone activates in-engine relief
+        if isinstance(pressure, dict):
+            pressure = PressureConfig.from_json(pressure)
+        if pressure is None and (
+            self.governor.rss_budget is not None
+            or self.governor.cache_budget is not None
+        ):
+            pressure = PressureConfig(
+                rss_budget=self.governor.rss_budget,
+                cache_budget=self.governor.cache_budget,
+            )
+        self.pressure = pressure
+        self.pressure_events = 0
+        self.cache_evictions = 0
+        self.pressure_gc_runs = 0
+        self.reorder_rescues = 0
+        self.rss_surrenders = 0
+        self.pressure_log = []  # capped event dicts, for accounting
+        self._event_peak_rss = 0  # highest RSS reported by any monitor
 
         if initial_state is None:
             initial_state = [threeval.X] * compiled.num_dffs
@@ -271,14 +323,21 @@ class Campaign:
         progress_hook=None,
         rng=None,
         signal_guard=None,
+        pressure=None,
     ):
         """Rebuild a campaign from the last snapshot of *checkpoint*.
 
         Symbolic sessions are *not* serialized; they re-open from the
         snapshot's three-valued projection, so the resumed result is
-        conservative and flagged ``exact=False``.
+        conservative and flagged ``exact=False``.  Raises
+        :class:`~repro.runtime.errors.CheckpointMismatch` when the
+        checkpoint's fingerprint names a different circuit or fault
+        universe than the resume target.
         """
         keys = [r.fault.key() for r in fault_set]
+        verify_fingerprint(
+            checkpoint.path, checkpoint.fingerprint, compiled, keys
+        )
         if keys != checkpoint.fault_keys:
             raise CheckpointError(
                 checkpoint.path,
@@ -303,6 +362,7 @@ class Campaign:
             circuit_spec=checkpoint.circuit_spec,
             xred=False,
             pre_pass_3v=False,
+            pressure=pressure,
         )
         campaign.frame = checkpoint.frame
         campaign.resumed_from = checkpoint.frame
@@ -313,6 +373,11 @@ class Campaign:
         campaign.fallbacks = counters.get("fallbacks", 0)
         campaign.gc_runs = counters.get("gc_runs", 0)
         campaign.peak_nodes = counters.get("peak_nodes", 2)
+        campaign.pressure_events = counters.get("pressure_events", 0)
+        campaign.cache_evictions = counters.get("cache_evictions", 0)
+        campaign.pressure_gc_runs = counters.get("pressure_gc_runs", 0)
+        campaign.reorder_rescues = counters.get("reorder_rescues", 0)
+        campaign.rss_surrenders = counters.get("rss_surrenders", 0)
         campaign.ladder_state.demotions = counters.get("demotions", 0)
         campaign.governor.nodes_allocated = counters.get("nodes_allocated", 0)
         campaign._resume_elapsed = checkpoint.elapsed
@@ -467,9 +532,10 @@ class Campaign:
             if group.session is None and group.records:
                 try:
                     self._open_session(group)
-                except SpaceLimitExceeded:
+                except SpaceLimitExceeded as exc:
                     # the rung's limit cannot even hold the state
                     # encoding: run this group three-valued for a while
+                    self._note_surrender(exc)
                     self.fallbacks += 1
                     group.session = None
                     group.interlude_left = self.fallback_frames
@@ -518,6 +584,12 @@ class Campaign:
         self.governor.attach_manager(session.manager)
         if self.governor.fault_frame_nodes is not None:
             session.fault_cost_hook = self.governor.check_fault_frame_nodes
+        if self.pressure is not None:
+            # governor hook first, monitor chained after it — relief
+            # fires only once budget metering has seen the allocation
+            session.attach_pressure(
+                self.pressure.monitor(on_event=self._on_pressure_event)
+            )
         for key, record in group.records.items():
             session.attach_fault(record, group.diffs.get(key))
         group.records = {}
@@ -544,6 +616,12 @@ class Campaign:
                 self.peak_nodes = max(
                     self.peak_nodes, session.manager.peak_nodes
                 )
+                self._note_surrender(exc)
+                reason = (
+                    "pressure"
+                    if isinstance(exc, MemoryPressureExceeded)
+                    else "space"
+                )
                 if not gc_tried:
                     session.compact()
                     self.gc_runs += 1
@@ -552,13 +630,13 @@ class Campaign:
                     if session.manager.num_nodes < _GC_RETRY_FRACTION * limit:
                         continue
                 if exc.fault_key is not None:
-                    self._demote(group, exc.fault_key)
+                    self._demote(group, exc.fault_key, reason=reason)
                     continue
                 self._begin_interlude(group)
                 return "interlude"
             except BudgetExceeded as exc:
                 if exc.fault_key is not None:
-                    self._demote(group, exc.fault_key)
+                    self._demote(group, exc.fault_key, reason="budget")
                     continue
                 raise
             self.peak_nodes = max(self.peak_nodes, session.manager.peak_nodes)
@@ -566,7 +644,7 @@ class Campaign:
                 self.ladder_state.forget(record.fault.key())
             return True
 
-    def _demote(self, group, fault_key):
+    def _demote(self, group, fault_key, reason=None):
         """Move one fault a rung down (or quarantine it off the end)."""
         record = self._record_of[fault_key]
         if group.session is not None and id(record) in group.session._store:
@@ -575,7 +653,9 @@ class Campaign:
             group.records.pop(id(record), None)
             diff = group.diffs.pop(id(record), {})
         try:
-            new_index = self.ladder_state.demote(fault_key, frame=self.frame)
+            new_index = self.ladder_state.demote(
+                fault_key, frame=self.frame, reason=reason
+            )
         except DegradationExhausted:
             self._quarantine(record)
             return
@@ -613,6 +693,61 @@ class Campaign:
         group.records = records
         group.diffs = diffs
         group.interlude_left = self.fallback_frames
+
+    # ------------------------------------------------------------------
+    # memory-pressure bookkeeping
+    # ------------------------------------------------------------------
+    _PRESSURE_LOG_CAP = 128
+
+    def _on_pressure_event(self, event):
+        """Aggregate one monitor event into the campaign counters."""
+        self.pressure_events += 1
+        action = event.get("action")
+        if action == "evict":
+            self.cache_evictions += 1
+        elif action == "gc":
+            self.pressure_gc_runs += 1
+            self.gc_runs += 1  # a watermark GC is still a GC run
+        elif action == "rescue":
+            self.reorder_rescues += 1
+        elif action == "surrender":
+            self.rss_surrenders += 1
+        rss = event.get("rss")
+        if rss is not None and rss > self._event_peak_rss:
+            self._event_peak_rss = rss
+        if len(self.pressure_log) < self._PRESSURE_LOG_CAP:
+            entry = dict(event)
+            entry["frame"] = self.frame
+            self.pressure_log.append(entry)
+
+    def _note_surrender(self, exc):
+        """Record a pressure surrender (only MemoryPressureExceeded)."""
+        if not isinstance(exc, MemoryPressureExceeded):
+            return
+        self._on_pressure_event(
+            {
+                "action": "surrender",
+                "trigger": "rss",
+                "rss": exc.requested,
+                "fault": (
+                    None if exc.fault_key is None else str(exc.fault_key)
+                ),
+            }
+        )
+
+    def _pressure_accounting(self):
+        """The ``pressure`` dict of the result; None when inert."""
+        if self.pressure is None and self.pressure_events == 0:
+            return None
+        return {
+            "events": self.pressure_events,
+            "cache_evictions": self.cache_evictions,
+            "gc_runs": self.pressure_gc_runs,
+            "reorder_rescues": self.reorder_rescues,
+            "rss_surrenders": self.rss_surrenders,
+            "peak_rss": max(self.governor.peak_rss, self._event_peak_rss),
+            "log": list(self.pressure_log),
+        }
 
     # ------------------------------------------------------------------
     # three-valued stepping (interludes and the bottom rung)
@@ -654,15 +789,17 @@ class Campaign:
     def _write_header(self):
         if self._writer is None:
             return
+        fault_keys = [r.fault.key() for r in self.fault_set]
         self._writer.write_header(
             circuit_spec=self.circuit_spec,
             sequence=self.sequence,
-            fault_keys=[r.fault.key() for r in self.fault_set],
+            fault_keys=fault_keys,
             ladder=self.ladder,
             node_limit=self.node_limit,
             initial_state=self.initial_state,
             variable_scheme=self.variable_scheme,
             fallback_frames=self.fallback_frames,
+            fingerprint=circuit_fingerprint(self.compiled, fault_keys),
         )
 
     def _live_snapshot(self):
@@ -691,6 +828,11 @@ class Campaign:
             "demotions": self.ladder_state.demotions,
             "peak_nodes": self.peak_nodes,
             "nodes_allocated": self.governor.nodes_allocated,
+            "pressure_events": self.pressure_events,
+            "cache_evictions": self.cache_evictions,
+            "pressure_gc_runs": self.pressure_gc_runs,
+            "reorder_rescues": self.reorder_rescues,
+            "rss_surrenders": self.rss_surrenders,
         }
 
     def _write_checkpoint(self):
@@ -760,6 +902,7 @@ class Campaign:
             budget=self.governor.accounting(),
             ladder_names=self.ladder.names(),
             rung_population=self.ladder_state.population(),
+            pressure=self._pressure_accounting(),
         )
 
 
@@ -772,6 +915,7 @@ _FABRIC_KWARGS = (
     "shard_timeout",
     "heartbeat_timeout",
     "max_retries",
+    "worker_rss_cap",
     "fabric_config",
 )
 
@@ -782,12 +926,13 @@ def run_campaign(compiled, sequence, fault_set, **kwargs):
     Accepts every :class:`Campaign` keyword (strategy, ladder,
     node_limit, governor, checkpoint_path, checkpoint_every,
     fallback_frames, initial_state, variable_scheme, progress_hook,
-    rng, signal_guard, circuit_spec, xred, pre_pass_3v) and returns a
-    :class:`CampaignResult`.
+    rng, signal_guard, circuit_spec, xred, pre_pass_3v, pressure) and
+    returns a :class:`CampaignResult`.
 
     Passing ``workers`` (or any other shard-fabric keyword:
     ``shard_size``, ``shard_timeout``, ``heartbeat_timeout``,
-    ``max_retries``, ``fabric_config``) routes the run through the
+    ``max_retries``, ``worker_rss_cap``, ``fabric_config``) routes the
+    run through the
     multiprocess :class:`~repro.runtime.fabric.ShardFabric` instead of
     a single in-process campaign; the returned result then also carries
     ``fabric`` accounting.
@@ -825,6 +970,7 @@ def resume_campaign(
     progress_hook=None,
     rng=None,
     signal_guard=None,
+    pressure=None,
 ):
     """Resume a campaign from the last snapshot in *checkpoint_path*.
 
@@ -852,5 +998,6 @@ def resume_campaign(
         progress_hook=progress_hook,
         rng=rng,
         signal_guard=signal_guard,
+        pressure=pressure,
     )
     return campaign.run()

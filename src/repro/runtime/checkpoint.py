@@ -4,7 +4,10 @@ A checkpoint file is append-only JSON-lines:
 
 * one ``header`` record written when the campaign starts — circuit
   spec, the full test sequence (vectors as ``01`` strings), ladder,
-  node limit, the serialized fault keys (identity check on resume),
+  node limit, the serialized fault keys and a
+  :func:`circuit_fingerprint` of circuit + fault universe (both
+  checked on resume; a mismatching fingerprint raises
+  :class:`~repro.runtime.errors.CheckpointMismatch`),
 * periodic ``checkpoint`` records — frame index, the conservative
   three-valued good state, per-fault status / rung / three-valued
   state diff, RNG state and the campaign counters,
@@ -23,6 +26,7 @@ stop request the campaign polls at frame boundaries, writing a final
 checkpoint before exiting cleanly.
 """
 
+import hashlib
 import json
 import os
 import signal
@@ -32,9 +36,54 @@ from repro.faults.status import (
     fault_key_to_json,
 )
 from repro.logic import threeval
-from repro.runtime.errors import CheckpointError
+from repro.runtime.errors import CheckpointError, CheckpointMismatch
 
 CHECKPOINT_VERSION = 1
+
+
+def circuit_fingerprint(compiled, fault_keys):
+    """Stable identity hash of a circuit plus its fault universe.
+
+    Covers the circuit *structure* — inputs, outputs, flip-flops and
+    gates in sorted order — and the serialized fault keys, never object
+    identities or the circuit's name, so the same netlist loaded twice
+    (or from a renamed file) fingerprints identically while any edit to
+    connectivity, gate kinds or the fault list changes the hash.
+    Campaign and fabric checkpoint headers embed it at write time;
+    resume recomputes it and refuses on mismatch
+    (:class:`~repro.runtime.errors.CheckpointMismatch`).
+    """
+    circuit = getattr(compiled, "circuit", compiled)
+    parts = [
+        "inputs:" + ",".join(circuit.inputs),
+        "outputs:" + ",".join(circuit.outputs),
+        "dffs:" + ",".join(
+            f"{q}<-{d}" for q, d in sorted(circuit.dffs.items())
+        ),
+        "gates:" + ";".join(
+            f"{net}={gate.kind}({','.join(gate.fanins)})"
+            for net, gate in sorted(circuit.gates.items())
+        ),
+        "faults:" + ";".join(
+            json.dumps(fault_key_to_json(key), sort_keys=True)
+            for key in fault_keys
+        ),
+    ]
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def verify_fingerprint(path, recorded, compiled, fault_keys):
+    """Refuse a resume whose checkpoint fingerprint does not match.
+
+    *recorded* is the header's fingerprint (None for legacy headers,
+    which are accepted — they predate fingerprinting).
+    """
+    if recorded is None:
+        return
+    expected = circuit_fingerprint(compiled, fault_keys)
+    if recorded != expected:
+        raise CheckpointMismatch(path, expected, recorded)
 
 
 def state_to_text(state_3v):
@@ -112,6 +161,7 @@ class CheckpointWriter:
         initial_state,
         variable_scheme,
         fallback_frames,
+        fingerprint=None,
     ):
         self._write(
             {
@@ -126,6 +176,7 @@ class CheckpointWriter:
                 "initial_state": state_to_text(initial_state),
                 "variable_scheme": variable_scheme,
                 "fallback_frames": fallback_frames,
+                "fingerprint": fingerprint,
             }
         )
 
@@ -213,6 +264,11 @@ class Checkpoint:
     @property
     def fallback_frames(self):
         return self.header["fallback_frames"]
+
+    @property
+    def fingerprint(self):
+        """Circuit + fault-universe hash (None for legacy headers)."""
+        return self.header.get("fingerprint")
 
     def ladder_json(self):
         return self.header["ladder"]

@@ -22,9 +22,11 @@ class ReproError(Exception):
 class BudgetExceeded(ReproError):
     """A resource governor budget was exhausted.
 
-    ``kind`` is one of ``"deadline"``, ``"nodes"`` or
-    ``"fault-frame-nodes"`` / ``"fault-frame-events"`` (per-fault frame
-    cost).  ``fault_key`` is set when the violation is attributable to
+    ``kind`` is one of ``"deadline"``, ``"nodes"``, ``"rss"`` (process
+    resident set size over the RSS budget after in-engine pressure
+    relief failed to hold it) or ``"fault-frame-nodes"`` /
+    ``"fault-frame-events"`` (per-fault frame cost).  ``fault_key`` is
+    set when the violation is attributable to
     a single fault, in which case the campaign demotes that fault on
     its degradation ladder instead of stopping.  ``pack`` is set when
     the violation happened inside the word-parallel engine, whose frame
@@ -73,6 +75,33 @@ class CheckpointError(ReproError):
 
     def context(self):
         return {"path": self.path, "reason": self.reason}
+
+
+class CheckpointMismatch(CheckpointError):
+    """A checkpoint belongs to a different circuit / fault universe.
+
+    Checkpoint headers embed a stable fingerprint of the circuit
+    structure and the serialized fault keys; resuming against an
+    edited circuit (or a different collapse) would silently
+    misclassify, so resume refuses instead.  Headers written before
+    fingerprints existed carry none and resume with the legacy
+    fault-key identity check only.
+    """
+
+    def __init__(self, path, expected, found):
+        self.expected = expected
+        self.found = found
+        super().__init__(
+            path,
+            f"circuit/fault-universe fingerprint mismatch: checkpoint "
+            f"was written for {found}, resume target is {expected}",
+        )
+
+    def context(self):
+        data = super().context()
+        data["expected"] = self.expected
+        data["found"] = self.found
+        return data
 
 
 class DegradationExhausted(ReproError):

@@ -36,6 +36,7 @@ class FabricCheckpointWriter(CheckpointWriter):
         xred,
         pre_pass_3v,
         config,
+        fingerprint=None,
     ):
         self._write(
             {
@@ -53,6 +54,7 @@ class FabricCheckpointWriter(CheckpointWriter):
                 "xred": xred,
                 "pre_pass_3v": pre_pass_3v,
                 "config": config,
+                "fingerprint": fingerprint,
             }
         )
 
@@ -118,6 +120,11 @@ class FabricCheckpoint:
     @property
     def config(self):
         return self.header.get("config", {})
+
+    @property
+    def fingerprint(self):
+        """Circuit + fault-universe hash (None for legacy headers)."""
+        return self.header.get("fingerprint")
 
     def ladder_json(self):
         return self.header["ladder"]

@@ -46,6 +46,7 @@ from repro.faults.status import (
     FaultSet,
     fault_key_from_json,
 )
+from repro.runtime.checkpoint import circuit_fingerprint, verify_fingerprint
 from repro.runtime.errors import CheckpointError, WorkerCrashed
 from repro.runtime.fabric.checkpoint import (
     FabricCheckpointWriter,
@@ -64,6 +65,33 @@ COMPLETED = "completed"
 
 #: how long the event loop sleeps at most between bookkeeping passes
 _POLL_INTERVAL = 0.25
+
+
+def _merge_pressure(merged, shard_pressure):
+    """Fold one shard's pressure accounting into the running total.
+
+    Relief counters are summed (work accounting, like ``gc_runs``),
+    ``peak_rss`` is the max over shards; per-event logs stay per-shard
+    and are dropped from the merged view.
+    """
+    if shard_pressure is None:
+        return merged
+    if merged is None:
+        merged = {
+            "events": 0,
+            "cache_evictions": 0,
+            "gc_runs": 0,
+            "reorder_rescues": 0,
+            "rss_surrenders": 0,
+            "peak_rss": 0,
+        }
+    for key in ("events", "cache_evictions", "gc_runs",
+                "reorder_rescues", "rss_surrenders"):
+        merged[key] += shard_pressure.get(key, 0)
+    merged["peak_rss"] = max(
+        merged["peak_rss"], shard_pressure.get("peak_rss") or 0
+    )
+    return merged
 
 
 class FabricConfig:
@@ -85,6 +113,7 @@ class FabricConfig:
         seed=0,
         events=None,
         chaos=None,
+        worker_rss_cap=None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = inline)")
@@ -110,6 +139,11 @@ class FabricConfig:
         #: deterministic fault injection for tests/CI: a dict with
         #: ``crash_keys`` / ``hang_keys`` / ``hang_seconds``
         self.chaos = chaos
+        #: per-worker resident-set cap in bytes: a worker whose last
+        #: heartbeat reported more is SIGKILLed and its shard retried on
+        #: a fresh process — the pool-level backstop behind the
+        #: in-engine pressure ladder (None disables the cap)
+        self.worker_rss_cap = worker_rss_cap
 
     def to_json(self):
         return {
@@ -119,6 +153,7 @@ class FabricConfig:
             "shard_timeout": self.shard_timeout,
             "heartbeat_timeout": self.heartbeat_timeout,
             "max_retries": self.max_retries,
+            "worker_rss_cap": self.worker_rss_cap,
         }
 
 
@@ -126,7 +161,8 @@ class _WorkerHandle:
     """Coordinator-side state of one pool worker."""
 
     __slots__ = ("worker_id", "process", "conn", "shard",
-                 "dispatched_at", "last_beat", "killing", "ready")
+                 "dispatched_at", "last_beat", "last_rss", "killing",
+                 "ready")
 
     def __init__(self, worker_id, process, conn):
         self.worker_id = worker_id
@@ -135,6 +171,7 @@ class _WorkerHandle:
         self.shard = None  # in-flight Shard, if busy
         self.dispatched_at = None
         self.last_beat = None
+        self.last_rss = None  # bytes, from the latest heartbeat
         self.killing = False  # SIGKILL issued, death not yet reaped
         self.ready = False  # first message received
 
@@ -156,6 +193,8 @@ class _FabricAccounting:
         self.timeouts = 0
         self.quarantined_by_crash = []  # fault keys, in fault order
         self.resumed_shards = 0
+        self.rss_recycles = 0  # workers killed for breaching the RSS cap
+        self.peak_worker_rss = 0  # bytes, max over every heartbeat/shard
 
     def to_json(self):
         return {
@@ -168,6 +207,8 @@ class _FabricAccounting:
             "timeouts": self.timeouts,
             "quarantined_by_crash": len(self.quarantined_by_crash),
             "resumed_shards": self.resumed_shards,
+            "rss_recycles": self.rss_recycles,
+            "peak_worker_rss": self.peak_worker_rss,
         }
 
 
@@ -193,7 +234,9 @@ class ShardFabric:
         signal_guard=None,
         config=None,
         resume_from=None,
+        pressure=None,
     ):
+        from repro.bdd.pressure import PressureConfig
         from repro.symbolic.hybrid import DEFAULT_NODE_LIMIT
 
         if isinstance(fault_set, (list, tuple)):
@@ -224,6 +267,12 @@ class ShardFabric:
         self.signal_guard = signal_guard
         self.config = config or FabricConfig()
         self.resume_from = resume_from
+        # the pressure policy is shipped to workers as its JSON dict;
+        # each worker rebuilds a PressureConfig and samples its *own*
+        # process RSS against it
+        if isinstance(pressure, dict):
+            pressure = PressureConfig.from_json(pressure)
+        self.pressure = pressure
 
         self._faults = [record.fault for record in fault_set]
         self._rng = random.Random(self.config.seed)
@@ -263,6 +312,9 @@ class ShardFabric:
         if checkpoint is None:
             return set(), 0
         keys = [record.fault.key() for record in self.fault_set]
+        verify_fingerprint(
+            checkpoint.path, checkpoint.fingerprint, self.compiled, keys
+        )
         if keys != checkpoint.fault_keys:
             raise CheckpointError(
                 checkpoint.path,
@@ -315,10 +367,11 @@ class ShardFabric:
             return
         self._writer = FabricCheckpointWriter(self.checkpoint_path)
         if self.resume_from is None:
+            fault_keys = [r.fault.key() for r in self.fault_set]
             self._writer.write_fabric_header(
                 circuit_spec=self.circuit_spec,
                 sequence=self.sequence,
-                fault_keys=[r.fault.key() for r in self.fault_set],
+                fault_keys=fault_keys,
                 ladder=self.ladder,
                 node_limit=self.node_limit,
                 initial_state=self.initial_state,
@@ -327,6 +380,7 @@ class ShardFabric:
                 xred=self.xred,
                 pre_pass_3v=self.pre_pass_3v,
                 config=self.config.to_json(),
+                fingerprint=circuit_fingerprint(self.compiled, fault_keys),
             )
 
     # ------------------------------------------------------------------
@@ -353,6 +407,9 @@ class ShardFabric:
             "pre_pass_3v": self.pre_pass_3v,
             "heartbeat_interval": self.config.heartbeat_interval,
             "chaos": self.config.chaos,
+            "pressure": (
+                self.pressure.to_json() if self.pressure is not None else None
+            ),
         }
 
     def _spawn_worker(self, ctx, init):
@@ -391,6 +448,10 @@ class ShardFabric:
             "node_budget": node_share,
             "fault_frame_nodes": self.governor.fault_frame_nodes,
             "fault_frame_events": self.governor.fault_frame_events,
+            # per-process limits: every worker owns its whole RSS, so
+            # these are handed down unsplit
+            "rss_budget": self.governor.rss_budget,
+            "cache_budget": self.governor.cache_budget,
         }
 
     def _dispatch(self, handle, shard):
@@ -409,12 +470,21 @@ class ShardFabric:
 
     def _kill_worker(self, handle, reason):
         handle.killing = True
-        self.accounting.timeouts += 1
-        self._emit(
-            "timeout", worker_id=handle.worker_id, reason=reason,
-            shard=shard_id_text(handle.shard.shard_id)
-            if handle.shard else None,
-        )
+        if reason == "rss-cap":
+            self.accounting.rss_recycles += 1
+            self._emit(
+                "recycle", worker_id=handle.worker_id, reason=reason,
+                rss=handle.last_rss,
+                shard=shard_id_text(handle.shard.shard_id)
+                if handle.shard else None,
+            )
+        else:
+            self.accounting.timeouts += 1
+            self._emit(
+                "timeout", worker_id=handle.worker_id, reason=reason,
+                shard=shard_id_text(handle.shard.shard_id)
+                if handle.shard else None,
+            )
         try:
             handle.process.kill()
         except OSError:
@@ -609,6 +679,12 @@ class ShardFabric:
                 and now - handle.last_beat > self.config.heartbeat_timeout
             ):
                 self._kill_worker(handle, "heartbeat-timeout")
+            elif (
+                self.config.worker_rss_cap is not None
+                and handle.last_rss is not None
+                and handle.last_rss > self.config.worker_rss_cap
+            ):
+                self._kill_worker(handle, "rss-cap")
 
     def _wait_timeout(self):
         timeout = _POLL_INTERVAL
@@ -626,12 +702,17 @@ class ShardFabric:
         if kind == "ready":
             handle.last_beat = _time.monotonic()
         elif kind == "heartbeat":
-            _, worker_id, shard_id, frame = message
+            _, worker_id, shard_id, frame, rss = message
             handle.last_beat = _time.monotonic()
+            if rss is not None:
+                handle.last_rss = rss
+                self.accounting.peak_worker_rss = max(
+                    self.accounting.peak_worker_rss, rss
+                )
             self._emit(
                 "heartbeat", worker_id=worker_id,
                 pid=handle.process.pid,
-                shard=shard_id_text(shard_id), frame=frame,
+                shard=shard_id_text(shard_id), frame=frame, rss=rss,
             )
         elif kind == "result":
             _, _worker_id, shard_id, payload = message
@@ -718,6 +799,8 @@ class ShardFabric:
                 node_budget=opts["node_budget"],
                 fault_frame_nodes=opts["fault_frame_nodes"],
                 fault_frame_events=opts["fault_frame_events"],
+                rss_budget=opts["rss_budget"],
+                cache_budget=opts["cache_budget"],
             )
             try:
                 payload = run_shard(
@@ -747,6 +830,9 @@ class ShardFabric:
             "variable_scheme": self.variable_scheme,
             "xred": self.xred,
             "pre_pass_3v": self.pre_pass_3v,
+            "pressure": (
+                self.pressure.to_json() if self.pressure is not None else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -773,6 +859,7 @@ class ShardFabric:
         quarantined = []
         rung_population = {}
         shard_stop = None
+        pressure = None
         for shard_id in sorted(self._results):
             payload = self._results[shard_id]
             frames_total = max(frames_total, payload["frames_total"])
@@ -790,6 +877,11 @@ class ShardFabric:
                 )
             if payload["stopped"] != COMPLETED and shard_stop is None:
                 shard_stop = payload["stopped"]
+            pressure = _merge_pressure(pressure, payload.get("pressure"))
+            self.accounting.peak_worker_rss = max(
+                self.accounting.peak_worker_rss,
+                payload.get("peak_rss") or 0,
+            )
         quarantined.extend(self.accounting.quarantined_by_crash)
         self.governor.nodes_allocated += self._worker_nodes
 
@@ -825,6 +917,7 @@ class ShardFabric:
             ladder_names=self.ladder.names(),
             rung_population=rung_population,
             fabric=fabric,
+            pressure=pressure,
         )
 
     # ------------------------------------------------------------------
@@ -854,7 +947,10 @@ def run_sharded_campaign(compiled, sequence, fault_set, **kwargs):
     Accepts the :class:`ShardFabric` keywords; the fabric knobs can be
     given either as a ``config=FabricConfig(...)`` or via the common
     shortcuts ``workers`` / ``shard_size`` / ``shard_timeout`` /
-    ``heartbeat_timeout`` / ``max_retries``.  Returns a merged
+    ``heartbeat_timeout`` / ``max_retries`` / ``worker_rss_cap``.
+    A ``pressure=PressureConfig(...)`` (or its JSON dict) is shipped to
+    every worker, which runs the in-engine relief ladder against its
+    own process RSS.  Returns a merged
     :class:`~repro.runtime.campaign.CampaignResult` whose
     ``runtime_summary()`` carries a ``"fabric"`` accounting block.
     """
@@ -866,7 +962,7 @@ def run_sharded_campaign(compiled, sequence, fault_set, **kwargs):
     if config is None:
         config_fields = {}
         for name in ("workers", "shard_size", "shard_timeout",
-                     "heartbeat_timeout", "max_retries"):
+                     "heartbeat_timeout", "max_retries", "worker_rss_cap"):
             if name in kwargs and kwargs[name] is not None:
                 config_fields[name] = kwargs.pop(name)
             else:
@@ -874,7 +970,7 @@ def run_sharded_campaign(compiled, sequence, fault_set, **kwargs):
         config = FabricConfig(**config_fields)
     else:
         for name in ("workers", "shard_size", "shard_timeout",
-                     "heartbeat_timeout", "max_retries"):
+                     "heartbeat_timeout", "max_retries", "worker_rss_cap"):
             kwargs.pop(name, None)
     return ShardFabric(compiled, sequence, fault_set,
                        config=config, **kwargs).run()
@@ -915,6 +1011,7 @@ def resume_sharded_campaign(
             shard_timeout=recorded.get("shard_timeout"),
             heartbeat_timeout=recorded.get("heartbeat_timeout"),
             max_retries=recorded.get("max_retries", 2),
+            worker_rss_cap=recorded.get("worker_rss_cap"),
         )
     fabric = ShardFabric(
         compiled,

@@ -6,9 +6,11 @@ ordinary in-process :class:`~repro.runtime.campaign.Campaign` over just
 that shard's faults, and reports back:
 
 * ``("ready", worker_id, pid)`` — once, after start-up,
-* ``("heartbeat", worker_id, shard_id, frame)`` — at frame
+* ``("heartbeat", worker_id, shard_id, frame, rss)`` — at frame
   boundaries, throttled to ``heartbeat_interval`` seconds; the
-  coordinator uses the gaps to detect hung workers,
+  coordinator uses the gaps to detect hung workers and the reported
+  resident set size (bytes, None off Linux) to recycle workers that
+  bloat past the configured per-worker RSS cap,
 * ``("result", worker_id, shard_id, payload)`` — the per-fault
   verdicts and counters of a finished shard,
 * ``("error", worker_id, shard_id, message)`` — a Python-level
@@ -36,6 +38,7 @@ import time as _time
 from repro.faults.status import FaultSet
 from repro.runtime.governor import ResourceGovernor
 from repro.runtime.ladder import DegradationLadder
+from repro.runtime.memory import RssSampler
 
 #: exit code of a chaos-injected crash (mirrors a SIGKILL-style death)
 CHAOS_EXIT_CODE = 139
@@ -47,10 +50,13 @@ class WorkerGovernor(ResourceGovernor):
     Every frame-boundary check (the campaign main loop *and* the
     word-parallel pre-pass both route through :meth:`check_frame`)
     doubles as a liveness beat, throttled so a fast sweep does not
-    flood the pipe.
+    flood the pipe.  Each beat carries the worker's current RSS so the
+    coordinator can recycle a bloating worker; a sampler is therefore
+    always constructed, budget or not.
     """
 
     def __init__(self, heartbeat, heartbeat_interval, **kwargs):
+        kwargs.setdefault("rss_sampler", RssSampler())
         super().__init__(**kwargs)
         self._heartbeat = heartbeat
         self._heartbeat_interval = heartbeat_interval
@@ -61,7 +67,7 @@ class WorkerGovernor(ResourceGovernor):
         now = _time.monotonic()
         if now - self._last_beat >= self._heartbeat_interval:
             self._last_beat = now
-            self._heartbeat(frame)
+            self._heartbeat(frame, self.sample_rss())
 
 
 def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
@@ -93,6 +99,8 @@ def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
             "rung_population": {},
             "nodes_allocated": 0,
             "elapsed": 0.0,
+            "pressure": None,
+            "peak_rss": 0,
         }
     campaign = Campaign(
         compiled,
@@ -117,6 +125,8 @@ def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
         "rung_population": result.rung_population,
         "nodes_allocated": campaign.governor.nodes_allocated,
         "elapsed": campaign.governor.elapsed(),
+        "pressure": result.pressure,
+        "peak_rss": campaign.governor.peak_rss,
     }
 
 
@@ -133,6 +143,9 @@ def _campaign_kwargs(init, opts):
         "variable_scheme": init["variable_scheme"],
         "xred": init["xred"],
         "pre_pass_3v": init["pre_pass_3v"],
+        # pressure policy ships as its JSON dict; Campaign rebuilds the
+        # PressureConfig (each worker samples its own process RSS)
+        "pressure": init.get("pressure"),
     }
 
 
@@ -172,8 +185,8 @@ def worker_main(worker_id, conn, init):
                 chaos, {faults[i].key() for i in indices}
             )
 
-            def heartbeat(frame, _shard_id=shard_id):
-                conn.send(("heartbeat", worker_id, _shard_id, frame))
+            def heartbeat(frame, rss=None, _shard_id=shard_id):
+                conn.send(("heartbeat", worker_id, _shard_id, frame, rss))
 
             governor = WorkerGovernor(
                 heartbeat,
@@ -182,6 +195,8 @@ def worker_main(worker_id, conn, init):
                 node_budget=opts.get("node_budget"),
                 fault_frame_nodes=opts.get("fault_frame_nodes"),
                 fault_frame_events=opts.get("fault_frame_events"),
+                rss_budget=opts.get("rss_budget"),
+                cache_budget=opts.get("cache_budget"),
             )
             try:
                 payload = run_shard(

@@ -1,6 +1,6 @@
 """Cooperative resource budgets for long fault-simulation runs.
 
-A :class:`ResourceGovernor` owns three independent budgets:
+A :class:`ResourceGovernor` owns four independent budgets:
 
 * **wall-clock deadline** — checked between frames
   (:meth:`check_frame`) and, because a single pathological frame can
@@ -12,7 +12,18 @@ A :class:`ResourceGovernor` owns three independent budgets:
   and demotions; the budget spans all of them),
 * **per-fault frame cost** — the number of nodes a single fault's
   propagation may allocate within one frame (symbolic rungs) and the
-  number of differing signals it may touch (three-valued rung).
+  number of differing signals it may touch (three-valued rung),
+* **process RSS** — the resident set size sampled from
+  ``/proc/self/statm`` (via :class:`~repro.runtime.memory.RssSampler`,
+  throttled to the same allocation stride as the clock).  This is the
+  *last line*: the in-engine pressure ladder
+  (:mod:`repro.bdd.pressure`) relieves below the budget; the governor
+  stops the campaign gracefully — checkpoint intact — when relief
+  could not hold the line.
+
+``cache_budget`` rides along as configuration only: the governor does
+not police the computed table itself, it hands the value to the
+pressure ladder (which evicts) and reports it in accounting.
 
 All checks raise :class:`~repro.runtime.errors.BudgetExceeded`; the
 per-fault checks tag the exception with the offending ``fault_key`` so
@@ -28,6 +39,7 @@ session untouched).
 import time as _time
 
 from repro.runtime.errors import BudgetExceeded
+from repro.runtime.memory import RssSampler
 
 # check the wall clock only every N node allocations: a monotonic clock
 # read per mk() would dominate the BDD package's runtime.
@@ -43,7 +55,10 @@ class ResourceGovernor:
         node_budget=None,
         fault_frame_nodes=None,
         fault_frame_events=None,
+        rss_budget=None,
+        cache_budget=None,
         clock=_time.monotonic,
+        rss_sampler=None,
     ):
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be >= 0 seconds")
@@ -51,6 +66,12 @@ class ResourceGovernor:
         self.node_budget = node_budget
         self.fault_frame_nodes = fault_frame_nodes
         self.fault_frame_events = fault_frame_events
+        self.rss_budget = rss_budget
+        self.cache_budget = cache_budget
+        if rss_sampler is None and rss_budget is not None:
+            rss_sampler = RssSampler()
+        self._rss_sampler = rss_sampler
+        self.peak_rss = 0
         self._clock = clock
         self._started = None
         self._elapsed_before = 0.0  # carried over by a resumed campaign
@@ -95,6 +116,27 @@ class ResourceGovernor:
         self.frame = frame
         self.pack = pack
         self.check_deadline()
+        self.check_rss()
+
+    def sample_rss(self):
+        """Latest RSS sample in bytes (None without a sampler or off
+        Linux); tracks the peak for accounting."""
+        if self._rss_sampler is None:
+            return None
+        rss = self._rss_sampler()
+        if rss is not None and rss > self.peak_rss:
+            self.peak_rss = rss
+        return rss
+
+    def check_rss(self):
+        if self.rss_budget is None:
+            return
+        rss = self.sample_rss()
+        if rss is not None and rss > self.rss_budget:
+            raise BudgetExceeded(
+                "rss", self.rss_budget, rss, frame=self.frame,
+                pack=self.pack,
+            )
 
     def note_node(self):
         """Node-allocation hook for :class:`BddManager.alloc_hook`."""
@@ -111,6 +153,7 @@ class ResourceGovernor:
         if self._since_clock_check >= _CLOCK_STRIDE:
             self._since_clock_check = 0
             self.check_deadline()
+            self.check_rss()
 
     def check_fault_frame_nodes(self, record, nodes):
         """Per-fault frame-cost hook for symbolic sessions."""
@@ -136,8 +179,13 @@ class ResourceGovernor:
 
     # ------------------------------------------------------------------
     def attach_manager(self, manager):
-        """Meter *manager*'s node allocations (and the clock) via mk()."""
-        if self.node_budget is not None or self.deadline is not None:
+        """Meter *manager*'s node allocations (and the clock and RSS)
+        via mk()."""
+        if (
+            self.node_budget is not None
+            or self.deadline is not None
+            or self.rss_budget is not None
+        ):
             manager.alloc_hook = self.note_node
 
     def accounting(self):
@@ -149,6 +197,9 @@ class ResourceGovernor:
             "nodes_allocated": self.nodes_allocated,
             "fault_frame_nodes": self.fault_frame_nodes,
             "fault_frame_events": self.fault_frame_events,
+            "rss_budget": self.rss_budget,
+            "cache_budget": self.cache_budget,
+            "peak_rss": self.peak_rss,
         }
 
     def __repr__(self):

@@ -133,7 +133,11 @@ class LadderState:
         self.ladder = ladder
         self._rung_of = {}  # fault key -> rung index
         self.demotions = 0
-        self.demotion_log = []  # (fault_key, from_rung, to_rung, frame)
+        # (fault_key, from_rung, to_rung, frame, reason); reason is the
+        # trigger class — "space" (node-limit overflow), "pressure"
+        # (memory-pressure surrender), "budget" (per-fault budget) or
+        # None when the caller did not attribute one
+        self.demotion_log = []
 
     def assign(self, fault_key, rung_index=0):
         if not 0 <= rung_index < len(self.ladder):
@@ -150,11 +154,13 @@ class LadderState:
         """Drop a fault that left the campaign (detected/quarantined)."""
         self._rung_of.pop(fault_key, None)
 
-    def demote(self, fault_key, frame=None):
+    def demote(self, fault_key, frame=None, reason=None):
         """Move *fault_key* one rung down; returns the new rung index.
 
-        Raises :class:`DegradationExhausted` when the fault is already
-        on the last rung — the campaign quarantines it then.
+        *reason* tags the demotion-log entry with what triggered the
+        demotion (see the ``demotion_log`` comment).  Raises
+        :class:`DegradationExhausted` when the fault is already on the
+        last rung — the campaign quarantines it then.
         """
         index = self._rung_of[fault_key]
         if index + 1 >= len(self.ladder):
@@ -169,6 +175,7 @@ class LadderState:
                 self.ladder[index].strategy,
                 self.ladder[index + 1].strategy,
                 frame,
+                reason,
             )
         )
         return index + 1

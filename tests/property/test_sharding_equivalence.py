@@ -99,3 +99,39 @@ def test_fabric_sharding_matches_serial(pair, shard_size):
     assert result.stopped == "completed"
     fabric = result.runtime_summary()["fabric"]
     assert fabric["shards_completed"] == fabric["shards_planned"]
+
+
+@given(circuit_and_sequence(), st.integers(1, 5))
+@settings(max_examples=10, deadline=None)
+def test_pressure_settings_preserve_sharding_equivalence(pair, shard_size):
+    """Serial vs sharded under identical pressure settings.
+
+    Relief rungs are per-session and semantics-preserving, so a
+    pressured serial campaign and a pressured inline-sharded campaign
+    must classify every fault identically (nothing surrenders here:
+    the node limit is generous and no RSS budget is set).
+    """
+    from repro.bdd import PressureConfig
+    from repro.runtime import run_campaign
+
+    compiled, sequence = pair
+    faults, _ = collapse_faults(compiled)
+    pressure = PressureConfig(
+        gc_watermark=0.05, live_fraction=1.0, cache_budget=64,
+        reorder_rescue=True, check_stride=64,
+    )
+
+    serial = FaultSet(faults)
+    run_campaign(
+        compiled, sequence, serial,
+        node_limit=20_000, pressure=pressure,
+    )
+
+    sharded = FaultSet(faults)
+    result = run_sharded_campaign(
+        compiled, sequence, sharded,
+        workers=0, shard_size=shard_size,
+        node_limit=20_000, pressure=pressure,
+    )
+    assert signature(sharded) == signature(serial)
+    assert result.stopped == "completed"

@@ -207,3 +207,136 @@ def test_sniff_checkpoint_kind(tmp_path):
     empty.write_text("")
     with pytest.raises(CheckpointError):
         sniff_checkpoint_kind(empty)
+
+
+# ----------------------------------------------------------------------
+# circuit/fault-universe fingerprint
+# ----------------------------------------------------------------------
+def _fingerprint_fixture(seed=3):
+    from repro.circuit.compile import compile_circuit
+    from repro.faults.collapse import collapse_faults
+    from tests.util import random_circuit
+
+    compiled = compile_circuit(random_circuit(seed))
+    faults, _ = collapse_faults(compiled)
+    keys = [f.key() for f in faults]
+    return compiled, keys
+
+
+def test_fingerprint_stable_and_name_blind():
+    from repro.circuit.compile import compile_circuit
+    from repro.runtime import circuit_fingerprint
+    from tests.util import random_circuit
+
+    compiled, keys = _fingerprint_fixture()
+    assert circuit_fingerprint(compiled, keys) == \
+        circuit_fingerprint(compiled, keys)
+    # the circuit's *name* is presentation, not structure
+    renamed = compile_circuit(random_circuit(3, name="other-name"))
+    assert circuit_fingerprint(renamed, keys) == \
+        circuit_fingerprint(compiled, keys)
+
+
+def test_fingerprint_sees_structure_and_faults():
+    from repro.circuit.compile import compile_circuit
+    from repro.runtime import circuit_fingerprint
+    from tests.util import random_circuit
+
+    compiled, keys = _fingerprint_fixture()
+    other = compile_circuit(random_circuit(4))
+    assert circuit_fingerprint(other, keys) != \
+        circuit_fingerprint(compiled, keys)
+    assert circuit_fingerprint(compiled, keys[:-1]) != \
+        circuit_fingerprint(compiled, keys)
+
+
+def test_verify_fingerprint_mismatch_and_legacy():
+    from repro.runtime import (
+        CheckpointMismatch,
+        circuit_fingerprint,
+        verify_fingerprint,
+    )
+
+    compiled, keys = _fingerprint_fixture()
+    good = circuit_fingerprint(compiled, keys)
+    verify_fingerprint("x.ckpt", good, compiled, keys)  # match: quiet
+    verify_fingerprint("x.ckpt", None, compiled, keys)  # legacy: quiet
+    with pytest.raises(CheckpointMismatch) as exc:
+        verify_fingerprint("x.ckpt", "deadbeefdeadbeef", compiled, keys)
+    assert isinstance(exc.value, CheckpointError)
+    assert exc.value.context()["found"] == "deadbeefdeadbeef"
+
+
+def test_campaign_resume_refuses_wrong_circuit(tmp_path):
+    from repro.circuit.compile import compile_circuit
+    from repro.faults.collapse import collapse_faults
+    from repro.runtime import (
+        CheckpointMismatch,
+        ResourceGovernor,
+        resume_campaign,
+        run_campaign,
+    )
+    from repro.sequences.random_seq import random_sequence_for
+    from tests.util import random_circuit
+
+    compiled = compile_circuit(random_circuit(11))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 30, seed=1)
+    path = tmp_path / "run.ckpt"
+
+    class InstantClock:
+        def __init__(self):
+            self.t = 0.0
+
+        def __call__(self):
+            self.t += 1.0
+            return self.t
+
+    interrupted = run_campaign(
+        compiled, sequence, FaultSet(faults),
+        checkpoint_path=str(path), checkpoint_every=2,
+        governor=ResourceGovernor(deadline=6.0, clock=InstantClock()),
+    )
+    assert interrupted.checkpoints_written >= 1
+
+    other = compile_circuit(random_circuit(12))
+    other_faults, _ = collapse_faults(other)
+    with pytest.raises(CheckpointMismatch):
+        resume_campaign(
+            str(path), compiled=other, fault_set=FaultSet(other_faults)
+        )
+
+    # the matching circuit still resumes
+    result = resume_campaign(
+        str(path), compiled=compiled, fault_set=FaultSet(faults)
+    )
+    assert result.stopped == "completed"
+
+
+def test_fabric_resume_refuses_wrong_circuit(tmp_path):
+    from repro.circuit.compile import compile_circuit
+    from repro.faults.collapse import collapse_faults
+    from repro.runtime import CheckpointMismatch
+    from repro.runtime.fabric import (
+        resume_sharded_campaign,
+        run_sharded_campaign,
+    )
+    from repro.sequences.random_seq import random_sequence_for
+    from tests.util import random_circuit
+
+    compiled = compile_circuit(random_circuit(21))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 10, seed=2)
+    path = tmp_path / "fabric.ckpt"
+    result = run_sharded_campaign(
+        compiled, sequence, FaultSet(faults),
+        workers=0, shard_size=3, checkpoint_path=str(path),
+    )
+    assert result.stopped == "completed"
+
+    other = compile_circuit(random_circuit(22))
+    other_faults, _ = collapse_faults(other)
+    with pytest.raises(CheckpointMismatch):
+        resume_sharded_campaign(
+            str(path), compiled=other, fault_set=FaultSet(other_faults)
+        )

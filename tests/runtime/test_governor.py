@@ -151,3 +151,55 @@ def test_check_frame_records_pack_for_diagnostics():
         gov.check_frame(1, pack=4)
     assert exc.value.kind == "deadline"
     assert exc.value.context()["pack"] == 4
+
+
+# ----------------------------------------------------------------------
+# RSS budget
+# ----------------------------------------------------------------------
+def test_rss_budget_check_frame():
+    gov = ResourceGovernor(rss_budget=1000,
+                           rss_sampler=lambda: 1500).start()
+    with pytest.raises(BudgetExceeded) as exc:
+        gov.check_frame(3)
+    assert exc.value.kind == "rss"
+    assert exc.value.limit == 1000
+    assert exc.value.observed == 1500
+    assert gov.peak_rss == 1500
+
+
+def test_rss_budget_under_limit_is_quiet():
+    gov = ResourceGovernor(rss_budget=1000,
+                           rss_sampler=lambda: 500).start()
+    for frame in range(20):
+        gov.check_frame(frame)
+    assert gov.peak_rss == 500
+
+
+def test_rss_budget_polled_at_allocation_granularity():
+    gov = ResourceGovernor(rss_budget=1000,
+                           rss_sampler=lambda: 2000).start()
+    manager = BddManager(num_vars=2 * _CLOCK_STRIDE)
+    gov.attach_manager(manager)
+    assert manager.alloc_hook is not None  # rss budget alone hooks
+    with pytest.raises(BudgetExceeded) as exc:
+        node = TRUE
+        for var in range(2 * _CLOCK_STRIDE - 1, -1, -1):
+            node = manager.mk(var, FALSE, node)
+    assert exc.value.kind == "rss"
+
+
+def test_rss_unavailable_sampler_is_inert():
+    gov = ResourceGovernor(rss_budget=1000,
+                           rss_sampler=lambda: None).start()
+    gov.check_frame(1)  # no sample, no raise
+    assert gov.peak_rss == 0
+
+
+def test_accounting_carries_rss_fields():
+    gov = ResourceGovernor(rss_budget=4096, cache_budget=128,
+                           rss_sampler=lambda: 100).start()
+    gov.sample_rss()
+    acc = gov.accounting()
+    assert acc["rss_budget"] == 4096
+    assert acc["cache_budget"] == 128
+    assert acc["peak_rss"] == 100

@@ -62,7 +62,7 @@ def test_ladder_state_demotion_chain():
     state.assign("f1")
     state.assign("f2")
     assert state.rung("f1").strategy == "MOT"
-    assert state.demote("f1", frame=3) == 1
+    assert state.demote("f1", frame=3, reason="space") == 1
     assert state.demote("f1", frame=7) == 2
     assert state.rung("f1").strategy == "3v"
     with pytest.raises(DegradationExhausted) as exc:
@@ -72,8 +72,8 @@ def test_ladder_state_demotion_chain():
     # bookkeeping only counts performed demotions
     assert state.demotions == 2
     assert state.demotion_log == [
-        ("f1", "MOT", "SOT", 3),
-        ("f1", "SOT", "3v", 7),
+        ("f1", "MOT", "SOT", 3, "space"),
+        ("f1", "SOT", "3v", 7, None),
     ]
     assert state.population() == {"MOT": 1, "SOT": 0, "3v": 1}
 
