@@ -100,3 +100,50 @@ def test_bdd_garbage_collection(benchmark):
         return translate[keep]
 
     benchmark(run)
+
+
+def test_bdd_disabled_observability_overhead(benchmark):
+    """Guard: observability off must not tax the ITE hot path.
+
+    Runs the same adder construction with the manager's stat counters
+    off (the default) and on, inside each benchmark round.  Stats-off
+    executes the uninstrumented code, so its time must not drift up
+    toward the stats-on time — that would mean instrumentation leaked
+    out of its opt-in guard.  The ratio assert is lenient because the
+    enabled overhead is itself small; absolute regressions are caught
+    by comparing against the saved pytest-benchmark baselines.
+    """
+    import time
+
+    def once(enable):
+        m = BddManager(num_vars=32)
+        if enable:
+            m.enable_stats()
+        t0 = time.perf_counter()
+        build_adder_bits(m, 16)
+        return time.perf_counter() - t0
+
+    def run():
+        disabled = min(once(False) for _ in range(5))
+        enabled = min(once(True) for _ in range(5))
+        return disabled, enabled
+
+    disabled, enabled = benchmark(run)
+    benchmark.extra_info["disabled_s"] = round(disabled, 6)
+    benchmark.extra_info["enabled_s"] = round(enabled, 6)
+    benchmark.extra_info["ratio"] = round(disabled / enabled, 3)
+    assert disabled <= enabled * 1.10
+
+
+def test_null_tracer_dispatch(benchmark):
+    """The no-op tracer's per-site cost: one attribute check / call."""
+    from repro.obs.tracer import NULL_TRACER
+
+    def run():
+        for _ in range(10_000):
+            if NULL_TRACER.enabled:  # the hot-path guard idiom
+                NULL_TRACER.event("never")
+        with NULL_TRACER.span("frame") as span:
+            span.add(outcome="stepped")
+
+    benchmark(run)

@@ -64,6 +64,12 @@ from repro.analysis import (
 )
 from repro.atpg import generate_mot_tests
 from repro.diagnosis import diagnose
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    TraceSchemaError,
+)
 from repro.reporting import CoverageReport, coverage_report
 from repro.sequences.compaction import compact_sequence
 from repro.runtime import (
@@ -116,6 +122,10 @@ __all__ = [
     "compact_sequence",
     "CoverageReport",
     "coverage_report",
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "TraceSchemaError",
     "ReproError",
     "BudgetExceeded",
     "CheckpointError",

@@ -38,6 +38,30 @@ _EXPAND = 0
 _COMBINE = 1
 
 
+class _CountingCache(dict):
+    """A computed table that counts hit/miss on :meth:`get`.
+
+    Installed by :meth:`BddManager.enable_cache_stats` only — the
+    default table is a plain dict so the disabled path pays nothing.
+    Counts live on the owning manager, not the table, so eviction and
+    GC (which replace the table object) never lose them.
+    """
+
+    __slots__ = ("owner",)
+
+    def __init__(self, owner):
+        super().__init__()
+        self.owner = owner
+
+    def get(self, key, default=None):
+        found = dict.get(self, key, default)
+        if found is None:
+            self.owner.stat_cache_misses += 1
+        else:
+            self.owner.stat_cache_hits += 1
+        return found
+
+
 class BddManager:
     """Owner of a node store, unique table and computed table.
 
@@ -67,6 +91,20 @@ class BddManager:
         # allocation; the campaign runtime uses it to meter total node
         # consumption and to poll a wall-clock deadline at fine grain
         self.alloc_hook = None
+        # lifetime operation stats.  Per-operation counting (ite calls,
+        # cache hit/miss) is opt-in via enable_stats() and implemented
+        # by swapping in a counting table / wrapping ite, so the
+        # disabled hot path executes exactly the uninstrumented code.
+        # nodes_created needs no hook at all: it is derived from the
+        # live store plus nodes retired by GC (_nodes_dropped).
+        self.stat_ite_calls = 0
+        self.stat_gc_runs = 0
+        self.stat_cache_evictions = 0
+        self.stat_entries_evicted = 0
+        self.stat_cache_hits = 0
+        self.stat_cache_misses = 0
+        self._nodes_dropped = 0
+        self._count_cache = False
 
     # ------------------------------------------------------------------
     # node store
@@ -548,6 +586,9 @@ class BddManager:
 
     def clear_cache(self):
         """Drop the computed table (keeps all nodes)."""
+        if self._cache:
+            self.stat_cache_evictions += 1
+            self.stat_entries_evicted += len(self._cache)
         self._cache.clear()
 
     def evict_cache(self, fraction=1.0):
@@ -563,10 +604,13 @@ class BddManager:
         if fraction >= 1.0:
             dropped = len(self._cache)
             self._cache.clear()
-            return dropped
-        dropped = int(len(self._cache) * fraction)
-        for key in list(self._cache.keys())[:dropped]:
-            del self._cache[key]
+        else:
+            dropped = int(len(self._cache) * fraction)
+            for key in list(self._cache.keys())[:dropped]:
+                del self._cache[key]
+        if dropped:
+            self.stat_cache_evictions += 1
+            self.stat_entries_evicted += dropped
         return dropped
 
     def collect(self, roots, return_roots=False):
@@ -602,7 +646,12 @@ class BddManager:
         self._low = [FALSE, TRUE]
         self._high = [FALSE, TRUE]
         self._unique = {}
-        self._cache = {}
+        self._cache = self._make_cache()
+        self.stat_gc_runs += 1
+        # retire this epoch's allocations; the rebuild's survivors are
+        # credited back below so nodes_created stays a true lifetime
+        # total (each allocation counted once, GC re-creation never)
+        self._nodes_dropped += len(old_var) - 2
         translate = {FALSE: FALSE, TRUE: TRUE}
         hook, self.alloc_hook = self.alloc_hook, None
         try:
@@ -614,9 +663,78 @@ class BddManager:
                 )
         finally:
             self.alloc_hook = hook
+            self._nodes_dropped -= len(self._var) - 2
         if return_roots:
             return translate, [translate[root] for root in roots]
         return translate
+
+    # ------------------------------------------------------------------
+    # operation statistics
+    # ------------------------------------------------------------------
+    def _make_cache(self):
+        """A fresh computed table of the currently configured kind."""
+        return _CountingCache(self) if self._count_cache else {}
+
+    @property
+    def stat_nodes_created(self):
+        """Lifetime node allocations (GC re-creation not counted)."""
+        return self._nodes_dropped + len(self._var) - 2
+
+    def enable_stats(self):
+        """Count ite() calls and computed-table hits/misses from now on.
+
+        Opt-in because both cost a Python dispatch per operation: the
+        computed table is swapped for a counting subclass and ``ite``
+        is shadowed by a counting wrapper.  With stats off the hot path
+        executes exactly the uninstrumented code.  The observability
+        layer enables this when tracing or metrics are requested.
+        Existing table entries are preserved.
+        """
+        if self._count_cache:
+            return
+        self._count_cache = True
+        cache = _CountingCache(self)
+        cache.update(self._cache)
+        self._cache = cache
+        inner = self.ite  # the (bound) uncounted implementation
+
+        def counted_ite(f, g, h):
+            self.stat_ite_calls += 1
+            return inner(f, g, h)
+
+        self.ite = counted_ite
+
+    def stats(self):
+        """Lifetime operation counters plus current store levels."""
+        return {
+            "ite_calls": self.stat_ite_calls,
+            "nodes_created": self.stat_nodes_created,
+            "cache_hits": self.stat_cache_hits,
+            "cache_misses": self.stat_cache_misses,
+            "cache_evictions": self.stat_cache_evictions,
+            "entries_evicted": self.stat_entries_evicted,
+            "gc_runs": self.stat_gc_runs,
+            "peak_nodes": self.peak_nodes,
+            "num_nodes": self.num_nodes,
+            "cache_size": len(self._cache),
+        }
+
+    def carry_stats_from(self, other):
+        """Fold *other*'s lifetime counters into this manager.
+
+        Used when a reorder rescue rebuilds the session in a fresh
+        manager: the new manager continues the old one's accounting so
+        per-session stats stay cumulative across the swap.
+        """
+        self.stat_ite_calls += other.stat_ite_calls
+        self._nodes_dropped += other.stat_nodes_created
+        self.stat_cache_hits += other.stat_cache_hits
+        self.stat_cache_misses += other.stat_cache_misses
+        self.stat_cache_evictions += other.stat_cache_evictions
+        self.stat_entries_evicted += other.stat_entries_evicted
+        self.stat_gc_runs += other.stat_gc_runs
+        if other._count_cache:
+            self.enable_stats()
 
     def __repr__(self):
         return (

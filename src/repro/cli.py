@@ -9,6 +9,8 @@
     python -m repro simulate ctr8 --strategy MOT --length 100
     python -m repro campaign ctr8 --length 200 --checkpoint run.ckpt
     python -m repro campaign --resume run.ckpt
+    python -m repro campaign ctr8 --trace run.trace.jsonl --metrics m.json
+    python -m repro profile run.trace.jsonl
     python -m repro xred ctr8 --length 200
     python -m repro evaluate s27 --sequence t.seq --response r.seq
     python -m repro sync syncc6
@@ -200,6 +202,71 @@ def _fabric_kwargs(args):
     }
 
 
+class _CliObservability:
+    """CLI ownership of ``--trace`` / ``--metrics`` / ``--progress``.
+
+    The engine layers accept a tracer/registry/progress hook but never
+    create one and never write the trace-header record — the CLI does,
+    because only it knows the run's provenance (circuit spec, seed,
+    worker count).  Single-process campaigns trace with wall-clock
+    fields; sharded runs use canonical mode (``wall=False``) so two
+    runs with the same seeds produce byte-identical merged traces.
+    """
+
+    def __init__(self, args):
+        self.trace_path = getattr(args, "trace", None)
+        self.metrics_path = getattr(args, "metrics", None)
+        self.progress = getattr(args, "progress", False)
+        self.tracer = None
+        self.registry = None
+        self.line = None
+
+    @property
+    def active(self):
+        return bool(self.trace_path or self.metrics_path or self.progress)
+
+    def start(self, sharded, **header):
+        """Build the run keywords; write the trace-header record."""
+        kwargs = {}
+        if self.trace_path:
+            from repro.obs import JsonlSink, Tracer
+
+            self.tracer = Tracer(JsonlSink(self.trace_path),
+                                 wall=not sharded)
+            self.tracer.write_header(
+                "fabric" if sharded else "campaign",
+                **{k: v for k, v in header.items() if v is not None},
+            )
+            kwargs["tracer"] = self.tracer
+        if self.metrics_path:
+            from repro.obs import MetricsRegistry
+
+            self.registry = MetricsRegistry()
+            kwargs["metrics"] = self.registry
+        if self.progress:
+            from repro.obs.progress import ProgressLine
+
+            self.line = ProgressLine()
+            kwargs["progress_hook"] = self.line
+        return kwargs
+
+    def finish(self):
+        """Flush everything the run produced (safe on failed runs)."""
+        if self.line is not None:
+            self.line.finish()
+        if self.tracer is not None:
+            self.tracer.close()
+        if self.registry is not None and self.metrics_path:
+            import json
+
+            with open(self.metrics_path, "w", encoding="utf-8") as handle:
+                json.dump(self.registry.snapshot(), handle,
+                          indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote metrics to {self.metrics_path}",
+                  file=sys.stderr)
+
+
 def _render_campaign(args, compiled, fault_set, sequence, result):
     report = coverage_report(
         compiled, fault_set, sequence,
@@ -226,23 +293,36 @@ def _simulate_campaign(args):
         )
     compiled, fault_set = _prepare(args.circuit)
     sequence = _get_sequence(compiled, args)
-    with SignalGuard() as guard:
-        result = run_campaign(
-            compiled, sequence, fault_set,
-            strategy=args.strategy,
-            node_limit=args.node_limit,
-            governor=_build_governor(args),
-            checkpoint_path=args.checkpoint,
-            signal_guard=guard,
-            circuit_spec=args.circuit,
-            xred=not args.no_xred,
-            pressure=_pressure_config(args),
-            **_fabric_kwargs(args),
-        )
+    obs = _CliObservability(args)
+    obs_kwargs = obs.start(
+        sharded=args.workers is not None,
+        circuit=args.circuit,
+        strategy=args.strategy,
+        frames=len(sequence),
+        seed=None if args.sequence else args.seed,
+        workers=args.workers,
+    )
+    try:
+        with SignalGuard() as guard:
+            result = run_campaign(
+                compiled, sequence, fault_set,
+                strategy=args.strategy,
+                node_limit=args.node_limit,
+                governor=_build_governor(args),
+                checkpoint_path=args.checkpoint,
+                signal_guard=guard,
+                circuit_spec=args.circuit,
+                xred=not args.no_xred,
+                pressure=_pressure_config(args),
+                **obs_kwargs,
+                **_fabric_kwargs(args),
+            )
+    finally:
+        obs.finish()
     return _render_campaign(args, compiled, fault_set, sequence, result)
 
 
-def _resume_any(args, guard):
+def _resume_any(args, guard, obs):
     """Resume either checkpoint flavor: campaign (frame snapshots) or
     fabric (completed shards) — sniffed from the file itself."""
     from repro.runtime import (
@@ -271,6 +351,13 @@ def _resume_any(args, guard):
                 max_retries=getattr(args, "max_retries", None) or 2,
                 worker_rss_cap=getattr(args, "worker_rss_cap", None),
             )
+        obs_kwargs = obs.start(
+            sharded=True,
+            circuit=args.circuit or checkpoint.circuit_spec,
+            frames=len(checkpoint.sequence),
+            workers=getattr(args, "workers", None),
+            resumed_from=args.resume,
+        )
         result = resume_sharded_campaign(
             args.resume,
             compiled=compiled,
@@ -279,11 +366,18 @@ def _resume_any(args, guard):
             signal_guard=guard,
             config=config,
             pressure=_pressure_config(args),
+            **obs_kwargs,
         )
         return compiled, fault_set, checkpoint.sequence, result
     checkpoint = load_checkpoint(args.resume)
     compiled, fault_set = _prepare(
         args.circuit or checkpoint.circuit_spec
+    )
+    obs_kwargs = obs.start(
+        sharded=False,
+        circuit=args.circuit or checkpoint.circuit_spec,
+        frames=len(checkpoint.sequence),
+        resumed_from=args.resume,
     )
     result = resume_campaign(
         args.resume,
@@ -293,6 +387,7 @@ def _resume_any(args, guard):
         checkpoint_every=args.checkpoint_every,
         signal_guard=guard,
         pressure=_pressure_config(args),
+        **obs_kwargs,
     )
     return compiled, fault_set, checkpoint.sequence, result
 
@@ -302,27 +397,40 @@ def cmd_campaign(args):
 
     if args.resume is None and args.circuit is None:
         raise ValueError("campaign needs a circuit (or --resume)")
-    with SignalGuard() as guard:
-        if args.resume is not None:
-            compiled, fault_set, sequence, result = _resume_any(
-                args, guard
-            )
-        else:
-            compiled, fault_set = _prepare(args.circuit)
-            sequence = _get_sequence(compiled, args)
-            result = run_campaign(
-                compiled, sequence, fault_set,
-                strategy=args.strategy,
-                node_limit=args.node_limit,
-                governor=_build_governor(args),
-                checkpoint_path=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                fallback_frames=args.fallback_frames,
-                signal_guard=guard,
-                circuit_spec=args.circuit,
-                pressure=_pressure_config(args),
-                **_fabric_kwargs(args),
-            )
+    obs = _CliObservability(args)
+    try:
+        with SignalGuard() as guard:
+            if args.resume is not None:
+                compiled, fault_set, sequence, result = _resume_any(
+                    args, guard, obs
+                )
+            else:
+                compiled, fault_set = _prepare(args.circuit)
+                sequence = _get_sequence(compiled, args)
+                obs_kwargs = obs.start(
+                    sharded=args.workers is not None,
+                    circuit=args.circuit,
+                    strategy=args.strategy,
+                    frames=len(sequence),
+                    seed=None if args.sequence else args.seed,
+                    workers=args.workers,
+                )
+                result = run_campaign(
+                    compiled, sequence, fault_set,
+                    strategy=args.strategy,
+                    node_limit=args.node_limit,
+                    governor=_build_governor(args),
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    fallback_frames=args.fallback_frames,
+                    signal_guard=guard,
+                    circuit_spec=args.circuit,
+                    pressure=_pressure_config(args),
+                    **obs_kwargs,
+                    **_fabric_kwargs(args),
+                )
+    finally:
+        obs.finish()
     return _render_campaign(args, compiled, fault_set, sequence, result)
 
 
@@ -332,6 +440,7 @@ def cmd_simulate(args):
         or args.checkpoint
         or args.workers is not None
         or _pressure_config(args) is not None
+        or _CliObservability(args).active
     ):
         return _simulate_campaign(args)
     compiled, fault_set = _prepare(args.circuit)
@@ -404,6 +513,20 @@ def cmd_diagnose(args):
             f"({candidate.num_states} explaining initial states)"
         )
     return 0
+
+
+def cmd_profile(args):
+    from repro.obs.profile import profile_trace, render_profile
+
+    profile = profile_trace(args.trace, top=args.top)
+    if args.json:
+        import json
+
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile))
+    # a trace that contradicts the campaign's own accounting is a bug
+    return 0 if profile["reconciliation"]["ok"] else 1
 
 
 def cmd_compact(args):
@@ -506,6 +629,18 @@ def build_parser():
                        help="try a variable-window reorder of the "
                             "session before surrendering to fallback")
 
+    def _add_observability_options(p):
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="stream a JSONL trace (spans, events, "
+                            "metrics samples) to FILE; analyze it "
+                            "later with 'repro profile'")
+        p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write the run's final counters/gauges/"
+                            "histograms to FILE as JSON")
+        p.add_argument("--progress", action="store_true",
+                       help="live single-line progress display on "
+                            "stderr")
+
     def add_common(p, sequence_opts=True):
         p.add_argument("circuit",
                        help="registry name or .bench file path")
@@ -552,6 +687,7 @@ def build_parser():
                         "the campaign runtime)")
     _add_pressure_options(p)
     _add_fabric_options(p)
+    _add_observability_options(p)
 
     p = sub.add_parser(
         "campaign",
@@ -587,6 +723,14 @@ def build_parser():
     p.add_argument("--json", action="store_true")
     _add_pressure_options(p)
     _add_fabric_options(p)
+    _add_observability_options(p)
+
+    p = sub.add_parser("profile",
+                       help="analyze a JSONL trace written by --trace")
+    p.add_argument("trace", help="trace file (.jsonl)")
+    p.add_argument("--top", type=int, default=10,
+                   help="hot faults to show (default 10)")
+    p.add_argument("--json", action="store_true")
 
     p = sub.add_parser("evaluate",
                        help="symbolic test evaluation of a response")
@@ -634,6 +778,7 @@ _COMMANDS = {
     "xred": cmd_xred,
     "simulate": cmd_simulate,
     "campaign": cmd_campaign,
+    "profile": cmd_profile,
     "evaluate": cmd_evaluate,
     "sync": cmd_sync,
     "diagnose": cmd_diagnose,

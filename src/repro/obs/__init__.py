@@ -1,0 +1,55 @@
+"""Observability: tracing spans, metrics and the post-hoc profiler.
+
+This package is the measurement substrate of the engine.  It is
+deliberately dependency-light (stdlib only, plus the repro error
+taxonomy) so every other layer — the BDD manager, the symbolic
+fault-simulation session, the campaign runtime and the shard fabric —
+can import it without closing a circular import.
+
+Three pieces:
+
+* :class:`~repro.obs.tracer.Tracer` — nestable spans and point events
+  streamed to a fork-safe JSONL sink.  The :data:`~repro.obs.tracer.
+  NULL_TRACER` singleton is a no-op stand-in so the disabled path costs
+  a single attribute check.
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters and
+  gauges with delta flushing (workers piggyback deltas on fabric
+  heartbeats) and deterministic merge.
+* :func:`~repro.obs.profile.profile_trace` — the post-hoc analyzer
+  behind ``repro profile``: hot faults, time per strategy, cache-hit
+  trajectory, pressure/demotion timeline, and exact reconciliation
+  against the campaign's own accounting.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import TRACE_VERSION, TraceSchemaError, validate_record
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TRACE_VERSION",
+    "TraceSchemaError",
+    "Tracer",
+    "profile_trace",
+    "validate_record",
+]
+
+
+def __getattr__(name):
+    # profile pulls in nothing heavy, but keep it lazy so importing the
+    # tracer from hot paths stays minimal.
+    if name == "profile_trace":
+        from repro.obs.profile import profile_trace
+
+        return profile_trace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,134 @@
+"""A small registry of named counters, gauges and histograms.
+
+Counters are monotonic totals (``inc`` to bump, ``set_total`` to
+overwrite with an absolute cumulative value — the natural fit for
+folding in a BDD manager's lifetime stats).  Gauges are
+last-write-wins levels that *merge* by max, which is the meaningful
+combination across shards for things like peak node counts.
+Histograms are fixed power-of-two bucket counts (cheap, mergeable by
+addition) for size-distribution style metrics such as detection-
+function BDD sizes.
+
+The registry also supports the fabric's heartbeat piggybacking:
+:meth:`flush_delta` returns only what changed since the last flush
+(counters as increments), and :meth:`fold_delta` applies such a delta
+on the coordinator side.  Snapshots use sorted keys so serialized
+metrics are deterministic.
+"""
+
+
+def _bucket(value):
+    """Power-of-two bucket label for histogram values (``value >= 0``)."""
+    if value <= 0:
+        return 0
+    bucket = 1
+    while bucket < value:
+        bucket <<= 1
+    return bucket
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with delta flushing."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        self._sent_counters = {}
+        self._sent_gauges = {}
+
+    # -- writers ------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        """Bump a counter."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_total(self, name, value):
+        """Set a counter to an absolute cumulative total."""
+        self._counters[name] = value
+
+    def gauge(self, name, value):
+        """Set a gauge (last write wins locally, max across merges)."""
+        self._gauges[name] = value
+
+    def gauge_max(self, name, value):
+        """Raise a gauge to *value* if it is higher."""
+        if value > self._gauges.get(name, value - 1):
+            self._gauges[name] = value
+
+    def observe(self, name, value):
+        """Record *value* into histogram *name* (power-of-two buckets)."""
+        hist = self._histograms.setdefault(name, {})
+        bucket = _bucket(value)
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    # -- readers ------------------------------------------------------
+
+    def snapshot(self):
+        """All values, sorted, as one JSON-ready dict."""
+        out = {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+        }
+        if self._histograms:
+            out["histograms"] = {
+                name: {str(b): n for b, n in sorted(hist.items())}
+                for name, hist in sorted(self._histograms.items())
+            }
+        return out
+
+    def flat(self):
+        """Counters and gauges flattened into one sorted mapping."""
+        merged = dict(self._counters)
+        merged.update(self._gauges)
+        return dict(sorted(merged.items()))
+
+    def counter(self, name, default=0):
+        return self._counters.get(name, default)
+
+    # -- fabric plumbing ----------------------------------------------
+
+    def flush_delta(self):
+        """Changes since the last flush, or None if nothing changed.
+
+        Counters are returned as increments, gauges as absolute values;
+        both sides stay small so the delta rides a heartbeat without
+        bloating the pipe.
+        """
+        counters = {}
+        for name, value in self._counters.items():
+            delta = value - self._sent_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+                self._sent_counters[name] = value
+        gauges = {}
+        for name, value in self._gauges.items():
+            if self._sent_gauges.get(name) != value:
+                gauges[name] = value
+                self._sent_gauges[name] = value
+        if not counters and not gauges:
+            return None
+        return {"counters": counters, "gauges": gauges}
+
+    def fold_delta(self, delta):
+        """Apply a heartbeat delta: counters add, gauges take the max."""
+        if not delta:
+            return
+        for name, value in delta.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge_max(name, value)
+
+    def fold_snapshot(self, snapshot):
+        """Merge a full :meth:`snapshot` (counters add, gauges max)."""
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge_max(name, value)
+        for name, hist in snapshot.get("histograms", {}).items():
+            mine = self._histograms.setdefault(name, {})
+            for bucket, count in hist.items():
+                bucket = int(bucket)
+                mine[bucket] = mine.get(bucket, 0) + count

@@ -1,0 +1,82 @@
+"""An opt-in single-line TTY progress display for campaigns.
+
+The campaign runtime and the shard fabric both expose a
+``progress_hook(payload)`` callback; :class:`ProgressLine` is the CLI's
+implementation.  It rewrites one terminal line (carriage return, no
+scrollback spam), throttles itself by wall clock, and degrades to
+plain newline-separated updates when stderr is not a TTY (so CI logs
+stay readable).  It understands both payload shapes:
+
+* campaign: ``{"frame", "frames", "live", "detected", ...}``
+* fabric: ``{"shards_done", "shards", "workers", "frame", "metrics"}``
+"""
+
+import sys
+import time
+
+
+class ProgressLine:
+    """Renders campaign/fabric progress payloads onto one TTY line."""
+
+    def __init__(self, stream=None, interval=0.2):
+        self._stream = stream if stream is not None else sys.stderr
+        self._interval = interval
+        self._last = 0.0
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._width = 0
+        self._started = time.monotonic()
+
+    def __call__(self, payload):
+        self.update(payload)
+
+    def update(self, payload):
+        now = time.monotonic()
+        if now - self._last < self._interval:
+            return
+        self._last = now
+        text = self._format(payload, now - self._started)
+        self._emit(text)
+
+    def _format(self, payload, elapsed):
+        parts = [f"[{elapsed:7.1f}s]"]
+        if "shards_done" in payload:
+            parts.append(
+                f"shards {payload.get('shards_done', 0)}"
+                f"/{payload.get('shards', '?')}"
+            )
+            if payload.get("workers") is not None:
+                parts.append(f"workers {payload['workers']}")
+        if payload.get("frame") is not None:
+            frames = payload.get("frames")
+            tail = f"/{frames}" if frames else ""
+            parts.append(f"frame {payload['frame']}{tail}")
+        for key, label in (("live", "live"), ("detected", "det"),
+                           ("demotions", "dem"), ("quarantined", "quar")):
+            if payload.get(key) is not None:
+                parts.append(f"{label} {payload[key]}")
+        metrics = payload.get("metrics")
+        if metrics:
+            nodes = metrics.get("bdd.nodes_created")
+            if nodes is not None:
+                parts.append(f"nodes {nodes}")
+            hits = metrics.get("bdd.cache_hits", 0)
+            misses = metrics.get("bdd.cache_misses", 0)
+            if hits or misses:
+                parts.append(f"hit {hits / (hits + misses) * 100:.0f}%")
+        return " ".join(parts)
+
+    def _emit(self, text):
+        if self._tty:
+            pad = max(0, self._width - len(text))
+            self._stream.write("\r" + text + " " * pad)
+            self._width = len(text)
+        else:
+            self._stream.write(text + "\n")
+        self._stream.flush()
+
+    def finish(self):
+        """Terminate the progress line so following output starts clean."""
+        if self._tty and self._width:
+            self._stream.write("\n")
+            self._stream.flush()
+        self._width = 0

@@ -1,0 +1,134 @@
+"""The trace record schema, and a validator for it.
+
+One JSONL record per line; every record has a ``kind``:
+
+``trace-header``
+    First record of a file.  ``v`` (schema version, currently 1),
+    ``source`` (``"campaign"`` or ``"fabric"``), plus free-form
+    context fields (circuit, strategy, frames, shards ...).
+``span``
+    A closed span: ``name``, ``seq``, ``parent`` (the ``seq`` of the
+    enclosing span, or null at top level), optional ``ts``/``dur``
+    (seconds, only in wall-clock traces), optional ``error``, plus
+    name-specific fields (``rung``, ``frame``, ``mode`` ...).
+``event``
+    A point event: ``name``, ``seq``, ``parent``, optional ``ts``,
+    plus name-specific fields.
+``metrics``
+    A metrics sample: ``name`` and ``values`` (flat name→number map).
+``summary``
+    Final campaign accounting; the profiler reconciles event counts
+    against it.
+
+Records replayed from shard traces into a merged fabric trace
+additionally carry ``shard`` (text id) and ``worker`` (worker id or
+null for inline/resumed shards).
+
+The validator is deliberately strict about the fields above and
+permissive about extras — instrumentation may grow fields without a
+schema bump, but may never emit a malformed core.
+"""
+
+from repro.runtime.errors import ReproError
+
+#: Current trace schema version (the ``v`` field of trace-header).
+TRACE_VERSION = 1
+
+KINDS = ("trace-header", "span", "event", "metrics", "summary")
+
+_NUMBER = (int, float)
+
+
+class TraceSchemaError(ReproError):
+    """A trace record violates the documented schema."""
+
+    def __init__(self, line_no, reason, record=None):
+        self.line_no = line_no
+        self.reason = reason
+        self.record = record
+        super().__init__(f"trace line {line_no}: {reason}")
+
+    def context(self):
+        return {"line_no": self.line_no, "reason": self.reason}
+
+
+def _fail(line_no, reason, record):
+    raise TraceSchemaError(line_no, reason, record)
+
+
+def validate_record(record, line_no=0):
+    """Validate one decoded record; raise :class:`TraceSchemaError`."""
+    if not isinstance(record, dict):
+        _fail(line_no, "record is not an object", record)
+    kind = record.get("kind")
+    if kind not in KINDS:
+        _fail(line_no, f"unknown kind {kind!r}", record)
+    if kind == "trace-header":
+        if record.get("v") != TRACE_VERSION:
+            _fail(line_no, f"unsupported version {record.get('v')!r}", record)
+        if not isinstance(record.get("source"), str):
+            _fail(line_no, "trace-header missing source", record)
+        return record
+    seq = record.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        _fail(line_no, f"bad seq {seq!r}", record)
+    parent = record.get("parent")
+    if parent is not None and (not isinstance(parent, int) or parent < 0):
+        _fail(line_no, f"bad parent {parent!r}", record)
+    if kind in ("span", "event", "metrics"):
+        if not isinstance(record.get("name"), str):
+            _fail(line_no, f"{kind} missing name", record)
+    for field in ("ts", "dur"):
+        if field in record:
+            value = record[field]
+            if not isinstance(value, _NUMBER) or isinstance(value, bool) \
+                    or value < 0:
+                _fail(line_no, f"bad {field} {value!r}", record)
+    if kind == "metrics":
+        values = record.get("values")
+        if not isinstance(values, dict):
+            _fail(line_no, "metrics missing values", record)
+        for name, value in values.items():
+            if not isinstance(value, _NUMBER) or isinstance(value, bool):
+                _fail(line_no, f"non-numeric metric {name!r}", record)
+    return record
+
+
+def validate_trace_file(path):
+    """Validate every line of a JSONL trace; return the record count.
+
+    Checks line-level JSON validity, per-record schema, that the first
+    record is a trace-header, and that ``seq`` values are unique (file
+    order is *not* seq order — spans are written when they close, after
+    their children — but every record owns a distinct slot, including
+    across shard replays, which renumber).
+    """
+    import json
+
+    count = 0
+    seen_seq = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TraceSchemaError(line_no, f"invalid JSON: {exc}")
+            validate_record(record, line_no)
+            if count == 0 and record.get("kind") != "trace-header":
+                raise TraceSchemaError(
+                    line_no, "first record is not a trace-header", record
+                )
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                if seq in seen_seq:
+                    raise TraceSchemaError(
+                        line_no, f"duplicate seq {seq}", record
+                    )
+                seen_seq.add(seq)
+            count += 1
+    if count == 0:
+        raise TraceSchemaError(0, "empty trace file")
+    return count

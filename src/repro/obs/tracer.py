@@ -1,0 +1,323 @@
+"""Nestable tracing spans and point events over a JSONL sink.
+
+Design constraints, in order:
+
+1. **The disabled path costs ~nothing.**  Every instrumented call site
+   either checks ``tracer.enabled`` (a plain attribute) or calls into
+   :data:`NULL_TRACER`, whose methods are empty.  Hot per-node loops
+   are never traced — only per-call, per-frame and per-event sites.
+2. **Canonical traces are byte-reproducible.**  A tracer constructed
+   with ``wall=False`` omits wall-clock fields (``ts``/``dur``)
+   entirely; record ordering is the deterministic ``seq`` counter and
+   every record is serialized with sorted keys.  This is the mode the
+   shard fabric uses so two runs with the same seeds produce
+   byte-identical merged traces.
+3. **Fork safety.**  :class:`JsonlSink` remembers the opening pid and
+   transparently reopens the file (append mode) if it finds itself in
+   a forked child, so a tracer captured by a ``fork``-start worker
+   cannot interleave garbage into the parent's file.
+
+Record shapes are documented in :mod:`repro.obs.schema` and
+``docs/observability.md``.
+"""
+
+import json
+import os
+import time
+
+
+def _jsonable(value):
+    """Coerce a field value to something JSON-serializable, stably."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def encode_record(record):
+    """The one true serialization: sorted keys, compact separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlSink:
+    """Append-mode JSONL writer, flushed per record, fork-safe."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._pid = os.getpid()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record):
+        if os.getpid() != self._pid:  # forked child inherited the sink
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self._pid = os.getpid()
+        self._handle.write(encode_record(record) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - close race on teardown
+            pass
+
+
+class ListSink:
+    """In-memory sink with an optional record cap.
+
+    Fabric workers trace into one of these and ship the records back in
+    the shard result payload; the cap bounds payload size for
+    pathological shards.  Dropped records are *counted* — a truncated
+    trace announces itself instead of silently looking complete.
+    """
+
+    def __init__(self, cap=None):
+        self.records = []
+        self.cap = cap
+        self.dropped = 0
+
+    def write(self, record):
+        if self.cap is not None and len(self.records) >= self.cap:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def close(self):
+        pass
+
+
+class _Span:
+    """A live span; closing writes one record to the sink."""
+
+    __slots__ = ("_tracer", "_record", "_start", "closed")
+
+    def __init__(self, tracer, record, start):
+        self._tracer = tracer
+        self._record = record
+        self._start = start
+        self.closed = False
+
+    def add(self, **fields):
+        """Attach fields to the span before it closes."""
+        for key, value in fields.items():
+            self._record[key] = _jsonable(value)
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close(error=exc_type.__name__ if exc_type else None)
+        return False
+
+    def close(self, error=None):
+        if self.closed:
+            return
+        self.closed = True
+        if error:
+            self._record["error"] = error
+        self._tracer._close_span(self, self._record, self._start)
+
+
+class _NullSpan:
+    """The span returned by :class:`NullTracer`: every method a no-op."""
+
+    __slots__ = ()
+    closed = True
+
+    def add(self, **fields):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def close(self, error=None):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that records nothing.
+
+    Instrumented code holds a reference to *some* tracer
+    unconditionally; when tracing is off it is this one.  ``enabled``
+    is False so call sites that would pay to *compute* a field (e.g. a
+    BDD size) can skip the work entirely.
+    """
+
+    enabled = False
+    wall = False
+
+    def write_header(self, source, **fields):
+        pass
+
+    def span(self, name, **fields):
+        return _NULL_SPAN
+
+    def event(self, name, **fields):
+        pass
+
+    def metrics(self, name, values):
+        pass
+
+    def summary(self, payload):
+        pass
+
+    def replay(self, records, **extra):
+        pass
+
+    def close(self):
+        pass
+
+
+#: Shared no-op tracer: the default value of every ``tracer`` argument.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Writes nestable spans and point events to a sink.
+
+    Spans are cheap bookkeeping while open and produce exactly one
+    record when they close (so a crash loses only open spans, never
+    corrupts closed ones).  Each record carries a monotonically
+    increasing ``seq`` and the ``seq`` of its enclosing span as
+    ``parent``; with ``wall=True`` (the default) records also carry
+    ``ts`` (seconds since the tracer was created, monotonic clock) and
+    spans a ``dur``.  ``wall=False`` is canonical mode: no clock fields
+    at all, for byte-reproducible traces.
+    """
+
+    enabled = True
+
+    def __init__(self, sink, wall=True):
+        self.sink = sink
+        self.wall = wall
+        self._seq = -1
+        self._stack = []
+        self._t0 = time.monotonic()
+
+    # -- internals ----------------------------------------------------
+
+    def _next_seq(self):
+        self._seq += 1
+        return self._seq
+
+    def _now(self):
+        return round(time.monotonic() - self._t0, 6)
+
+    def _write(self, record):
+        self.sink.write(record)
+
+    def _close_span(self, span, record, start):
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # out-of-order close: drop it from wherever it sits
+            try:
+                self._stack.remove(span)
+            except ValueError:
+                pass
+        if self.wall:
+            record["ts"] = start
+            record["dur"] = round(self._now() - start, 6)
+        self._write(record)
+
+    def _parent_seq(self):
+        return self._stack[-1]._record["seq"] if self._stack else None
+
+    # -- public API ---------------------------------------------------
+
+    def write_header(self, source, **fields):
+        """Write the one trace-header record (call once, first)."""
+        record = {
+            "v": 1,
+            "kind": "trace-header",
+            "source": source,
+            "seq": self._next_seq(),
+        }
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        self._write(record)
+
+    def span(self, name, **fields):
+        """Open a nestable span; use as a context manager."""
+        record = {"kind": "span", "name": name,
+                  "seq": self._next_seq(), "parent": self._parent_seq()}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        span = _Span(self, record, self._now() if self.wall else None)
+        self._stack.append(span)
+        return span
+
+    def event(self, name, **fields):
+        """Write a point event under the current span."""
+        record = {"kind": "event", "name": name,
+                  "seq": self._next_seq(), "parent": self._parent_seq()}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        if self.wall:
+            record["ts"] = self._now()
+        self._write(record)
+
+    def metrics(self, name, values):
+        """Write a metrics sample (a flat name→number mapping)."""
+        record = {"kind": "metrics", "name": name,
+                  "seq": self._next_seq(), "parent": self._parent_seq(),
+                  "values": _jsonable(values)}
+        if self.wall:
+            record["ts"] = self._now()
+        self._write(record)
+
+    def summary(self, payload):
+        """Write the final summary record (campaign accounting)."""
+        record = {"kind": "summary", "seq": self._next_seq(),
+                  "parent": self._parent_seq()}
+        for key, value in payload.items():
+            record[key] = _jsonable(value)
+        self._write(record)
+
+    def replay(self, records, **extra):
+        """Re-emit canonical records from a child tracer.
+
+        Used by the fabric coordinator to splice each worker's shard
+        trace into the merged file: ``seq``/``parent`` are renumbered
+        into this tracer's sequence space, records whose parent was the
+        child's root are re-parented under the current span, and
+        *extra* fields (shard id, worker attribution) are stamped onto
+        every record.  Replaying is deterministic: output depends only
+        on the input records and the current ``seq``.
+        """
+        parent = self._parent_seq()
+        base = self._seq + 1
+        top = -1
+        for record in records:
+            out = dict(record)
+            seq = out.get("seq")
+            if seq is not None:
+                top = max(top, seq)
+                out["seq"] = base + seq
+            child_parent = out.get("parent")
+            out["parent"] = (
+                base + child_parent if child_parent is not None else parent
+            )
+            for key, value in extra.items():
+                out[key] = _jsonable(value)
+            self._write(out)
+        if top >= 0:
+            self._seq = base + top
+
+    def close(self):
+        """Close any open spans (innermost first) and the sink."""
+        while self._stack:
+            self._stack[-1].close(error="unclosed")
+        self.sink.close()

@@ -24,6 +24,16 @@ from repro.faults.status import (
 )
 
 
+def _format_bytes(n):
+    """Human-readable binary size: 1536 → '1.5K', 512 → '512'."""
+    value = float(n)
+    for unit in ("", "K", "M", "G", "T"):
+        if abs(value) < 1024 or unit == "T":
+            text = f"{value:.1f}".rstrip("0").rstrip(".")
+            return f"{text}{unit}"
+        value /= 1024
+
+
 class CoverageReport:
     """Summary of a (possibly multi-stage) fault-simulation run."""
 
@@ -108,14 +118,36 @@ class CoverageReport:
                 f"frames ({r['frames_symbolic']} symbolic, "
                 f"{r['frames_three_valued']} three-valued)"
             )
+            demotions_text = str(r["demotions"])
+            reasons = r.get("demotion_reasons")
+            if r["demotions"] and reasons:
+                demotions_text += " (" + ", ".join(
+                    f"{name} {count}" for name, count in reasons.items()
+                ) + ")"
             lines.append(
                 f"    fallbacks {r['fallbacks']}, demotions "
-                f"{r['demotions']}, gc runs {r['gc_runs']}, "
+                f"{demotions_text}, gc runs {r['gc_runs']}, "
                 f"checkpoints {r['checkpoints_written']}"
             )
             if r.get("resumed_from") is not None:
                 lines.append(
                     f"    resumed from frame {r['resumed_from']}"
+                )
+            pressure = r.get("pressure")
+            if pressure is not None:
+                detail = []
+                for key in ("cache_evictions", "gc_runs",
+                            "reorder_rescues", "nodes_freed"):
+                    if pressure.get(key):
+                        detail.append(f"{key.replace('_', ' ')} "
+                                      f"{pressure[key]}")
+                if pressure.get("peak_rss"):
+                    detail.append(
+                        f"peak rss {_format_bytes(pressure['peak_rss'])}"
+                    )
+                lines.append(
+                    f"  pressure: {pressure.get('events', 0)} events"
+                    + (" (" + ", ".join(detail) + ")" if detail else "")
                 )
             fabric = r.get("fabric")
             if fabric is not None:
@@ -126,10 +158,16 @@ class CoverageReport:
                 )
                 detail = []
                 for key in ("retries", "respawns", "bisections",
-                            "timeouts", "quarantined_by_crash"):
+                            "timeouts", "quarantined_by_crash",
+                            "rss_recycles"):
                     if fabric.get(key):
                         detail.append(f"{key.replace('_', ' ')} "
                                       f"{fabric[key]}")
+                if fabric.get("peak_worker_rss"):
+                    detail.append(
+                        "peak worker rss "
+                        f"{_format_bytes(fabric['peak_worker_rss'])}"
+                    )
                 if fabric.get("resumed_shards"):
                     detail.append(
                         f"resumed shards {fabric['resumed_shards']}"

@@ -55,6 +55,7 @@ from repro.engines.propagate import propagate_fault
 from repro.engines.serial_fault_sim import _check_sot_detection
 from repro.faults.status import BY_3V, QUARANTINED, FaultSet
 from repro.logic import threeval
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.checkpoint import (
     CheckpointWriter,
     circuit_fingerprint,
@@ -80,6 +81,20 @@ from repro.xred.idxred import eliminate_x_redundant
 DEFAULT_CHECKPOINT_EVERY = 25
 
 COMPLETED = "completed"
+
+#: BDD manager counters aggregated across sessions (see
+#: :meth:`repro.bdd.manager.BddManager.stats`); gauges (``num_nodes``,
+#: ``cache_size``) are summed over live sessions only and
+#: ``peak_nodes`` is maxed.
+_BDD_COUNTER_KEYS = (
+    "ite_calls",
+    "nodes_created",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "entries_evicted",
+    "gc_runs",
+)
 
 
 class CampaignResult(HybridFaultSimResult):
@@ -151,6 +166,24 @@ class CampaignResult(HybridFaultSimResult):
             and self.frames_three_valued == 0
         )
 
+    def demotion_reasons(self):
+        """Demotions grouped by why: space / pressure / budget.
+
+        Entries predating reason tracking count as ``unattributed``;
+        demotions whose log entries were lost (e.g. a fabric resume,
+        which restores counts but not logs) count as ``unrecorded`` so
+        the breakdown always sums to :attr:`demotions`.
+        """
+        reasons = {}
+        for entry in self.demotion_log:
+            reason = entry[4] if len(entry) > 4 and entry[4] else None
+            reason = reason or "unattributed"
+            reasons[reason] = reasons.get(reason, 0) + 1
+        recorded = sum(reasons.values())
+        if recorded < self.demotions:
+            reasons["unrecorded"] = self.demotions - recorded
+        return dict(sorted(reasons.items()))
+
     def runtime_summary(self):
         """Accounting dict for reports and JSON export."""
         summary = {
@@ -161,6 +194,7 @@ class CampaignResult(HybridFaultSimResult):
             "fallbacks": self.fallbacks,
             "gc_runs": self.gc_runs,
             "demotions": self.demotions,
+            "demotion_reasons": self.demotion_reasons(),
             "quarantined": len(self.quarantined),
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_path": self.checkpoint_path,
@@ -235,6 +269,8 @@ class Campaign:
         xred=True,
         pre_pass_3v=True,
         pressure=None,
+        tracer=None,
+        metrics=None,
     ):
         if fallback_frames < 1:
             raise ValueError("fallback_frames must be at least 1")
@@ -259,6 +295,26 @@ class Campaign:
         self.circuit_spec = circuit_spec or compiled.circuit.name
         self.xred = xred
         self.pre_pass_3v = pre_pass_3v
+
+        # observability: a live tracer and/or metrics registry turns on
+        # span/event emission, opt-in BDD stat counting on every
+        # session manager, and per-fault effort accounting.  With both
+        # absent the campaign holds NULL_TRACER and every instrumented
+        # site reduces to an attribute check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._observe = self.tracer.enabled or metrics is not None
+        # fault key -> [symbolic frames, three-valued frames, nodes]
+        self._fault_effort = {}
+        # BDD stats folded out of discarded sessions; live sessions are
+        # summed on top at sample time
+        self._bdd_base = {}
+        self._bdd_peak = 2
+        self._root_span = None
+        # counter values at run() start: the trace summary reports
+        # this-run deltas so a resumed campaign still reconciles
+        # exactly against its own trace events
+        self._trace_base = {}
 
         # memory-pressure policy: an explicit PressureConfig (or its
         # JSON dict, as shipped across the shard fabric) wins; absent
@@ -324,6 +380,8 @@ class Campaign:
         rng=None,
         signal_guard=None,
         pressure=None,
+        tracer=None,
+        metrics=None,
     ):
         """Rebuild a campaign from the last snapshot of *checkpoint*.
 
@@ -363,6 +421,8 @@ class Campaign:
             xred=False,
             pre_pass_3v=False,
             pressure=pressure,
+            tracer=tracer,
+            metrics=metrics,
         )
         campaign.frame = checkpoint.frame
         campaign.resumed_from = checkpoint.frame
@@ -409,6 +469,22 @@ class Campaign:
             elapsed_before=self._resume_elapsed,
             nodes_before=self.governor.nodes_allocated,
         )
+        self._trace_base = {
+            "detected": len(self.fault_set.detected()),
+            "demotions": self.ladder_state.demotions,
+            "quarantined": len(self.quarantined),
+            "fallbacks": self.fallbacks,
+            "gc_runs": self.gc_runs,
+            "pressure_events": self.pressure_events,
+        }
+        self._root_span = self.tracer.span(
+            "campaign",
+            circuit=self.circuit_spec,
+            frames=len(self.sequence),
+            faults=len(self.fault_set),
+            ladder=self.ladder.names(),
+            resumed_from=self.resumed_from,
+        )
         try:
             if not self._attached:
                 self._write_header()
@@ -429,21 +505,41 @@ class Campaign:
         try:
             self.governor.check_frame(0)
             if self.xred:
-                eliminate_x_redundant(
-                    self.compiled,
-                    self.sequence,
-                    self.fault_set,
-                    initial_state=self.initial_state,
-                )
+                span = self.tracer.span("xred")
+                before = len(self.fault_set.x_redundant())
+                try:
+                    eliminate_x_redundant(
+                        self.compiled,
+                        self.sequence,
+                        self.fault_set,
+                        initial_state=self.initial_state,
+                    )
+                finally:
+                    # record the delta even on a budget stop: detections
+                    # and eliminations made before the stop stand, and
+                    # the profiler reconciles against them
+                    span.add(
+                        x_redundant=len(self.fault_set.x_redundant()) - before
+                    )
+                    span.close()
             if self.pre_pass_3v:
-                fault_simulate_3v_parallel(
-                    self.compiled,
-                    self.sequence,
-                    self.fault_set,
-                    initial_state=self.initial_state,
-                    frame_hook=self.governor.check_frame,
-                )
+                span = self.tracer.span("prepass-3v")
+                before = len(self.fault_set.detected())
+                try:
+                    fault_simulate_3v_parallel(
+                        self.compiled,
+                        self.sequence,
+                        self.fault_set,
+                        initial_state=self.initial_state,
+                        frame_hook=self.governor.check_frame,
+                    )
+                finally:
+                    span.add(
+                        detected=len(self.fault_set.detected()) - before
+                    )
+                    span.close()
         except BudgetExceeded as exc:
+            self._note_budget_stop(exc)
             return exc.kind
         return None
 
@@ -472,6 +568,7 @@ class Campaign:
             try:
                 self.governor.check_frame(self.frame)
             except BudgetExceeded as exc:
+                self._note_budget_stop(exc)
                 return self._finish(exc.kind)
             stop = self._run_frame(sequence[self.frame])
             self.frame += 1
@@ -537,6 +634,12 @@ class Campaign:
                     # encoding: run this group three-valued for a while
                     self._note_surrender(exc)
                     self.fallbacks += 1
+                    self.tracer.event(
+                        "fallback",
+                        frame=self.frame,
+                        rung=group.rung.strategy,
+                        reason="open-session",
+                    )
                     group.session = None
                     group.interlude_left = self.fallback_frames
                     self._three_valued_step(good_values, group, time)
@@ -544,17 +647,35 @@ class Campaign:
                     stepped_3v = True
                     continue
                 except BudgetExceeded as exc:
+                    self._note_budget_stop(exc)
                     stop = exc.kind
                     group.session = None
                     pending.insert(0, group)
                     continue
             if group.session is not None and group.session.live_records():
+                span = self.tracer.span(
+                    "step",
+                    frame=self.frame,
+                    rung=group.rung.strategy,
+                    mode="symbolic",
+                    live=len(group.session.live_records()),
+                )
                 try:
                     outcome = self._step_symbolic_group(group, vector)
                 except BudgetExceeded as exc:
+                    span.add(outcome="budget")
+                    span.close()
+                    self._note_budget_stop(exc)
                     stop = exc.kind
                     pending.insert(0, group)
                     continue
+                span.add(
+                    outcome=(
+                        outcome if isinstance(outcome, str)
+                        else ("stepped" if outcome else "empty")
+                    )
+                )
+                span.close()
                 if outcome == "interlude":
                     self._three_valued_step(good_values, group, time)
                     group.interlude_left -= 1
@@ -582,8 +703,28 @@ class Campaign:
             start_time=self.frame,
         )
         self.governor.attach_manager(session.manager)
-        if self.governor.fault_frame_nodes is not None:
-            session.fault_cost_hook = self.governor.check_fault_frame_nodes
+        if self._observe:
+            session.manager.enable_stats()
+            session.tracer = self.tracer
+            session.metrics = self.metrics
+        governor_hook = (
+            self.governor.check_fault_frame_nodes
+            if self.governor.fault_frame_nodes is not None
+            else None
+        )
+        if self._observe and governor_hook is not None:
+
+            def cost_hook(record, nodes, _inner=governor_hook):
+                # count the effort first: a budget check that raises
+                # still spent the nodes it is complaining about
+                self._note_fault_cost(record, nodes)
+                _inner(record, nodes)
+
+            session.fault_cost_hook = cost_hook
+        elif self._observe:
+            session.fault_cost_hook = self._note_fault_cost
+        elif governor_hook is not None:
+            session.fault_cost_hook = governor_hook
         if self.pressure is not None:
             # governor hook first, monitor chained after it — relief
             # fires only once budget metering has seen the allocation
@@ -623,8 +764,12 @@ class Campaign:
                     else "space"
                 )
                 if not gc_tried:
-                    session.compact()
+                    freed = session.compact()
                     self.gc_runs += 1
+                    self.tracer.event(
+                        "gc", frame=self.frame, freed=freed,
+                        rung=group.rung.strategy,
+                    )
                     gc_tried = True
                     limit = session.manager.node_limit or 0
                     if session.manager.num_nodes < _GC_RETRY_FRACTION * limit:
@@ -659,6 +804,15 @@ class Campaign:
         except DegradationExhausted:
             self._quarantine(record)
             return
+        if self.tracer.enabled:
+            self.tracer.event(
+                "demote",
+                fault=str(fault_key),
+                frame=self.frame,
+                reason=reason,
+                to=self.groups[new_index].rung.strategy,
+                **{"from": group.rung.strategy},
+            )
         target = self.groups[new_index]
         if target.rung.symbolic and target.session is not None:
             try:
@@ -678,12 +832,20 @@ class Campaign:
         key = record.fault.key()
         self.ladder_state.forget(key)
         self.quarantined.append(key)
+        self.tracer.event("quarantine", fault=str(key), frame=self.frame)
 
     def _begin_interlude(self, group):
         """Whole-group fallback: project to three-valued, drop the
         session, simulate ``fallback_frames`` frames conventionally."""
         self.fallbacks += 1
+        self.tracer.event(
+            "fallback",
+            frame=self.frame,
+            rung=group.rung.strategy,
+            reason="interlude",
+        )
         session = group.session
+        self._fold_session_stats(session)
         records = {}
         diffs = {}
         for record in session.live_records():
@@ -719,6 +881,9 @@ class Campaign:
             entry = dict(event)
             entry["frame"] = self.frame
             self.pressure_log.append(entry)
+        if self.tracer.enabled:
+            payload = {k: v for k, v in event.items() if k != "frame"}
+            self.tracer.event("pressure", frame=self.frame, **payload)
 
     def _note_surrender(self, exc):
         """Record a pressure surrender (only MemoryPressureExceeded)."""
@@ -750,14 +915,195 @@ class Campaign:
         }
 
     # ------------------------------------------------------------------
+    # observability: per-fault effort, BDD stats, metric samples
+    # ------------------------------------------------------------------
+    def _note_fault_cost(self, record, nodes):
+        """Session hook: one symbolic frame stepped for *record*."""
+        effort = self._fault_effort.setdefault(record.fault.key(), [0, 0, 0])
+        effort[0] += 1
+        effort[2] += nodes
+
+    def _note_budget_stop(self, exc):
+        """Trace a campaign-level budget expiry (the stop reason)."""
+        self.tracer.event(
+            "budget",
+            budget_kind=exc.kind,
+            frame=self.frame,
+            observed=exc.observed,
+            limit=exc.limit,
+        )
+
+    def _fold_session_stats(self, session):
+        """Bank a dying session's BDD counters before it is dropped."""
+        if not self._observe:
+            return
+        stats = session.manager.stats()
+        self._bdd_peak = max(self._bdd_peak, stats["peak_nodes"])
+        for key in _BDD_COUNTER_KEYS:
+            self._bdd_base[key] = self._bdd_base.get(key, 0) + stats[key]
+
+    def _bdd_stats(self):
+        """Aggregate BDD stats: banked sessions plus live ones."""
+        totals = {
+            key: self._bdd_base.get(key, 0) for key in _BDD_COUNTER_KEYS
+        }
+        totals["num_nodes"] = 0
+        totals["cache_size"] = 0
+        peak = self._bdd_peak
+        for group in self.groups:
+            if group.session is None:
+                continue
+            stats = group.session.manager.stats()
+            for key in _BDD_COUNTER_KEYS:
+                totals[key] += stats[key]
+            totals["num_nodes"] += stats["num_nodes"]
+            totals["cache_size"] += stats["cache_size"]
+            peak = max(peak, stats["peak_nodes"])
+        totals["peak_nodes"] = peak
+        return totals
+
+    def _sample_metrics(self, name="sample"):
+        """Push current totals into the registry and the trace.
+
+        Everything sampled here is a deterministic function of the
+        simulation (never RSS or wall clock), so canonical traces stay
+        byte-reproducible.
+        """
+        if not self._observe:
+            return
+        stats = self._bdd_stats()
+        detected = len(self.fault_set.detected())
+        live = sum(group.live_count() for group in self.groups)
+        if self.metrics is not None:
+            for key in _BDD_COUNTER_KEYS:
+                self.metrics.set_total("bdd." + key, stats[key])
+            self.metrics.gauge("bdd.num_nodes", stats["num_nodes"])
+            self.metrics.gauge("bdd.cache_size", stats["cache_size"])
+            self.metrics.gauge_max("bdd.peak_nodes", stats["peak_nodes"])
+            self.metrics.gauge("campaign.frame", self.frame)
+            self.metrics.gauge("campaign.live", live)
+            self.metrics.set_total("campaign.detected", detected)
+            self.metrics.set_total(
+                "campaign.frames_symbolic", self.frames_symbolic
+            )
+            self.metrics.set_total(
+                "campaign.frames_three_valued", self.frames_three_valued
+            )
+            self.metrics.set_total("campaign.fallbacks", self.fallbacks)
+            self.metrics.set_total("campaign.gc_runs", self.gc_runs)
+            self.metrics.set_total(
+                "campaign.demotions", self.ladder_state.demotions
+            )
+            self.metrics.set_total(
+                "campaign.quarantined", len(self.quarantined)
+            )
+            self.metrics.set_total(
+                "campaign.pressure_events", self.pressure_events
+            )
+            self.metrics.set_total(
+                "governor.nodes_allocated", self.governor.nodes_allocated
+            )
+        if self.tracer.enabled:
+            self.tracer.metrics(
+                name,
+                {
+                    "campaign.frame": self.frame,
+                    "campaign.live": live,
+                    "campaign.detected": detected,
+                    "bdd.cache_hits": stats["cache_hits"],
+                    "bdd.cache_misses": stats["cache_misses"],
+                    "bdd.nodes_created": stats["nodes_created"],
+                    "bdd.num_nodes": stats["num_nodes"],
+                    "governor.nodes_allocated": (
+                        self.governor.nodes_allocated
+                    ),
+                },
+            )
+
+    def _close_trace(self, stopped):
+        """Fault spans, the root span and the summary record."""
+        if self.tracer.enabled:
+            # one span per fault in the universe — faults classified
+            # before symbolic stepping (x-red, 3v pre-pass) show zero
+            # effort, so the profiler sees the whole population
+            for key in sorted(self._record_of, key=str):
+                effort = self._fault_effort.get(key, (0, 0, 0))
+                record = self._record_of[key]
+                self.tracer.span(
+                    "fault",
+                    fault=str(key),
+                    frames_symbolic=effort[0],
+                    frames_3v=effort[1],
+                    nodes=effort[2],
+                    state=record.status,
+                ).close()
+        if self._root_span is not None:
+            self._root_span.add(stopped=stopped)
+            self._root_span.close()
+            self._root_span = None
+        if not self.tracer.enabled:
+            return
+        base = self._trace_base
+        reasons = {}
+        for entry in self.ladder_state.demotion_log:
+            reason = entry[4] if len(entry) > 4 and entry[4] else None
+            reason = reason or "unattributed"
+            reasons[reason] = reasons.get(reason, 0) + 1
+        summary = {
+            "stopped": stopped,
+            "frames_total": self.frame,
+            "frames_symbolic": self.frames_symbolic,
+            "frames_three_valued": self.frames_three_valued,
+            "fallbacks": self.fallbacks - base.get("fallbacks", 0),
+            "gc_runs": self.gc_runs - base.get("gc_runs", 0),
+            "demotions": (
+                self.ladder_state.demotions - base.get("demotions", 0)
+            ),
+            "demotion_reasons": dict(sorted(reasons.items())),
+            "quarantined": (
+                len(self.quarantined) - base.get("quarantined", 0)
+            ),
+            "checkpoints_written": (
+                self._writer.checkpoints_written if self._writer else 0
+            ),
+            "peak_nodes": self.peak_nodes,
+            "detected": (
+                len(self.fault_set.detected()) - base.get("detected", 0)
+            ),
+            "total_faults": len(self.fault_set),
+            "nodes_allocated": self.governor.nodes_allocated,
+            "pressure_events": (
+                self.pressure_events - base.get("pressure_events", 0)
+            ),
+        }
+        if self.resumed_from is not None:
+            summary["resumed_from"] = self.resumed_from
+        if self.tracer.wall:
+            summary["elapsed"] = round(self.governor.elapsed(), 3)
+        self.tracer.summary(summary)
+
+    # ------------------------------------------------------------------
     # three-valued stepping (interludes and the bottom rung)
     # ------------------------------------------------------------------
     def _three_valued_step(
         self, good_values, group, time, quarantine_on_budget=False
     ):
         records, diffs = group.records, group.diffs
+        span = self.tracer.span(
+            "step",
+            frame=time - 1,
+            rung=group.rung.strategy,
+            mode="3v",
+            live=len(records),
+        )
+        observing = self._observe
         for key in list(records):
             record = records[key]
+            if observing:
+                effort = self._fault_effort.setdefault(
+                    record.fault.key(), [0, 0, 0]
+                )
+                effort[1] += 1
             result = propagate_fault(
                 self.compiled,
                 THREE_VALUED,
@@ -780,8 +1126,19 @@ class Campaign:
                 record.mark_detected(BY_3V, time)
                 self.ladder_state.forget(record.fault.key())
                 del records[key], diffs[key]
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "detect",
+                        fault=str(record.fault.key()),
+                        rung=group.rung.strategy,
+                        frame=time - 1,
+                        by=BY_3V,
+                        acc_nodes=0,
+                    )
             else:
                 diffs[key] = result.next_state_diff
+        span.add(outcome="stepped")
+        span.close()
 
     # ------------------------------------------------------------------
     # checkpoints, progress, finishing
@@ -849,6 +1206,11 @@ class Campaign:
             rng_state=self.rng.getstate() if self.rng else None,
             elapsed=round(self.governor.elapsed(), 6),
         )
+        self.tracer.event(
+            "checkpoint",
+            frame=self.frame,
+            written=self._writer.checkpoints_written,
+        )
 
     def _progress_payload(self):
         counts = self.fault_set.counts()
@@ -865,11 +1227,14 @@ class Campaign:
             "elapsed": round(self.governor.elapsed(), 3),
         }
 
-    def _emit_progress(self):
+    def _emit_progress(self, final=False):
+        self._sample_metrics("final" if final else "sample")
         payload = self._progress_payload()
         if self._writer is not None:
             self._writer.write_progress(payload)
         if self.progress_hook is not None:
+            if self.metrics is not None:
+                payload = dict(payload, metrics=self.metrics.flat())
             self.progress_hook(payload)
 
     def _finish(self, stopped):
@@ -880,7 +1245,8 @@ class Campaign:
                     self.peak_nodes, group.session.manager.peak_nodes
                 )
         self._write_checkpoint()
-        self._emit_progress()
+        self._emit_progress(final=True)
+        self._close_trace(stopped)
         return CampaignResult(
             self.fault_set,
             self.ladder.rungs[0].strategy,
@@ -926,8 +1292,8 @@ def run_campaign(compiled, sequence, fault_set, **kwargs):
     Accepts every :class:`Campaign` keyword (strategy, ladder,
     node_limit, governor, checkpoint_path, checkpoint_every,
     fallback_frames, initial_state, variable_scheme, progress_hook,
-    rng, signal_guard, circuit_spec, xred, pre_pass_3v, pressure) and
-    returns a :class:`CampaignResult`.
+    rng, signal_guard, circuit_spec, xred, pre_pass_3v, pressure,
+    tracer, metrics) and returns a :class:`CampaignResult`.
 
     Passing ``workers`` (or any other shard-fabric keyword:
     ``shard_size``, ``shard_timeout``, ``heartbeat_timeout``,
@@ -971,6 +1337,8 @@ def resume_campaign(
     rng=None,
     signal_guard=None,
     pressure=None,
+    tracer=None,
+    metrics=None,
 ):
     """Resume a campaign from the last snapshot in *checkpoint_path*.
 
@@ -999,5 +1367,7 @@ def resume_campaign(
         rng=rng,
         signal_guard=signal_guard,
         pressure=pressure,
+        tracer=tracer,
+        metrics=metrics,
     )
     return campaign.run()

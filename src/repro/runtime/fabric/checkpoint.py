@@ -65,10 +65,16 @@ class FabricCheckpointWriter(CheckpointWriter):
                 "id": list(shard_id),
                 "indices": list(indices),
                 "states": payload["states"],
+                # the raw trace is display data, potentially thousands
+                # of records per shard — keep it out of the checkpoint
+                # (the bounded metrics snapshot stays, so a resumed run
+                # still folds complete final metrics)
                 "summary": {
                     key: value
                     for key, value in payload.items()
-                    if key not in ("states", "demotion_log", "quarantined")
+                    if key not in (
+                        "states", "demotion_log", "quarantined", "trace"
+                    )
                 },
                 "quarantined": [
                     fault_key_to_json(k) for k in payload["quarantined"]

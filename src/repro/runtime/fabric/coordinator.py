@@ -235,8 +235,13 @@ class ShardFabric:
         config=None,
         resume_from=None,
         pressure=None,
+        tracer=None,
+        metrics=None,
+        progress_hook=None,
     ):
         from repro.bdd.pressure import PressureConfig
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.tracer import NULL_TRACER
         from repro.symbolic.hybrid import DEFAULT_NODE_LIMIT
 
         if isinstance(fault_set, (list, tuple)):
@@ -273,6 +278,20 @@ class ShardFabric:
         if isinstance(pressure, dict):
             pressure = PressureConfig.from_json(pressure)
         self.pressure = pressure
+
+        # observability: workers trace into canonical (wall-free)
+        # in-memory sinks and ship records + metric snapshots home in
+        # result payloads; the coordinator replays them into *tracer*
+        # sorted by shard id (deterministic bytes) and folds snapshots
+        # into *metrics*.  Heartbeat metric deltas feed only the live
+        # progress display, never the merged result.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.progress_hook = progress_hook
+        self._observe = self.tracer.enabled or metrics is not None
+        self._beat_registry = MetricsRegistry() if self._observe else None
+        self._shard_workers = {}  # shard_id -> worker_id attribution
+        self._resumed_shard_ids = set()
 
         self._faults = [record.fault for record in fault_set]
         self._rng = random.Random(self.config.seed)
@@ -332,6 +351,7 @@ class ShardFabric:
             ]
             self._apply_payload(shard_id, record["indices"], payload,
                                 checkpointed=True)
+            self._resumed_shard_ids.add(shard_id)
             self.accounting.resumed_shards += 1
             next_ordinal = max(next_ordinal, shard_id[0] + 1)
         return checkpoint.covered_indices(), next_ordinal
@@ -410,6 +430,7 @@ class ShardFabric:
             "pressure": (
                 self.pressure.to_json() if self.pressure is not None else None
             ),
+            "observe": self._observe,
         }
 
     def _spawn_worker(self, ctx, init):
@@ -554,6 +575,15 @@ class ShardFabric:
             "quarantine", shard=shard_id_text(shard.shard_id),
             fault=str(record.fault.key()),
         )
+        # coordinator-side quarantine: no worker trace exists for this
+        # fault, so emit the event here to keep the merged trace's
+        # quarantine count reconcilable with the result
+        self.tracer.event(
+            "quarantine",
+            fault=str(record.fault.key()),
+            shard=shard_id_text(shard.shard_id),
+            reason="crash",
+        )
 
     def _on_worker_death(self, handle, reason):
         self._handles.pop(handle.worker_id, None)
@@ -608,11 +638,13 @@ class ShardFabric:
         )
         if indices is None:
             return
+        self._shard_workers.setdefault(shard_id, handle.worker_id)
         self._apply_payload(shard_id, indices, payload)
         self._emit(
             "result", worker_id=handle.worker_id,
             shard=shard_id_text(shard_id), stopped=payload["stopped"],
         )
+        self._emit_progress()
 
     def _find_pending_indices(self, shard_id):
         for position, shard in enumerate(self._pending):
@@ -702,18 +734,21 @@ class ShardFabric:
         if kind == "ready":
             handle.last_beat = _time.monotonic()
         elif kind == "heartbeat":
-            _, worker_id, shard_id, frame, rss = message
+            _, worker_id, shard_id, frame, rss, metrics_delta = message
             handle.last_beat = _time.monotonic()
             if rss is not None:
                 handle.last_rss = rss
                 self.accounting.peak_worker_rss = max(
                     self.accounting.peak_worker_rss, rss
                 )
+            if self._beat_registry is not None:
+                self._beat_registry.fold_delta(metrics_delta)
             self._emit(
                 "heartbeat", worker_id=worker_id,
                 pid=handle.process.pid,
                 shard=shard_id_text(shard_id), frame=frame, rss=rss,
             )
+            self._emit_progress(frame=frame)
         elif kind == "result":
             _, _worker_id, shard_id, payload = message
             self._accept_result(handle, shard_id, payload)
@@ -781,6 +816,8 @@ class ShardFabric:
 
     def _run_inline(self):
         """``workers=0``: same sharding/merge path, no processes."""
+        from repro.runtime.fabric.worker import _make_observability
+
         while self._pending:
             self._check_stop_conditions()
             if self._draining:
@@ -802,22 +839,30 @@ class ShardFabric:
                 rss_budget=opts["rss_budget"],
                 cache_budget=opts["cache_budget"],
             )
+            tracer, registry = _make_observability(
+                {"observe": self._observe}
+            )
             try:
                 payload = run_shard(
                     self.compiled, self._faults, self.sequence,
                     shard.indices, self._campaign_kwargs(),
-                    governor=governor,
+                    governor=governor, tracer=tracer, metrics=registry,
                 )
             except Exception as exc:
                 shard.not_before = 0.0  # no backoff sleeps inline
                 self._record_crash(shard, f"{type(exc).__name__}: {exc}")
                 continue
             self._apply_payload(shard.shard_id, shard.indices, payload)
+            if self._beat_registry is not None:
+                # no heartbeats inline: feed the progress display from
+                # the completed shard's snapshot instead
+                self._beat_registry.fold_snapshot(payload.get("metrics"))
             self._emit(
                 "result", worker_id=None,
                 shard=shard_id_text(shard.shard_id),
                 stopped=payload["stopped"],
             )
+            self._emit_progress()
 
     def _campaign_kwargs(self):
         return {
@@ -834,6 +879,93 @@ class ShardFabric:
                 self.pressure.to_json() if self.pressure is not None else None
             ),
         }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _emit_progress(self, frame=None):
+        if self.progress_hook is None:
+            return
+        payload = {
+            "shards_done": self.accounting.shards_completed,
+            "shards": self.accounting.shards_planned,
+            "workers": len(self._handles) or None,
+            "frame": frame,
+        }
+        if self._beat_registry is not None:
+            payload["metrics"] = self._beat_registry.flat()
+        self.progress_hook(payload)
+
+    def _write_observability(self, stopped, merged):
+        """Merged trace, final metrics and the top-level summary.
+
+        Shards are replayed in shard-id order with worker attribution
+        stamped onto every record, so two runs with the same seeds
+        produce byte-identical merged traces (canonical ``wall=False``
+        worker records, deterministic coordinator ``seq`` numbering).
+        """
+        if not self._observe:
+            return
+        from repro.obs.metrics import MetricsRegistry
+
+        final_registry = MetricsRegistry()
+        for shard_id in sorted(self._results):
+            final_registry.fold_snapshot(
+                self._results[shard_id].get("metrics")
+            )
+        if self.metrics is not None:
+            self.metrics.fold_snapshot(final_registry.snapshot())
+        if not self.tracer.enabled:
+            return
+        truncated = 0
+        for shard_id in sorted(self._results):
+            payload = self._results[shard_id]
+            worker = self._shard_workers.get(shard_id)
+            dropped = payload.get("trace_dropped", 0) or 0
+            truncated += dropped
+            span = self.tracer.span(
+                "shard",
+                shard=shard_id_text(shard_id),
+                worker=worker,
+                faults=len(self._shard_records.get(shard_id, ())),
+                stopped=payload.get("stopped"),
+                resumed=shard_id in self._resumed_shard_ids,
+                trace_dropped=dropped,
+            )
+            extra = {"shard": shard_id_text(shard_id)}
+            if worker is not None:
+                extra["worker"] = worker
+            self.tracer.replay(payload.get("trace") or (), **extra)
+            span.close()
+        self.tracer.event("fabric", **self.accounting.to_json())
+        flat = final_registry.flat()
+        if flat:
+            self.tracer.metrics("final", flat)
+        summary = {
+            "stopped": stopped,
+            "frames_total": merged["frames_total"],
+            "frames_symbolic": merged["frames_symbolic"],
+            "frames_three_valued": merged["frames_three_valued"],
+            "fallbacks": merged["fallbacks"],
+            "gc_runs": merged["gc_runs"],
+            "demotions": merged["demotions"],
+            "quarantined": merged["quarantined"],
+            "detected": len(self.fault_set.detected()),
+            "total_faults": len(self.fault_set),
+            "peak_nodes": merged["peak_nodes"],
+            "pressure_events": merged["pressure_events"],
+            "shards": self.accounting.shards_completed,
+            "workers": self.accounting.workers,
+        }
+        if self.accounting.resumed_shards:
+            # resumed shards contribute counters but no trace records;
+            # drop the reconcilable keys rather than publish totals the
+            # trace cannot substantiate
+            for key in ("fallbacks", "gc_runs", "demotions",
+                        "quarantined", "detected", "pressure_events"):
+                summary.pop(key)
+            summary["resumed_shards"] = self.accounting.resumed_shards
+        self.tracer.summary(summary)
 
     # ------------------------------------------------------------------
     # merging
@@ -895,6 +1027,22 @@ class ShardFabric:
             stopped = COMPLETED
 
         fabric = self.accounting.to_json()
+        self._write_observability(
+            stopped,
+            {
+                "frames_total": frames_total,
+                "frames_symbolic": frames_symbolic,
+                "frames_three_valued": frames_three_valued,
+                "fallbacks": fallbacks,
+                "gc_runs": gc_runs,
+                "demotions": demotions,
+                "quarantined": len(quarantined),
+                "peak_nodes": peak_nodes,
+                "pressure_events": (
+                    pressure["events"] if pressure else 0
+                ),
+            },
+        )
         return CampaignResult(
             self.fault_set,
             self.ladder.rungs[0].strategy,
@@ -956,7 +1104,7 @@ def run_sharded_campaign(compiled, sequence, fault_set, **kwargs):
     """
     # knobs of the in-process campaign that have no fabric equivalent:
     # the fabric checkpoints every completed shard, not every N frames
-    for name in ("checkpoint_every", "progress_hook", "rng"):
+    for name in ("checkpoint_every", "rng"):
         kwargs.pop(name, None)
     config = kwargs.pop("config", None)
     if config is None:

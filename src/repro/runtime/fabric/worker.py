@@ -6,11 +6,15 @@ ordinary in-process :class:`~repro.runtime.campaign.Campaign` over just
 that shard's faults, and reports back:
 
 * ``("ready", worker_id, pid)`` — once, after start-up,
-* ``("heartbeat", worker_id, shard_id, frame, rss)`` — at frame
-  boundaries, throttled to ``heartbeat_interval`` seconds; the
-  coordinator uses the gaps to detect hung workers and the reported
-  resident set size (bytes, None off Linux) to recycle workers that
-  bloat past the configured per-worker RSS cap,
+* ``("heartbeat", worker_id, shard_id, frame, rss, metrics_delta)`` —
+  at frame boundaries, throttled to ``heartbeat_interval`` seconds;
+  the coordinator uses the gaps to detect hung workers and the
+  reported resident set size (bytes, None off Linux) to recycle
+  workers that bloat past the configured per-worker RSS cap.  When the
+  init payload requests observability (``observe=True``) the beat also
+  piggybacks a :meth:`~repro.obs.metrics.MetricsRegistry.flush_delta`
+  so the coordinator's live progress display tracks shard internals
+  without extra pipe traffic,
 * ``("result", worker_id, shard_id, payload)`` — the per-fault
   verdicts and counters of a finished shard,
 * ``("error", worker_id, shard_id, message)`` — a Python-level
@@ -43,6 +47,10 @@ from repro.runtime.memory import RssSampler
 #: exit code of a chaos-injected crash (mirrors a SIGKILL-style death)
 CHAOS_EXIT_CODE = 139
 
+#: per-shard cap on trace records shipped back in the result payload;
+#: overflow is counted (``trace_dropped``) rather than silently lost
+TRACE_RECORD_CAP = 4096
+
 
 class WorkerGovernor(ResourceGovernor):
     """A resource governor that also emits heartbeats.
@@ -71,7 +79,7 @@ class WorkerGovernor(ResourceGovernor):
 
 
 def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
-              governor=None):
+              governor=None, tracer=None, metrics=None):
     """Run one shard in-process and return its result payload.
 
     *indices* select the shard's faults out of the canonical *faults*
@@ -79,12 +87,19 @@ def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
     is the single execution path shared by pooled workers and the
     fabric's inline (``workers=0``) mode, so both are tested by the
     same code.
+
+    *tracer* (a canonical ``wall=False`` :class:`~repro.obs.tracer.
+    Tracer` over a :class:`~repro.obs.tracer.ListSink`) and *metrics*
+    (a fresh :class:`~repro.obs.metrics.MetricsRegistry`) are per-shard
+    observability channels: their contents ride home in the payload as
+    ``"trace"`` / ``"trace_dropped"`` / ``"metrics"`` so the
+    coordinator can merge them deterministically.
     """
     from repro.runtime.campaign import Campaign
 
     fault_set = FaultSet([faults[i] for i in indices])
     if not indices:
-        return {
+        payload = {
             "states": [],
             "stopped": "completed",
             "frames_total": 0,
@@ -102,15 +117,19 @@ def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
             "pressure": None,
             "peak_rss": 0,
         }
+        _attach_observability(payload, tracer, metrics)
+        return payload
     campaign = Campaign(
         compiled,
         sequence,
         fault_set,
         governor=governor,
+        tracer=tracer,
+        metrics=metrics,
         **campaign_kwargs,
     )
     result = campaign.run()
-    return {
+    payload = {
         "states": [record.state_to_json() for record in fault_set],
         "stopped": result.stopped,
         "frames_total": result.frames_total,
@@ -128,6 +147,29 @@ def run_shard(compiled, faults, sequence, indices, campaign_kwargs,
         "pressure": result.pressure,
         "peak_rss": campaign.governor.peak_rss,
     }
+    _attach_observability(payload, tracer, metrics)
+    return payload
+
+
+def _attach_observability(payload, tracer, metrics):
+    """Pack the shard's trace records and metrics into the payload."""
+    if metrics is not None:
+        payload["metrics"] = metrics.snapshot()
+    if tracer is not None:
+        tracer.close()  # flush any stray open spans into the sink
+        sink = tracer.sink
+        payload["trace"] = list(getattr(sink, "records", ()) or ())
+        payload["trace_dropped"] = getattr(sink, "dropped", 0)
+
+
+def _make_observability(init):
+    """(tracer, metrics) for one shard run, or (None, None)."""
+    if not init.get("observe"):
+        return None, None
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import ListSink, Tracer
+
+    return Tracer(ListSink(TRACE_RECORD_CAP), wall=False), MetricsRegistry()
 
 
 def _campaign_kwargs(init, opts):
@@ -184,9 +226,16 @@ def worker_main(worker_id, conn, init):
             _apply_chaos(
                 chaos, {faults[i].key() for i in indices}
             )
+            tracer, registry = _make_observability(init)
 
-            def heartbeat(frame, rss=None, _shard_id=shard_id):
-                conn.send(("heartbeat", worker_id, _shard_id, frame, rss))
+            def heartbeat(frame, rss=None, _shard_id=shard_id,
+                          _registry=registry):
+                delta = (
+                    _registry.flush_delta() if _registry is not None else None
+                )
+                conn.send(
+                    ("heartbeat", worker_id, _shard_id, frame, rss, delta)
+                )
 
             governor = WorkerGovernor(
                 heartbeat,
@@ -202,6 +251,7 @@ def worker_main(worker_id, conn, init):
                 payload = run_shard(
                     compiled, faults, sequence, indices,
                     _campaign_kwargs(init, opts), governor=governor,
+                    tracer=tracer, metrics=registry,
                 )
             except Exception as exc:  # deterministic shard failure
                 conn.send(

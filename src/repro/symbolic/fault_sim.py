@@ -25,6 +25,7 @@ from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
 from repro.engines.propagate import propagate_fault
 from repro.faults.status import UNDETECTED, FaultSet
 from repro.logic import threeval
+from repro.obs.tracer import NULL_TRACER
 from repro.symbolic.strategies import FrameContext, get_strategy
 
 
@@ -72,6 +73,11 @@ class SymbolicSession:
         # offers it the frame boundary as a safe point for GC and
         # reorder rescue
         self.pressure = None
+        # observability: the campaign swaps in a live tracer/registry
+        # when --trace/--metrics are requested; detections then emit
+        # events carrying the detection-function BDD size
+        self.tracer = NULL_TRACER
+        self.metrics = None
 
     # ------------------------------------------------------------------
     def _state_bit_to_bdd(self, dff_idx, value3v):
@@ -171,10 +177,12 @@ class SymbolicSession:
             return 0
         new_manager, new_roots, var_map = found
         new_manager.alloc_hook = manager.alloc_hook
-        # the session-lifetime peak survives the manager swap
+        # the session-lifetime peak and operation stats survive the
+        # manager swap (carrying also re-arms opt-in stat counting)
         new_manager.peak_nodes = max(
             new_manager.peak_nodes, manager.peak_nodes
         )
+        new_manager.carry_stats_from(manager)
         self.manager = new_manager
         self.algebra = BddAlgebra(new_manager)
         self.state_vars = RemappedStateVariables(state_vars, var_map)
@@ -221,7 +229,9 @@ class SymbolicSession:
         )
         observe_silent = self.strategy.needs_y_variables
 
+        observing = self.tracer.enabled or self.metrics is not None
         detected = []
+        detect_sizes = []
         new_store = {}
         for key, (record, state_diff, acc) in self._store.items():
             nodes_before = self.manager.num_nodes
@@ -247,6 +257,13 @@ class SymbolicSession:
                 )
             if hit:
                 detected.append(record)
+                if observing:
+                    size = (
+                        self.manager.size(acc) if acc is not None else 0
+                    )
+                    detect_sizes.append(size)
+                    if self.metrics is not None:
+                        self.metrics.observe("bdd.detect_fn_nodes", size)
             else:
                 new_store[key] = [record, result.next_state_diff, acc]
 
@@ -255,10 +272,19 @@ class SymbolicSession:
         self._store = new_store
         self.good_state = next_state_of(compiled, good_values)
         if mark_detected:
-            for record in detected:
+            for position, record in enumerate(detected):
                 # X-redundant faults may well be symbolically detectable
                 # — that is the whole point of the MOT strategies.
                 record.mark_detected(self.strategy.detected_by, self.time)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "detect",
+                        fault=str(record.fault.key()),
+                        rung=self.strategy.name,
+                        frame=self.time,
+                        by="symbolic",
+                        acc_nodes=detect_sizes[position],
+                    )
         return detected
 
     def clone(self):
@@ -284,8 +310,11 @@ class SymbolicSession:
         other.time = self.time
         other.fault_cost_hook = self.fault_cost_hook
         # pressure relief (GC / rescue) would invalidate the original;
-        # clones run unmonitored
+        # clones run unmonitored — and untraced, so trial steps of the
+        # test generator never pollute the trace
         other.pressure = None
+        other.tracer = NULL_TRACER
+        other.metrics = None
         return other
 
     # ------------------------------------------------------------------

@@ -323,3 +323,76 @@ def test_resume_missing_checkpoint_exits_2(capsys):
     )
     assert code == 2
     assert "checkpoint" in err
+
+
+def test_campaign_trace_and_metrics_flags(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    metrics = tmp_path / "metrics.json"
+    code, out, err = run_err(
+        capsys, "campaign", "s27", "--length", "16", "--seed", "3",
+        "--trace", str(trace), "--metrics", str(metrics),
+    )
+    assert code == 0
+    assert "campaign: completed" in out
+    from repro.obs.schema import validate_trace_file
+
+    assert validate_trace_file(trace) > 0
+    first = json.loads(trace.read_text().splitlines()[0])
+    assert first["kind"] == "trace-header"
+    assert first["source"] == "campaign"
+    assert first["circuit"] == "s27"
+    payload = json.loads(metrics.read_text())
+    assert payload["counters"]
+    assert "wrote metrics" in err
+
+
+def test_profile_command_reconciles(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    code, _out = run(
+        capsys, "campaign", "s27", "--length", "16", "--seed", "3",
+        "--trace", str(trace),
+    )
+    assert code == 0
+    code, out = run(capsys, "profile", str(trace))
+    assert code == 0
+    assert "reconciliation: OK" in out
+    assert "hot faults" in out
+    code, out = run(capsys, "profile", str(trace), "--json", "--top", "3")
+    assert code == 0
+    profile = json.loads(out)
+    assert profile["reconciliation"]["ok"] is True
+    assert len(profile["hot_faults"]) <= 3
+
+
+def test_profile_rejects_malformed_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"kind": "mystery"}\n')
+    code, _out, err = run_err(capsys, "profile", str(bad))
+    assert code == 2
+    assert "trace line 1" in err
+
+
+def test_simulate_trace_routes_through_campaign(tmp_path, capsys):
+    trace = tmp_path / "sim.jsonl"
+    code, out = run(
+        capsys, "simulate", "s27", "--length", "16",
+        "--trace", str(trace),
+    )
+    assert code == 0
+    assert "campaign: completed" in out
+    assert trace.exists()
+
+
+def test_sharded_cli_trace_is_reproducible(tmp_path, capsys):
+    traces = []
+    for name in ("a.jsonl", "b.jsonl"):
+        path = tmp_path / name
+        code, _out = run(
+            capsys, "campaign", "s27", "--length", "16", "--seed", "3",
+            "--workers", "0", "--trace", str(path),
+        )
+        assert code == 0
+        traces.append(path.read_bytes())
+    assert traces[0] == traces[1]
+    first = json.loads(traces[0].decode().splitlines()[0])
+    assert first["source"] == "fabric"

@@ -1,0 +1,162 @@
+"""Tracing must observe without perturbing.
+
+Two guarantees, both load-bearing:
+
+* **transparency** — a campaign with a tracer, a metrics registry and
+  a progress hook attached classifies every fault identically to a
+  bare run and reports identical accounting (hypothesis property over
+  random circuits),
+* **honesty** — the post-hoc profiler's trace-derived totals reconcile
+  *exactly* with the returned :class:`CampaignResult`; a trace that
+  disagrees with the campaign's own accounting is a bug, not noise.
+"""
+
+import random as random_module
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.obs import MetricsRegistry
+from repro.obs.profile import profile_trace
+from repro.obs.schema import validate_trace_file
+from repro.obs.tracer import JsonlSink, ListSink, Tracer
+from repro.runtime import ResourceGovernor, run_campaign
+from repro.sequences.random_seq import random_sequence_for
+from tests.util import random_circuit
+
+ACCOUNTING_FIELDS = (
+    "stopped", "frames_total", "frames_symbolic", "frames_three_valued",
+    "fallbacks", "gc_runs", "demotions", "quarantined", "peak_nodes",
+    "exact", "rung_population",
+)
+
+
+@st.composite
+def circuit_and_sequence(draw, length=6):
+    seed = draw(st.integers(0, 10_000))
+    compiled = compile_circuit(
+        random_circuit(
+            seed,
+            num_pis=draw(st.integers(1, 3)),
+            num_dffs=draw(st.integers(1, 3)),
+            num_gates=draw(st.integers(3, 12)),
+            num_pos=draw(st.integers(1, 2)),
+        )
+    )
+    rng = random_module.Random(draw(st.integers(0, 10_000)))
+    sequence = [
+        tuple(rng.randrange(2) for _ in compiled.pis)
+        for _ in range(length)
+    ]
+    return compiled, sequence
+
+
+def signature(fault_set):
+    return [
+        (r.fault.key(), r.status, r.detected_by, r.detected_at)
+        for r in fault_set
+    ]
+
+
+def accounting(result):
+    summary = result.runtime_summary()
+    return {key: summary[key] for key in ACCOUNTING_FIELDS}
+
+
+@given(circuit_and_sequence())
+@settings(max_examples=20, deadline=None)
+def test_tracing_does_not_perturb_the_campaign(pair):
+    compiled, sequence = pair
+    faults, _ = collapse_faults(compiled)
+
+    bare = FaultSet(faults)
+    bare_result = run_campaign(compiled, sequence, bare, strategy="MOT")
+
+    observed = FaultSet(faults)
+    progress = []
+    observed_result = run_campaign(
+        compiled, sequence, observed, strategy="MOT",
+        tracer=Tracer(ListSink(), wall=False),
+        metrics=MetricsRegistry(),
+        progress_hook=progress.append,
+    )
+
+    assert signature(observed) == signature(bare)
+    assert accounting(observed_result) == accounting(bare_result)
+    assert progress  # the hook actually fired
+
+
+def run_traced(tmp_path, name, **kwargs):
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    fault_set = FaultSet(faults)
+    sequence = random_sequence_for(compiled, 16, seed=3)
+    path = tmp_path / name
+    tracer = Tracer(JsonlSink(path), wall=False)
+    tracer.write_header("campaign", circuit="s27", frames=len(sequence))
+    result = run_campaign(
+        compiled, sequence, fault_set, strategy="MOT",
+        tracer=tracer, **kwargs,
+    )
+    tracer.close()
+    return path, result, fault_set
+
+
+def test_profile_reconciles_exactly_with_result(tmp_path):
+    path, result, fault_set = run_traced(tmp_path, "quiet.jsonl")
+    validate_trace_file(path)
+    profile = profile_trace(path)
+    assert profile["reconciliation"] == {"ok": True, "mismatches": {}}
+    totals = profile["totals"]
+    assert totals["detected"] == len(fault_set.detected())
+    assert totals["demotions"] == result.demotions
+    assert totals["fallbacks"] == result.fallbacks
+    assert totals["gc_runs"] == result.gc_runs
+    assert totals["quarantined"] == len(result.quarantined)
+    assert totals["checkpoints_written"] == result.checkpoints_written
+    summary = profile["summary"]
+    assert summary["stopped"] == result.stopped
+    assert summary["frames_total"] == result.frames_total
+    assert summary["total_faults"] == len(fault_set)
+
+
+def test_profile_reconciles_a_stressed_run(tmp_path):
+    """Per-fault budgets force demotions; the trace must still add up."""
+    path, result, fault_set = run_traced(
+        tmp_path, "stressed.jsonl",
+        governor=ResourceGovernor(fault_frame_nodes=3),
+        node_limit=300_000,
+    )
+    assert result.demotions > 0  # the stress actually happened
+    validate_trace_file(path)
+    profile = profile_trace(path)
+    assert profile["reconciliation"] == {"ok": True, "mismatches": {}}
+    assert profile["totals"]["demotions"] == result.demotions
+    # every demotion appears on the timeline with its reason
+    demotes = [e for e in profile["timeline"] if e["event"] == "demote"]
+    assert len(demotes) == result.demotions
+    assert all(e.get("reason") for e in demotes)
+    reasons = {}
+    for entry in demotes:
+        reasons[entry["reason"]] = reasons.get(entry["reason"], 0) + 1
+    assert reasons == result.demotion_reasons()
+
+
+def test_fault_spans_cover_the_whole_universe(tmp_path):
+    path, result, fault_set = run_traced(tmp_path, "faults.jsonl")
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    fault_spans = [
+        r for r in records
+        if r.get("kind") == "span" and r.get("name") == "fault"
+    ]
+    assert len(fault_spans) == len(fault_set)
+    by_fault = {r["fault"]: r for r in fault_spans}
+    for record in fault_set:
+        span = by_fault[str(record.fault.key())]
+        assert span["state"] == record.status

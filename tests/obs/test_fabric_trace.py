@@ -1,0 +1,109 @@
+"""Fabric observability: deterministic merged traces, folded metrics.
+
+The merged trace of a sharded campaign must be *byte-identical* across
+repeated runs with the same seeds — worker traces are canonical
+(``wall=False``), the coordinator replays them sorted by shard id, and
+nothing nondeterministic (clocks, pids, pool scheduling) may leak into
+a record.  Inline mode (``workers=0``) runs the full shard/merge path
+deterministically in-process, which is exactly what the guarantee is
+about; a pooled run must still *reconcile*, merely not byte-match the
+inline file ordering.
+"""
+
+import json
+
+from repro.circuit.compile import compile_circuit
+from repro.circuits import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.obs import MetricsRegistry
+from repro.obs.profile import profile_trace
+from repro.obs.schema import validate_trace_file
+from repro.obs.tracer import JsonlSink, Tracer
+from repro.runtime.fabric import run_sharded_campaign
+from repro.sequences.random_seq import random_sequence_for
+
+
+def run_fabric(path, workers=0, shard_size=8):
+    compiled = compile_circuit(s27())
+    faults, _ = collapse_faults(compiled)
+    fault_set = FaultSet(faults)
+    sequence = random_sequence_for(compiled, 16, seed=3)
+    tracer = Tracer(JsonlSink(path), wall=False)
+    tracer.write_header("fabric", circuit="s27", frames=len(sequence),
+                        workers=workers)
+    metrics = MetricsRegistry()
+    result = run_sharded_campaign(
+        compiled, sequence, fault_set,
+        workers=workers, shard_size=shard_size,
+        tracer=tracer, metrics=metrics,
+    )
+    tracer.close()
+    return result, fault_set, metrics
+
+
+def test_merged_trace_is_byte_identical_across_runs(tmp_path):
+    first = tmp_path / "run1.jsonl"
+    second = tmp_path / "run2.jsonl"
+    result_a, faults_a, _ = run_fabric(first)
+    result_b, faults_b, _ = run_fabric(second)
+    assert first.read_bytes() == second.read_bytes()
+    assert [r.status for r in faults_a] == [r.status for r in faults_b]
+    assert result_a.stopped == result_b.stopped == "completed"
+
+
+def test_merged_trace_validates_and_reconciles(tmp_path):
+    path = tmp_path / "merged.jsonl"
+    result, fault_set, _ = run_fabric(path)
+    validate_trace_file(path)
+    profile = profile_trace(path)
+    assert profile["source"] == "fabric"
+    assert profile["reconciliation"] == {"ok": True, "mismatches": {}}
+    assert profile["totals"]["detected"] == len(fault_set.detected())
+    assert profile["summary"]["total_faults"] == len(fault_set)
+    assert profile["fabric"] is not None  # accounting event present
+
+
+def test_shard_spans_attribute_every_record(tmp_path):
+    path = tmp_path / "merged.jsonl"
+    run_fabric(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    shard_spans = [
+        r for r in records
+        if r.get("kind") == "span" and r.get("name") == "shard"
+    ]
+    assert shard_spans
+    # shard spans appear sorted by shard id (deterministic merge order)
+    ids = [r["shard"] for r in shard_spans]
+    assert ids == sorted(ids)
+    shard_seqs = {r["seq"] for r in shard_spans}
+    # every replayed worker record carries its shard id and hangs off a
+    # shard span (directly or through a replayed ancestor)
+    replayed = [r for r in records if "shard" in r and r not in shard_spans]
+    assert replayed
+    by_seq = {r["seq"]: r for r in records if "seq" in r}
+    for record in replayed:
+        node = record
+        while node.get("parent") is not None \
+                and node["seq"] not in shard_seqs:
+            node = by_seq[node["parent"]]
+        assert node["seq"] in shard_seqs or node.get("name") == "shard"
+
+
+def test_pooled_run_reconciles_and_matches_inline_metrics(tmp_path):
+    inline_path = tmp_path / "inline.jsonl"
+    pooled_path = tmp_path / "pooled.jsonl"
+    inline_result, inline_faults, inline_metrics = run_fabric(inline_path)
+    pooled_result, pooled_faults, pooled_metrics = run_fabric(
+        pooled_path, workers=2
+    )
+    assert [r.status for r in pooled_faults] == [
+        r.status for r in inline_faults
+    ]
+    validate_trace_file(pooled_path)
+    profile = profile_trace(pooled_path)
+    assert profile["reconciliation"] == {"ok": True, "mismatches": {}}
+    # final folded metrics come from shard result payloads (not the
+    # display-only heartbeat stream), so pool scheduling cannot skew them
+    assert pooled_metrics.snapshot() == inline_metrics.snapshot()

@@ -1,0 +1,101 @@
+"""MetricsRegistry unit tests: counters, gauges, histograms, deltas."""
+
+from repro.obs.metrics import MetricsRegistry, _bucket
+
+
+def test_counters_and_totals():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    reg.inc("a", 4)
+    reg.set_total("b", 100)
+    assert reg.counter("a") == 5
+    assert reg.counter("b") == 100
+    assert reg.counter("missing", -1) == -1
+
+
+def test_gauges_last_write_and_max():
+    reg = MetricsRegistry()
+    reg.gauge("level", 7)
+    reg.gauge("level", 3)  # last write wins locally
+    reg.gauge_max("peak", 10)
+    reg.gauge_max("peak", 4)  # lower: ignored
+    flat = reg.flat()
+    assert flat["level"] == 3
+    assert flat["peak"] == 10
+
+
+def test_histogram_power_of_two_buckets():
+    assert [_bucket(v) for v in (0, 1, 2, 3, 4, 5, 1023)] == [
+        0, 1, 2, 4, 4, 8, 1024,
+    ]
+    reg = MetricsRegistry()
+    for value in (1, 2, 3, 900):
+        reg.observe("sizes", value)
+    hist = reg.snapshot()["histograms"]["sizes"]
+    assert hist == {"1": 1, "2": 1, "4": 1, "1024": 1}
+
+
+def test_snapshot_is_sorted_and_json_ready():
+    import json
+
+    reg = MetricsRegistry()
+    reg.inc("z")
+    reg.inc("a")
+    reg.gauge("m", 1)
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["a", "z"]
+    json.dumps(snap)  # must not raise
+
+
+def test_flush_delta_sends_only_changes():
+    reg = MetricsRegistry()
+    reg.inc("c", 3)
+    reg.gauge("g", 5)
+    first = reg.flush_delta()
+    assert first == {"counters": {"c": 3}, "gauges": {"g": 5}}
+    assert reg.flush_delta() is None  # nothing changed
+    reg.inc("c", 2)
+    assert reg.flush_delta() == {"counters": {"c": 2}, "gauges": {}}
+
+
+def test_fold_delta_adds_counters_maxes_gauges():
+    coordinator = MetricsRegistry()
+    coordinator.fold_delta({"counters": {"c": 3}, "gauges": {"g": 5}})
+    coordinator.fold_delta({"counters": {"c": 2}, "gauges": {"g": 4}})
+    coordinator.fold_delta(None)  # a quiet heartbeat
+    flat = coordinator.flat()
+    assert flat["c"] == 5
+    assert flat["g"] == 5
+
+
+def test_fold_snapshot_merges_histograms():
+    a = MetricsRegistry()
+    a.inc("n", 2)
+    a.observe("h", 3)
+    b = MetricsRegistry()
+    b.inc("n", 1)
+    b.observe("h", 3)
+    b.observe("h", 100)
+    merged = MetricsRegistry()
+    merged.fold_snapshot(a.snapshot())
+    merged.fold_snapshot(b.snapshot())
+    snap = merged.snapshot()
+    assert snap["counters"]["n"] == 3
+    assert snap["histograms"]["h"] == {"4": 2, "128": 1}
+
+
+def test_fold_order_independent_for_final_totals():
+    parts = []
+    for i in range(3):
+        reg = MetricsRegistry()
+        reg.inc("c", i + 1)
+        reg.gauge("g", 10 - i)
+        parts.append(reg.snapshot())
+
+    def fold(ordering):
+        out = MetricsRegistry()
+        for index in ordering:
+            out.fold_snapshot(parts[index])
+        return out.snapshot()
+
+    assert fold([0, 1, 2]) == fold([2, 0, 1])

@@ -1,0 +1,99 @@
+"""Trace schema validator tests."""
+
+import pytest
+
+from repro.obs.schema import (
+    TRACE_VERSION,
+    TraceSchemaError,
+    validate_record,
+    validate_trace_file,
+)
+from repro.obs.tracer import JsonlSink, Tracer
+
+
+def test_valid_records_pass():
+    validate_record(
+        {"kind": "trace-header", "v": TRACE_VERSION, "source": "campaign"}
+    )
+    validate_record(
+        {"kind": "span", "name": "step", "seq": 3, "parent": 1,
+         "ts": 0.5, "dur": 0.01, "frame": 7}
+    )
+    validate_record({"kind": "event", "name": "detect", "seq": 4,
+                     "parent": None})
+    validate_record({"kind": "metrics", "name": "sample", "seq": 5,
+                     "parent": None, "values": {"bdd.cache_hits": 9}})
+    validate_record({"kind": "summary", "seq": 6, "parent": None,
+                     "detected": 2})
+
+
+@pytest.mark.parametrize("record,reason", [
+    (["not", "a", "dict"], "not an object"),
+    ({"kind": "mystery", "seq": 0}, "unknown kind"),
+    ({"kind": "trace-header", "v": 99, "source": "x"}, "version"),
+    ({"kind": "trace-header", "v": TRACE_VERSION}, "source"),
+    ({"kind": "event", "name": "e", "seq": -1}, "seq"),
+    ({"kind": "event", "name": "e", "seq": None}, "seq"),
+    ({"kind": "event", "name": "e", "seq": 0, "parent": -2}, "parent"),
+    ({"kind": "span", "seq": 0, "parent": None}, "missing name"),
+    ({"kind": "span", "name": "s", "seq": 0, "parent": None,
+      "ts": -1.0}, "ts"),
+    ({"kind": "span", "name": "s", "seq": 0, "parent": None,
+      "dur": True}, "dur"),
+    ({"kind": "metrics", "name": "m", "seq": 0, "parent": None},
+     "values"),
+    ({"kind": "metrics", "name": "m", "seq": 0, "parent": None,
+      "values": {"x": "high"}}, "non-numeric"),
+])
+def test_malformed_records_fail(record, reason):
+    with pytest.raises(TraceSchemaError) as excinfo:
+        validate_record(record, line_no=7)
+    assert reason in str(excinfo.value)
+    assert excinfo.value.line_no == 7
+
+
+def make_trace(path, header=True):
+    tracer = Tracer(JsonlSink(path), wall=False)
+    if header:
+        tracer.write_header("campaign", circuit="s27")
+    with tracer.span("campaign"):
+        tracer.event("detect", fault="f")
+    tracer.close()
+
+
+def test_validate_trace_file_accepts_real_trace(tmp_path):
+    path = tmp_path / "ok.jsonl"
+    make_trace(path)
+    assert validate_trace_file(path) == 3
+
+
+def test_validate_trace_file_requires_leading_header(tmp_path):
+    path = tmp_path / "noheader.jsonl"
+    make_trace(path, header=False)
+    with pytest.raises(TraceSchemaError) as excinfo:
+        validate_trace_file(path)
+    assert "trace-header" in str(excinfo.value)
+
+
+def test_validate_trace_file_rejects_duplicate_seq(tmp_path):
+    path = tmp_path / "dup.jsonl"
+    make_trace(path)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(
+            '{"kind":"event","name":"again","seq":1,"parent":null}\n'
+        )
+    with pytest.raises(TraceSchemaError) as excinfo:
+        validate_trace_file(path)
+    assert "duplicate seq" in str(excinfo.value)
+
+
+def test_validate_trace_file_rejects_empty_and_bad_json(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(TraceSchemaError):
+        validate_trace_file(empty)
+    garbled = tmp_path / "bad.jsonl"
+    garbled.write_text('{"kind": "trace-header"\n')
+    with pytest.raises(TraceSchemaError) as excinfo:
+        validate_trace_file(garbled)
+    assert "invalid JSON" in str(excinfo.value)

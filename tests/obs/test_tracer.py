@@ -1,0 +1,186 @@
+"""Tracer unit tests: spans, sinks, canonical mode, replay."""
+
+import json
+import os
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Tracer,
+    encode_record,
+)
+
+
+def canonical_tracer():
+    return Tracer(ListSink(), wall=False)
+
+
+def test_span_nesting_records_parent_seq():
+    tracer = canonical_tracer()
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    tracer.event("ping")
+    inner.close()
+    outer.close()
+    records = tracer.sink.records
+    # spans are written at close: inner-first file order
+    assert [r["name"] for r in records] == ["ping", "inner", "outer"]
+    by_name = {r["name"]: r for r in records}
+    assert by_name["outer"]["parent"] is None
+    assert by_name["inner"]["parent"] == by_name["outer"]["seq"]
+    assert by_name["ping"]["parent"] == by_name["inner"]["seq"]
+
+
+def test_seq_is_allocated_at_open_and_unique():
+    tracer = canonical_tracer()
+    with tracer.span("a"):
+        tracer.event("e1")
+    tracer.event("e2")
+    seqs = [r["seq"] for r in tracer.sink.records]
+    assert len(seqs) == len(set(seqs))
+    by_name = {r["name"]: r for r in tracer.sink.records}
+    # the span opened before e1 fired, so its seq is lower
+    assert by_name["a"]["seq"] < by_name["e1"]["seq"]
+
+
+def test_canonical_mode_has_no_clock_fields():
+    tracer = canonical_tracer()
+    with tracer.span("s", rung="MOT"):
+        tracer.event("e")
+    tracer.metrics("sample", {"x": 1})
+    for record in tracer.sink.records:
+        assert "ts" not in record
+        assert "dur" not in record
+
+
+def test_wall_mode_stamps_ts_and_dur():
+    tracer = Tracer(ListSink(), wall=True)
+    with tracer.span("s"):
+        tracer.event("e")
+    by_name = {r["name"]: r for r in tracer.sink.records}
+    assert "ts" in by_name["e"]
+    assert "ts" in by_name["s"] and "dur" in by_name["s"]
+
+
+def test_span_add_and_error_on_context_exit():
+    tracer = canonical_tracer()
+    try:
+        with tracer.span("risky") as span:
+            span.add(frame=3)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    (record,) = tracer.sink.records
+    assert record["frame"] == 3
+    assert record["error"] == "RuntimeError"
+
+
+def test_close_flushes_open_spans_innermost_first():
+    tracer = canonical_tracer()
+    tracer.span("outer")
+    tracer.span("inner")
+    tracer.close()
+    names = [r["name"] for r in tracer.sink.records]
+    assert names == ["inner", "outer"]
+    assert all(r["error"] == "unclosed" for r in tracer.sink.records)
+
+
+def test_list_sink_cap_counts_drops():
+    sink = ListSink(cap=2)
+    for i in range(5):
+        sink.write({"seq": i})
+    assert len(sink.records) == 2
+    assert sink.dropped == 3
+
+
+def test_jsonl_sink_roundtrip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(JsonlSink(path), wall=False)
+    tracer.write_header("campaign", circuit="s27")
+    with tracer.span("s"):
+        tracer.event("e", frame=1)
+    tracer.close()
+    lines = path.read_text().strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert records[0]["kind"] == "trace-header"
+    assert records[0]["source"] == "campaign"
+    assert {r.get("name") for r in records[1:]} == {"s", "e"}
+
+
+def test_encode_record_is_deterministic():
+    a = encode_record({"b": 1, "a": {"z": 2, "y": 3}})
+    b = encode_record({"a": {"y": 3, "z": 2}, "b": 1})
+    assert a == b
+    assert " " not in a
+
+
+def test_replay_renumbers_and_stamps():
+    child = canonical_tracer()
+    with child.span("shard-root"):
+        child.event("detect", fault="f1")
+    parent = canonical_tracer()
+    with parent.span("shard", shard="0001") as span:
+        parent.replay(child.sink.records, shard="0001", worker=2)
+        span_seq = span._record["seq"]
+    records = parent.sink.records
+    by_name = {r["name"]: r for r in records}
+    # the child's root is re-parented under the enclosing span
+    assert by_name["shard-root"]["parent"] == span_seq
+    assert by_name["detect"]["parent"] == by_name["shard-root"]["seq"]
+    assert all(
+        r["shard"] == "0001" and r["worker"] == 2
+        for r in records if r["name"] != "shard"
+    )
+    # replay advances the parent's seq counter past the spliced records
+    parent.event("after")
+    seqs = [r["seq"] for r in parent.sink.records]
+    assert len(seqs) == len(set(seqs))
+
+
+def test_replay_is_deterministic():
+    child = canonical_tracer()
+    with child.span("a"):
+        child.event("b")
+
+    def merged():
+        parent = canonical_tracer()
+        with parent.span("shard"):
+            parent.replay(child.sink.records, shard="0000")
+        return [encode_record(r) for r in parent.sink.records]
+
+    assert merged() == merged()
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    with NULL_TRACER.span("x") as span:
+        span.add(a=1)
+    NULL_TRACER.event("e")
+    NULL_TRACER.metrics("m", {})
+    NULL_TRACER.summary({})
+    NULL_TRACER.replay([{"seq": 0}])
+    NULL_TRACER.close()
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_jsonl_sink_reopens_after_fork(tmp_path):
+    if not hasattr(os, "fork"):
+        return  # non-POSIX: nothing to test
+    path = tmp_path / "forked.jsonl"
+    sink = JsonlSink(path)
+    sink.write({"kind": "event", "name": "parent", "seq": 0})
+    pid = os.fork()
+    if pid == 0:  # child
+        sink.write({"kind": "event", "name": "child", "seq": 1})
+        os._exit(0)
+    os.waitpid(pid, 0)
+    sink.write({"kind": "event", "name": "parent", "seq": 2})
+    sink.close()
+    records = [
+        json.loads(line)
+        for line in path.read_text().strip().splitlines()
+    ]
+    # no interleaved garbage: three whole records
+    assert sorted(r["seq"] for r in records) == [0, 1, 2]

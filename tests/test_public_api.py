@@ -35,6 +35,7 @@ PACKAGES = [
     "repro.atpg",
     "repro.diagnosis",
     "repro.runtime",
+    "repro.obs",
 ]
 
 
