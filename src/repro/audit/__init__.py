@@ -1,0 +1,41 @@
+"""Witness-replay audit: independent verification of campaign verdicts.
+
+The audit closes the loop the paper's symbolic engine leaves open: the
+campaign *claims* a fault is detected (or not), and the audit checks
+that claim end to end with machinery the symbolic simulator does not
+share — a concrete witness extracted from an exact detection-function
+rebuild, replayed through the plain Boolean evaluation engine.  See
+``docs/audit.md`` for the witness semantics per strategy and the
+soundness argument behind each classification.
+"""
+
+from repro.audit.report import (
+    CLASSIFICATIONS,
+    CONFIRMED,
+    EXTRACTION_FAILED,
+    INCONCLUSIVE_BUDGET,
+    INCONCLUSIVE_CONSERVATIVE_MISS,
+    INCONCLUSIVE_CRASH,
+    INCONCLUSIVE_LATE_COLLAPSE,
+    REFUTED,
+    AuditFinding,
+    AuditReport,
+    is_inconclusive,
+)
+from repro.audit.runner import AuditOptions, run_audit
+
+__all__ = [
+    "AuditFinding",
+    "AuditOptions",
+    "AuditReport",
+    "run_audit",
+    "CLASSIFICATIONS",
+    "CONFIRMED",
+    "REFUTED",
+    "EXTRACTION_FAILED",
+    "INCONCLUSIVE_LATE_COLLAPSE",
+    "INCONCLUSIVE_BUDGET",
+    "INCONCLUSIVE_CRASH",
+    "INCONCLUSIVE_CONSERVATIVE_MISS",
+    "is_inconclusive",
+]

@@ -1,0 +1,60 @@
+"""Concrete witness replay through the independent evaluation engine.
+
+The replay side of the audit deliberately shares nothing with the
+symbolic fault simulator beyond the compiled netlist: it drives
+:func:`repro.symbolic.evaluation.generate_response` — a plain Boolean
+frame-by-frame evaluation with single-fault propagation — from the
+concrete initial states the witness extraction produced, and compares
+the fault-free and faulty output sequences position by position.
+"""
+
+from repro.symbolic.evaluation import generate_response
+
+#: Divergence transcripts are capped so a pathological witness cannot
+#: bloat findings, checkpoints or traces.
+TRANSCRIPT_CAP = 16
+
+
+def replay_pair(compiled, sequence, p, q, fault):
+    """Fault-free response from *p* and faulty response from *q*."""
+    good = generate_response(compiled, sequence, p)
+    faulty = generate_response(compiled, sequence, q, fault=fault)
+    return good, faulty
+
+
+def response_divergences(good, faulty):
+    """Every (frame, PO) where the two responses differ, in order."""
+    out = []
+    for frame, (good_frame, faulty_frame) in enumerate(
+        zip(good, faulty), start=1
+    ):
+        for pos, (g, f) in enumerate(zip(good_frame, faulty_frame)):
+            if g != f:
+                out.append(
+                    {"frame": frame, "po": pos, "good": g, "faulty": f}
+                )
+    return out
+
+
+def is_observed(observed, divergence):
+    """Was this divergence on a PO the strategy actually constrained?
+
+    *observed* is the per-frame list from the detection rebuild: the
+    entry for a frame is None ("all POs", the MOT view) or a tuple of
+    constrained PO positions.  Frames past the end of the list carry no
+    constraints at all.
+    """
+    frame_pos = divergence["frame"] - 1
+    if frame_pos >= len(observed):
+        return False
+    entry = observed[frame_pos]
+    if entry is None:
+        return True
+    return divergence["po"] in entry
+
+
+def bits_text(state):
+    """A state as a compact '0101' string (None passes through)."""
+    if state is None:
+        return None
+    return "".join(str(int(b)) for b in state)

@@ -1,0 +1,245 @@
+"""Structured audit verdicts: per-fault findings and the report.
+
+The audit never raises on a discrepancy — every audited fault produces
+exactly one :class:`AuditFinding` whose ``classification`` says what
+the replay proved:
+
+``confirmed``
+    The campaign's claim survived an independent check (witness replay
+    diverged where claimed, or a survivor certificate replayed clean).
+``refuted``
+    The claim is demonstrably wrong: an exact detection-function
+    rebuild contradicts the recorded verdict, or the concrete replay of
+    an extracted witness disagrees with the symbolic engine.  Refuted
+    faults are the audit's hard failures; the campaign exit code
+    reflects them.
+``witness-extraction-failed``
+    The per-fault symbolic rebuild blew the audit node limit before a
+    witness could be walked out of the detection BDD.  Says nothing
+    about the claim either way.
+``inconclusive-*``
+    The check could not be completed soundly (``-late-collapse``,
+    ``-budget``, ``-crash``) or the discrepancy has an innocent
+    conservative explanation (``-conservative-miss``: a degraded /
+    interrupted campaign may legitimately miss detections, so a missed
+    detection only *refutes* an exact, completed run).
+"""
+
+from repro.faults.status import fault_key_from_json, fault_key_to_json
+
+CONFIRMED = "confirmed"
+REFUTED = "refuted"
+EXTRACTION_FAILED = "witness-extraction-failed"
+INCONCLUSIVE_LATE_COLLAPSE = "inconclusive-late-collapse"
+INCONCLUSIVE_BUDGET = "inconclusive-budget"
+INCONCLUSIVE_CRASH = "inconclusive-crash"
+INCONCLUSIVE_CONSERVATIVE_MISS = "inconclusive-conservative-miss"
+
+CLASSIFICATIONS = (
+    CONFIRMED,
+    REFUTED,
+    EXTRACTION_FAILED,
+    INCONCLUSIVE_LATE_COLLAPSE,
+    INCONCLUSIVE_BUDGET,
+    INCONCLUSIVE_CRASH,
+    INCONCLUSIVE_CONSERVATIVE_MISS,
+)
+
+
+def is_inconclusive(classification):
+    return classification.startswith("inconclusive-")
+
+
+class AuditFinding:
+    """The audit's verdict on one fault."""
+
+    __slots__ = (
+        "index",
+        "fault_key",
+        "side",
+        "status",
+        "detected_by",
+        "detected_at",
+        "classification",
+        "audited_at",
+        "witness",
+        "transcript",
+        "witness_nodes",
+        "note",
+    )
+
+    def __init__(
+        self,
+        index,
+        fault_key,
+        side,
+        status,
+        detected_by,
+        detected_at,
+        classification,
+        audited_at=None,
+        witness=None,
+        transcript=None,
+        witness_nodes=0,
+        note="",
+    ):
+        if classification not in CLASSIFICATIONS:
+            raise ValueError(f"unknown classification {classification!r}")
+        #: position in the campaign's fault universe (report order)
+        self.index = index
+        self.fault_key = fault_key
+        #: which claim was checked: "detected" or "undetected"
+        self.side = side
+        self.status = status
+        self.detected_by = detected_by
+        self.detected_at = detected_at
+        self.classification = classification
+        #: frame where the audit itself observed the divergence
+        self.audited_at = audited_at
+        #: {"p": "01...", "q": "01..."} initial states, or None
+        self.witness = witness
+        #: capped list of {"frame", "po", "good", "faulty"} divergences
+        self.transcript = transcript or []
+        self.witness_nodes = witness_nodes
+        self.note = note
+
+    def to_json(self):
+        return {
+            "index": self.index,
+            "fault": fault_key_to_json(self.fault_key),
+            "side": self.side,
+            "status": self.status,
+            "detected_by": self.detected_by,
+            "detected_at": self.detected_at,
+            "classification": self.classification,
+            "audited_at": self.audited_at,
+            "witness": self.witness,
+            "transcript": self.transcript,
+            "witness_nodes": self.witness_nodes,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(
+            index=data["index"],
+            fault_key=fault_key_from_json(data["fault"]),
+            side=data["side"],
+            status=data["status"],
+            detected_by=data["detected_by"],
+            detected_at=data["detected_at"],
+            classification=data["classification"],
+            audited_at=data.get("audited_at"),
+            witness=data.get("witness"),
+            transcript=data.get("transcript") or [],
+            witness_nodes=data.get("witness_nodes", 0),
+            note=data.get("note", ""),
+        )
+
+    def __repr__(self):
+        return (
+            f"AuditFinding({self.fault_key!r}: {self.classification}"
+            f"{' at t=' + str(self.audited_at) if self.audited_at else ''})"
+        )
+
+
+class AuditReport:
+    """Every finding of one audit run, plus headline accounting.
+
+    Findings are kept in fault-universe order, carry no wall-clock
+    data, and serialize with sorted keys — a sharded audit therefore
+    produces a byte-identical report to the serial one.
+    """
+
+    def __init__(
+        self,
+        mode,
+        seed,
+        findings,
+        detected_total=0,
+        undetected_total=0,
+    ):
+        self.mode = mode
+        self.seed = seed
+        self.findings = sorted(findings, key=lambda f: f.index)
+        self.detected_total = detected_total
+        self.undetected_total = undetected_total
+
+    def counts(self):
+        out = {name: 0 for name in CLASSIFICATIONS}
+        for finding in self.findings:
+            out[finding.classification] += 1
+        return out
+
+    def refuted(self):
+        return [f for f in self.findings if f.classification == REFUTED]
+
+    def refuted_keys(self):
+        return [f.fault_key for f in self.refuted()]
+
+    @property
+    def ok(self):
+        """True when no claim was refuted (inconclusives are tolerated)."""
+        return not self.refuted()
+
+    def _side_count(self, side):
+        return sum(1 for f in self.findings if f.side == side)
+
+    def summary(self):
+        counts = self.counts()
+        detected_audited = self._side_count("detected")
+        undetected_checked = self._side_count("undetected")
+        sampled_fraction = (
+            detected_audited / self.detected_total
+            if self.detected_total
+            else 1.0
+        )
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "detected_total": self.detected_total,
+            "detected_audited": detected_audited,
+            "undetected_total": self.undetected_total,
+            "undetected_checked": undetected_checked,
+            "sampled_fraction": round(sampled_fraction, 4),
+            "confirmed": counts[CONFIRMED],
+            "refuted": counts[REFUTED],
+            "extraction_failed": counts[EXTRACTION_FAILED],
+            "inconclusive": sum(
+                counts[name]
+                for name in CLASSIFICATIONS
+                if is_inconclusive(name)
+            ),
+            "ok": self.ok,
+            "refuted_faults": [str(key) for key in self.refuted_keys()],
+        }
+
+    def to_json(self):
+        return {
+            "summary": self.summary(),
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def render(self):
+        """Human-readable report, one headline plus refuted details."""
+        s = self.summary()
+        lines = [
+            (
+                f"audit ({s['mode']}, seed {s['seed']}): "
+                f"{s['confirmed']} confirmed, {s['refuted']} refuted, "
+                f"{s['inconclusive']} inconclusive, "
+                f"{s['extraction_failed']} extraction-failed"
+            ),
+            (
+                f"  detected: {s['detected_audited']}/{s['detected_total']}"
+                f" audited ({s['sampled_fraction'] * 100:.1f}%); "
+                f"undetected: {s['undetected_checked']}/"
+                f"{s['undetected_total']} cross-checked"
+            ),
+        ]
+        for finding in self.refuted():
+            lines.append(
+                f"  REFUTED {finding.fault_key}: {finding.note}"
+            )
+        lines.append("audit: OK" if self.ok else "audit: FAILED")
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Witness extraction: exact per-fault rebuild of the detection BDD.
+
+The campaign's symbolic sessions are long gone by the time the audit
+runs (and a sharded campaign never had them in one process), so the
+audit re-derives each fault's detection function from scratch: one
+clean symbolic simulation of the fault-free and faulty machines from an
+all-X initial state, feeding the *same* strategy observation code the
+campaign used (:mod:`repro.symbolic.strategies`), with no degradation
+ladder, no fallback frames and no demotions.  The rebuild is exact by
+construction, which is what makes its witnesses trustworthy:
+
+* if the accumulator collapses at frame ``T_a``, any satisfying
+  assignment of the accumulator *before* that frame's terms is a pair
+  of initial states ``(p, q)`` whose responses agree on every observed
+  output up to ``T_a - 1`` and must diverge on some observed output at
+  ``T_a`` — a concrete, replayable certificate of detection;
+* if it never collapses, any satisfying assignment of the final
+  accumulator is a *survivor* certificate: a pair of initial states the
+  strategy can never tell apart, which a concrete replay must confirm.
+
+Because the campaign only ever degrades conservatively, an exact
+rebuild can collapse *earlier* than the campaign claimed but never
+later; a later collapse is reported (inconclusive), an absent collapse
+refutes the detection claim outright.
+"""
+
+from repro.bdd import BddManager, StateVariables
+from repro.engines.algebra import BddAlgebra
+from repro.engines.evaluate import next_state_of, outputs_of, simulate_frame
+from repro.engines.propagate import propagate_fault
+from repro.symbolic.strategies import FrameContext, get_strategy
+
+
+class DetectionRebuild:
+    """Outcome of one exact detection-function rebuild."""
+
+    __slots__ = (
+        "strategy_name",
+        "collapsed_at",
+        "p",
+        "q",
+        "observed",
+        "nodes",
+    )
+
+    def __init__(self, strategy_name, collapsed_at, p, q, observed, nodes):
+        self.strategy_name = strategy_name
+        #: 1-based frame where the accumulator hit FALSE, or None
+        self.collapsed_at = collapsed_at
+        #: fault-free / faulty initial states (lists of bits), or None
+        #: for strategies without an accumulator (SOT)
+        self.p = p
+        self.q = q
+        #: per-frame observed PO positions: None means "all POs" (MOT),
+        #: otherwise a sorted tuple of positions the strategy actually
+        #: constrained that frame (rMOT/SOT observe only constant
+        #: fault-free outputs the fault reached)
+        self.observed = observed
+        #: peak BDD nodes of the rebuild manager (audit.witness_nodes)
+        self.nodes = nodes
+
+
+def _observed_positions(strategy, manager, good_po, po_diff):
+    if strategy.needs_y_variables:
+        return None  # MOT constrains every PO of every frame
+    return tuple(
+        pos
+        for pos in sorted(po_diff)
+        if manager.is_const(good_po[pos])
+    )
+
+
+def _pick_states(manager, state_vars, strategy, acc, num_dffs):
+    """Walk one satisfying assignment of *acc* into (p, q) states."""
+    if acc is None:  # SOT keeps no accumulator
+        return None, None
+    if strategy.needs_y_variables:
+        variables = list(state_vars.x_vars()) + list(state_vars.y_vars())
+        assignment = manager.pick_assignment(acc, variables=variables)
+        if assignment is None:
+            return None, None
+        p = [assignment[state_vars.x(i)] for i in range(num_dffs)]
+        q = [assignment[state_vars.y(i)] for i in range(num_dffs)]
+        return p, q
+    assignment = manager.pick_assignment(
+        acc, variables=list(state_vars.x_vars())
+    )
+    if assignment is None:
+        return None, None
+    p = [assignment[state_vars.x(i)] for i in range(num_dffs)]
+    return p, list(p)
+
+
+def rebuild_detection(
+    compiled, sequence, fault, strategy_name, node_limit=None
+):
+    """Exact symbolic rebuild of *fault*'s detection function.
+
+    Raises :class:`repro.bdd.errors.SpaceLimitExceeded` when
+    *node_limit* (None = unbounded) is blown — the caller classifies
+    that as a witness-extraction failure, never as a verdict.
+    """
+    strategy = get_strategy(strategy_name)
+    num_dffs = compiled.num_dffs
+    state_vars = StateVariables(num_dffs)
+    manager = BddManager(
+        num_vars=state_vars.num_vars, node_limit=node_limit
+    )
+    algebra = BddAlgebra(manager)
+    state = [manager.mk_var(state_vars.x(i)) for i in range(num_dffs)]
+    acc = strategy.initial_state(manager)
+    diff = {}
+    observed = []
+    collapsed_at = None
+    # the accumulator to extract the witness from: at a collapse, the
+    # value *before* the collapsing frame's terms (still satisfiable);
+    # with no collapse, the final accumulator (the survivors)
+    witness_acc = acc
+    for time, vector in enumerate(sequence, start=1):
+        pi_values = [algebra.const(b) for b in vector]
+        values = simulate_frame(compiled, algebra, pi_values, state)
+        result = propagate_fault(compiled, algebra, values, fault, diff)
+        good_po = outputs_of(compiled, values)
+        po_diff = {
+            pos: result.diff[sig]
+            for pos, sig in enumerate(compiled.pos)
+            if sig in result.diff
+        }
+        ctx = FrameContext(manager, state_vars, good_po)
+        observed.append(
+            _observed_positions(strategy, manager, good_po, po_diff)
+        )
+        witness_acc = acc
+        detected, acc = strategy.observe(ctx, acc, po_diff)
+        if detected:
+            collapsed_at = time
+            break
+        witness_acc = acc
+        diff = result.next_state_diff
+        state = next_state_of(compiled, values)
+    p, q = _pick_states(manager, state_vars, strategy, witness_acc, num_dffs)
+    return DetectionRebuild(
+        strategy_name, collapsed_at, p, q, observed, manager.peak_nodes
+    )

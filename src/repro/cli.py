@@ -202,6 +202,25 @@ def _fabric_kwargs(args):
     }
 
 
+def _audit_kwargs(args):
+    """Audit keywords for run_campaign (empty = no audit).
+
+    A post-campaign audit persists its findings next to the campaign
+    checkpoint (``<checkpoint>.audit``) so an interrupted audit resumes
+    alongside the campaign it is checking.
+    """
+    if getattr(args, "audit", "off") in (None, "off"):
+        return {}
+    checkpoint = getattr(args, "checkpoint", None)
+    return {
+        "audit": args.audit,
+        "audit_seed": getattr(args, "audit_seed", 0),
+        "audit_checkpoint_path": (
+            checkpoint + ".audit" if checkpoint else None
+        ),
+    }
+
+
 class _CliObservability:
     """CLI ownership of ``--trace`` / ``--metrics`` / ``--progress``.
 
@@ -257,12 +276,9 @@ class _CliObservability:
         if self.tracer is not None:
             self.tracer.close()
         if self.registry is not None and self.metrics_path:
-            import json
+            from repro.runtime.checkpoint import write_json_atomic
 
-            with open(self.metrics_path, "w", encoding="utf-8") as handle:
-                json.dump(self.registry.snapshot(), handle,
-                          indent=2, sort_keys=True)
-                handle.write("\n")
+            write_json_atomic(self.metrics_path, self.registry.snapshot())
             print(f"wrote metrics to {self.metrics_path}",
                   file=sys.stderr)
 
@@ -278,7 +294,12 @@ def _render_campaign(args, compiled, fault_set, sequence, result):
     else:
         print(report.render())
     # a signal-interrupted (but checkpointed) campaign is incomplete
-    return 3 if result.stopped == "signal" else 0
+    if result.stopped == "signal":
+        return 3
+    # a refuted audit claim means the campaign's verdicts are unsound
+    if result.audit is not None and not result.audit.ok:
+        return 4
+    return 0
 
 
 def _simulate_campaign(args):
@@ -316,6 +337,7 @@ def _simulate_campaign(args):
                 pressure=_pressure_config(args),
                 **obs_kwargs,
                 **_fabric_kwargs(args),
+                **_audit_kwargs(args),
             )
     finally:
         obs.finish()
@@ -428,6 +450,7 @@ def cmd_campaign(args):
                     pressure=_pressure_config(args),
                     **obs_kwargs,
                     **_fabric_kwargs(args),
+                    **_audit_kwargs(args),
                 )
     finally:
         obs.finish()
@@ -439,6 +462,7 @@ def cmd_simulate(args):
         args.deadline is not None
         or args.checkpoint
         or args.workers is not None
+        or args.audit != "off"
         or _pressure_config(args) is not None
         or _CliObservability(args).active
     ):
@@ -527,6 +551,90 @@ def cmd_profile(args):
         print(render_profile(profile))
     # a trace that contradicts the campaign's own accounting is a bug
     return 0 if profile["reconciliation"]["ok"] else 1
+
+
+def _audited_fault_set(args):
+    """(compiled, fault_set, sequence, strategy) from a checkpoint.
+
+    Accepts both checkpoint flavors: a campaign file restores the last
+    frame snapshot's per-fault states, a fabric file folds every
+    completed shard's states in.  The fingerprint ties the rebuilt
+    circuit + fault universe to the one the checkpoint recorded.
+    """
+    from repro.runtime import sniff_checkpoint_kind
+    from repro.runtime.checkpoint import (
+        load_checkpoint,
+        verify_fingerprint,
+    )
+    from repro.runtime.errors import CheckpointError
+    from repro.runtime.ladder import DegradationLadder
+
+    kind = sniff_checkpoint_kind(args.checkpoint)
+    if kind == "fabric":
+        from repro.runtime.fabric import load_fabric_checkpoint
+
+        checkpoint = load_fabric_checkpoint(args.checkpoint)
+    else:
+        checkpoint = load_checkpoint(args.checkpoint)
+    compiled, fault_set = _prepare(args.circuit or checkpoint.circuit_spec)
+    keys = [r.fault.key() for r in fault_set]
+    verify_fingerprint(
+        checkpoint.path, checkpoint.fingerprint, compiled, keys
+    )
+    if keys != checkpoint.fault_keys:
+        raise CheckpointError(
+            checkpoint.path,
+            "fault universe does not match the checkpointed campaign "
+            f"({len(keys)} vs {len(checkpoint.fault_keys)} faults)",
+        )
+    if kind == "fabric":
+        for shard in checkpoint.shards.values():
+            for index, state in zip(shard["indices"], shard["states"]):
+                fault_set.records[index].state_from_json(state)
+    else:
+        for record, (state, _rung, _diff) in zip(
+            fault_set, checkpoint.fault_states()
+        ):
+            record.state_from_json(state)
+    ladder = DegradationLadder.from_json(checkpoint.ladder_json())
+    return compiled, fault_set, checkpoint.sequence, ladder.rungs[0].strategy
+
+
+def cmd_audit(args):
+    from repro.audit import AuditOptions, run_audit
+    from repro.runtime.checkpoint import write_json_atomic
+
+    compiled, fault_set, sequence, strategy = _audited_fault_set(args)
+    options = AuditOptions(
+        mode=args.mode,
+        seed=args.seed,
+        node_limit=args.node_limit or None,
+        sample_detected=args.sample_detected,
+        sample_undetected=args.sample_undetected,
+        checkpoint_path=args.audit_checkpoint,
+    )
+    # a checkpoint is a snapshot of a possibly unfinished, possibly
+    # degraded run: a missed detection is inconclusive, never refuting
+    report = run_audit(
+        compiled,
+        sequence,
+        fault_set,
+        options=options,
+        strategy=strategy,
+        complete=False,
+        exact=False,
+        workers=args.workers,
+    )
+    if args.output:
+        write_json_atomic(args.output, report.to_json())
+        print(f"wrote audit report to {args.output}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 4
 
 
 def cmd_compact(args):
@@ -629,6 +737,19 @@ def build_parser():
                        help="try a variable-window reorder of the "
                             "session before surrendering to fallback")
 
+    def _add_audit_options(p):
+        p.add_argument("--audit", choices=("off", "sample", "full"),
+                       default="off",
+                       help="witness-replay audit of the verdicts after "
+                            "the run: 'full' audits every detected "
+                            "fault, 'sample' a seeded sample; refuted "
+                            "claims quarantine the fault and fail the "
+                            "run (exit 4)")
+        p.add_argument("--audit-seed", type=int, default=0,
+                       metavar="SEED",
+                       help="seed of the audit's sampling and constant-"
+                            "witness draws (default 0)")
+
     def _add_observability_options(p):
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="stream a JSONL trace (spans, events, "
@@ -688,6 +809,7 @@ def build_parser():
     _add_pressure_options(p)
     _add_fabric_options(p)
     _add_observability_options(p)
+    _add_audit_options(p)
 
     p = sub.add_parser(
         "campaign",
@@ -724,6 +846,38 @@ def build_parser():
     _add_pressure_options(p)
     _add_fabric_options(p)
     _add_observability_options(p)
+    _add_audit_options(p)
+
+    p = sub.add_parser(
+        "audit",
+        help="witness-replay audit of a checkpointed campaign's "
+             "verdicts (campaign or fabric checkpoint)",
+    )
+    p.add_argument("checkpoint",
+                   help="checkpoint file written by a campaign run")
+    p.add_argument("--circuit", default=None,
+                   help="override the checkpoint's circuit spec")
+    p.add_argument("--mode", choices=("sample", "full"), default="full")
+    p.add_argument("--seed", type=int, default=0,
+                   help="audit sampling/witness seed (default 0)")
+    p.add_argument("--node-limit", type=int, default=0,
+                   help="per-fault witness rebuild node limit "
+                        "(0 = unbounded)")
+    p.add_argument("--sample-detected", type=int, default=32,
+                   metavar="N",
+                   help="detected-side sample size in sample mode")
+    p.add_argument("--sample-undetected", type=int, default=8,
+                   metavar="N", help="undetected-side sample size")
+    p.add_argument("--audit-checkpoint", default=None, metavar="PATH",
+                   help="persist findings to PATH; a partial audit "
+                        "resumes from it")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="shard the detected-side audits over N worker "
+                        "processes (0 = sharded in-process)")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("-o", "--output", default=None, metavar="FILE",
+                   help="also write the report JSON to FILE "
+                        "(atomic replace)")
 
     p = sub.add_parser("profile",
                        help="analyze a JSONL trace written by --trace")
@@ -778,6 +932,7 @@ _COMMANDS = {
     "xred": cmd_xred,
     "simulate": cmd_simulate,
     "campaign": cmd_campaign,
+    "audit": cmd_audit,
     "profile": cmd_profile,
     "evaluate": cmd_evaluate,
     "sync": cmd_sync,

@@ -34,7 +34,9 @@ RECONCILE_KEYS = (
     "pressure_events",
 )
 
-_TIMELINE_EVENTS = ("pressure", "demote", "quarantine", "budget")
+_TIMELINE_EVENTS = (
+    "pressure", "demote", "quarantine", "budget", "audit-refuted",
+)
 
 
 def read_trace(path):
@@ -67,6 +69,8 @@ def profile_trace(path, top=10):
     truncated = 0
     summary = None
     fabric = None
+    audit_counts = {}  # classification -> audit-fault span count
+    audit_summary = None  # the runner's audit-summary event
     totals = {
         "demotions": 0,
         "quarantined": 0,
@@ -96,6 +100,9 @@ def profile_trace(path, top=10):
                 totals["detected"] += record.get("detected", 0)
             elif name == "shard":
                 truncated += record.get("trace_dropped", 0) or 0
+            elif name == "audit-fault":
+                cls = record.get("classification", "?")
+                audit_counts[cls] = audit_counts.get(cls, 0) + 1
         elif kind == "event":
             if name == "detect":
                 totals["detected"] += 1
@@ -115,6 +122,11 @@ def profile_trace(path, top=10):
                     totals["gc_runs"] += 1
             elif name == "fabric":
                 fabric = {
+                    k: v for k, v in record.items()
+                    if k not in ("kind", "name", "seq", "parent", "ts")
+                }
+            elif name == "audit-summary":
+                audit_summary = {
                     k: v for k, v in record.items()
                     if k not in ("kind", "name", "seq", "parent", "ts")
                 }
@@ -149,7 +161,16 @@ def profile_trace(path, top=10):
         for record in faults[:top]
     ]
 
-    reconciliation = _reconcile(totals, summary, truncated)
+    audit = None
+    if audit_summary is not None or audit_counts:
+        audit = {
+            "summary": audit_summary,
+            "spans": dict(sorted(audit_counts.items())),
+        }
+
+    reconciliation = _reconcile(
+        totals, summary, truncated, audit_counts, audit_summary
+    )
     return {
         "source": (header or {}).get("source", "campaign"),
         "records": len(records),
@@ -161,6 +182,7 @@ def profile_trace(path, top=10):
         "totals": totals,
         "summary": summary,
         "fabric": fabric,
+        "audit": audit,
         "reconciliation": reconciliation,
     }
 
@@ -197,7 +219,8 @@ def _trajectory_point(record):
     return point
 
 
-def _reconcile(totals, summary, truncated):
+def _reconcile(totals, summary, truncated, audit_counts=None,
+               audit_summary=None):
     """Exact cross-check of trace-derived totals vs the summary record."""
     if summary is None:
         return {"ok": False, "reason": "no summary record", "mismatches": {}}
@@ -217,7 +240,43 @@ def _reconcile(totals, summary, truncated):
             continue
         if totals[key] != expected:
             mismatches[key] = {"trace": totals[key], "summary": expected}
+    _reconcile_audit(mismatches, audit_counts, audit_summary)
     return {"ok": not mismatches, "mismatches": mismatches}
+
+
+def _reconcile_audit(mismatches, audit_counts, audit_summary):
+    """Audit-fault spans must add up to the audit-summary event.
+
+    A no-op when the trace carries no audit records at all; a summary
+    without spans (or vice versa) is a mismatch like any other.
+    """
+    if not audit_counts and audit_summary is None:
+        return
+    if audit_summary is None:
+        mismatches["audit"] = {
+            "trace": sum(audit_counts.values()), "summary": None,
+        }
+        return
+    derived = {
+        "confirmed": audit_counts.get("confirmed", 0),
+        "refuted": audit_counts.get("refuted", 0),
+        "extraction_failed": audit_counts.get(
+            "witness-extraction-failed", 0
+        ),
+        "inconclusive": sum(
+            count
+            for cls, count in audit_counts.items()
+            if cls.startswith("inconclusive-")
+        ),
+    }
+    for key, traced in derived.items():
+        expected = audit_summary.get(key)
+        if expected is None:
+            continue
+        if traced != expected:
+            mismatches[f"audit.{key}"] = {
+                "trace": traced, "summary": expected,
+            }
 
 
 def render_profile(profile, width=72):
@@ -290,6 +349,22 @@ def render_profile(profile, width=72):
         push(f"  ... ({len(profile['timeline']) - 40} entries elided)")
     if not profile["timeline"]:
         push("  (quiet run: no pressure, demotions or budget stops)")
+
+    audit = profile.get("audit")
+    if audit:
+        push("")
+        push("audit:")
+        s = audit.get("summary")
+        if s:
+            push(f"  {s.get('mode', '?')} mode, seed {s.get('seed', '?')}"
+                 f": {s.get('confirmed', 0)} confirmed, "
+                 f"{s.get('refuted', 0)} refuted, "
+                 f"{s.get('inconclusive', 0)} inconclusive, "
+                 f"{s.get('extraction_failed', 0)} extraction-failed")
+            for name in s.get("refuted_faults") or ():
+                push(f"  REFUTED {name}")
+        for cls, count in audit["spans"].items():
+            push(f"  spans {cls:<32} {count}")
 
     push("")
     rec = profile["reconciliation"]

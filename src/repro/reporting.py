@@ -149,6 +149,24 @@ class CoverageReport:
                     f"  pressure: {pressure.get('events', 0)} events"
                     + (" (" + ", ".join(detail) + ")" if detail else "")
                 )
+            audit = r.get("audit")
+            if audit is not None:
+                lines.append(
+                    f"  audit ({audit['mode']}): "
+                    f"{audit['confirmed']} confirmed, "
+                    f"{audit['refuted']} refuted, "
+                    f"{audit['inconclusive']} inconclusive, "
+                    f"{audit['extraction_failed']} extraction-failed "
+                    f"({100 * audit['sampled_fraction']:.1f}% of "
+                    f"detections audited)"
+                )
+                for name in audit.get("refuted_faults") or ():
+                    lines.append(f"    REFUTED {name}")
+                if not audit["ok"]:
+                    lines.append(
+                        "    AUDIT FAILED: campaign verdicts are "
+                        "unsound (refuted faults quarantined)"
+                    )
             fabric = r.get("fabric")
             if fabric is not None:
                 lines.append(

@@ -43,6 +43,7 @@ _CHECKPOINT_EXPORTS = {
     "read_jsonl_records",
     "sniff_checkpoint_kind",
     "verify_fingerprint",
+    "write_json_atomic",
 }
 _FABRIC_EXPORTS = {
     "FabricConfig",

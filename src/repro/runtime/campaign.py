@@ -146,6 +146,10 @@ class CampaignResult(HybridFaultSimResult):
         self.rung_population = rung_population
         #: shard-fabric accounting dict, None for single-process runs
         self.fabric = fabric
+        #: :class:`repro.audit.AuditReport` of the post-campaign
+        #: witness-replay audit, None when no audit ran (class default
+        #: so fabric-merged results carry it too)
+        self.audit = None
         #: memory-pressure accounting dict (events, cache_evictions,
         #: gc_runs, reorder_rescues, rss_surrenders, peak_rss, log),
         #: None when no pressure ladder was armed and nothing fired.
@@ -209,6 +213,8 @@ class CampaignResult(HybridFaultSimResult):
             summary["fabric"] = self.fabric
         if self.pressure is not None:
             summary["pressure"] = self.pressure
+        if self.audit is not None:
+            summary["audit"] = self.audit.summary()
         return summary
 
     def __repr__(self):
@@ -1302,15 +1308,77 @@ def run_campaign(compiled, sequence, fault_set, **kwargs):
     multiprocess :class:`~repro.runtime.fabric.ShardFabric` instead of
     a single in-process campaign; the returned result then also carries
     ``fabric`` accounting.
+
+    ``audit="sample"`` / ``"full"`` (or an
+    :class:`~repro.audit.AuditOptions`) runs the witness-replay audit
+    (:func:`repro.audit.run_audit`) over the finished campaign's
+    verdicts: the report lands on ``result.audit`` (and in
+    ``runtime_summary()``), refuted faults are quarantined, and — when
+    the campaign itself was sharded — the audit reuses the same worker
+    pool sizing.  ``audit_seed`` / ``audit_node_limit`` /
+    ``audit_checkpoint_path`` parameterize it.
     """
+    audit = kwargs.pop("audit", None)
+    audit_seed = kwargs.pop("audit_seed", 0)
+    audit_node_limit = kwargs.pop("audit_node_limit", None)
+    audit_checkpoint_path = kwargs.pop("audit_checkpoint_path", None)
+    if audit in (None, False, "off"):
+        audit = None
+    if audit is not None:
+        initial = kwargs.get("initial_state")
+        if initial is not None and any(v != threeval.X for v in initial):
+            raise ValueError(
+                "audit requires an all-X initial state: witness "
+                "extraction certifies pairs of initial states, which is "
+                "meaningless for a campaign pinned to a concrete one"
+            )
+    # the audit reuses the campaign's pool sizing and observability
+    audit_workers = kwargs.get("workers")
+    audit_fabric_config = kwargs.get("fabric_config")
+    audit_tracer = kwargs.get("tracer")
+    audit_metrics = kwargs.get("metrics")
+
     if any(key in kwargs for key in _FABRIC_KWARGS):
         from repro.runtime.fabric import run_sharded_campaign
 
         config = kwargs.pop("fabric_config", None)
         if config is not None:
             kwargs["config"] = config
-        return run_sharded_campaign(compiled, sequence, fault_set, **kwargs)
-    return Campaign(compiled, sequence, fault_set, **kwargs).run()
+        result = run_sharded_campaign(
+            compiled, sequence, fault_set, **kwargs
+        )
+    else:
+        result = Campaign(compiled, sequence, fault_set, **kwargs).run()
+
+    if audit is not None:
+        from repro.audit import AuditOptions, run_audit
+
+        if isinstance(audit, AuditOptions):
+            options = audit
+        else:
+            options = AuditOptions(
+                mode=audit,
+                seed=audit_seed,
+                node_limit=audit_node_limit,
+                checkpoint_path=audit_checkpoint_path,
+            )
+        report = run_audit(
+            compiled,
+            sequence,
+            result.fault_set,
+            options=options,
+            strategy=result.ladder[0] if result.ladder else "MOT",
+            complete=result.stopped == COMPLETED,
+            exact=result.exact,
+            workers=audit_workers,
+            fabric_config=audit_fabric_config,
+            tracer=audit_tracer,
+            metrics=audit_metrics,
+            quarantine=True,
+        )
+        result.audit = report
+        result.quarantined.extend(report.refuted_keys())
+    return result
 
 
 def _load_compiled(circuit_spec):

@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import signal
+import tempfile
 
 from repro.faults.status import (
     fault_key_from_json,
@@ -84,6 +85,45 @@ def verify_fingerprint(path, recorded, compiled, fault_keys):
     expected = circuit_fingerprint(compiled, fault_keys)
     if recorded != expected:
         raise CheckpointMismatch(path, expected, recorded)
+
+
+def write_json_atomic(path, payload):
+    """Write *payload* as JSON with no torn-tail window.
+
+    Appending JSONL records survives a crash losing at most the final
+    line, but whole-file results (campaign summaries, metrics dumps,
+    audit reports) would be left half-written by a crash mid-``write``.
+    So: serialize to a temporary file in the *same* directory, fsync
+    it, then ``os.replace`` over the target (atomic on POSIX) and fsync
+    the directory so the rename itself is durable.  Readers see either
+    the complete old file or the complete new one, never a prefix.
+    """
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic platforms
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def state_to_text(state_3v):

@@ -130,6 +130,14 @@ class FabricConfig:
         self.backoff_cap = backoff_cap
         self.backoff_jitter = backoff_jitter
         self.start_method = start_method
+        #: the fabric's ONLY random stream: retry-backoff jitter.  It
+        #: never influences shard planning, merge order or any verdict
+        #: — simulation results are deterministic regardless of this
+        #: value.  Every draw that *can* affect an outcome (the audit's
+        #: sampling and constant-witness states, see
+        #: :mod:`repro.audit.runner`) uses its own string-seeded
+        #: ``random.Random(f"{seed}:<purpose>:<fault>")`` streams,
+        #: reproducible across processes, resumes and shard layouts.
         self.seed = seed
         #: observability hook: called with one dict per fabric event
         #: (dispatch, heartbeat, result, crash, respawn, bisect,
@@ -294,6 +302,8 @@ class ShardFabric:
         self._resumed_shard_ids = set()
 
         self._faults = [record.fault for record in fault_set]
+        # backoff jitter only — see FabricConfig.seed for why this can
+        # never influence verdicts
         self._rng = random.Random(self.config.seed)
         self._handles = {}  # worker_id -> _WorkerHandle
         self._next_worker_id = 0

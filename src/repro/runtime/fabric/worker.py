@@ -248,11 +248,22 @@ def worker_main(worker_id, conn, init):
                 cache_budget=opts.get("cache_budget"),
             )
             try:
-                payload = run_shard(
-                    compiled, faults, sequence, indices,
-                    _campaign_kwargs(init, opts), governor=governor,
-                    tracer=tracer, metrics=registry,
-                )
+                if init.get("task") == "audit":
+                    # witness-replay audit shard: same pool, same
+                    # liveness/retry machinery, different task body
+                    from repro.audit.fabric import run_audit_shard
+
+                    payload = run_audit_shard(
+                        compiled, faults, sequence, indices,
+                        init["audit"], governor=governor,
+                        tracer=tracer, metrics=registry,
+                    )
+                else:
+                    payload = run_shard(
+                        compiled, faults, sequence, indices,
+                        _campaign_kwargs(init, opts), governor=governor,
+                        tracer=tracer, metrics=registry,
+                    )
             except Exception as exc:  # deterministic shard failure
                 conn.send(
                     ("error", worker_id, shard_id,

@@ -1,0 +1,38 @@
+"""write_json_atomic: no torn tails, no stray temp files."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import write_json_atomic
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "summary.json"
+    payload = {"detected": 11, "faults": [["stem", 0], ["branch", 2, 1]]}
+    write_json_atomic(str(path), payload)
+    assert json.loads(path.read_text()) == payload
+    # pretty-printed with a trailing newline, keys sorted
+    assert path.read_text().endswith("}\n")
+    assert os.listdir(tmp_path) == ["summary.json"]
+
+
+def test_failed_write_preserves_previous_contents(tmp_path):
+    path = tmp_path / "summary.json"
+    write_json_atomic(str(path), {"ok": True})
+    before = path.read_text()
+
+    with pytest.raises(TypeError):
+        write_json_atomic(str(path), {"bad": object()})
+
+    # the old file survives byte-identical and the temp file is gone
+    assert path.read_text() == before
+    assert os.listdir(tmp_path) == ["summary.json"]
+
+
+def test_overwrite_replaces_whole_file(tmp_path):
+    path = tmp_path / "summary.json"
+    write_json_atomic(str(path), {"long": "x" * 4096})
+    write_json_atomic(str(path), {"short": 1})
+    assert json.loads(path.read_text()) == {"short": 1}

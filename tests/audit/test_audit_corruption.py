@@ -1,0 +1,125 @@
+"""The audit must catch tampered verdicts.
+
+The refuted classification is only reachable by deliberate corruption:
+a detection claim the independent engines cannot reproduce, or (on an
+exact, completed campaign) an erased detection the exact rebuild still
+finds.  These tests tamper on purpose and demand refutation — the
+exact mirror image of the round-trip property.
+"""
+
+import json
+
+import pytest
+
+from repro.audit import AuditOptions, run_audit
+from repro.circuit.compile import compile_circuit
+from repro.circuits.registry import get_circuit
+from repro.cli import main
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import (
+    BY_MOT,
+    DETECTED,
+    UNDETECTED,
+    FaultSet,
+)
+from repro.runtime import run_campaign
+from repro.sequences.random_seq import random_sequence_for
+
+
+@pytest.fixture(scope="module")
+def s27():
+    compiled = compile_circuit(get_circuit("s27"))
+    sequence = random_sequence_for(compiled, 40, seed=7)
+    return compiled, sequence
+
+
+def fresh_campaign(s27):
+    compiled, sequence = s27
+    faults, _ = collapse_faults(compiled)
+    fault_set = FaultSet(faults)
+    result = run_campaign(compiled, sequence, fault_set)
+    assert result.exact, "test premise: s27 MOT campaign runs exactly"
+    return fault_set, result
+
+
+def run_full_audit(s27, fault_set, result, quarantine=False):
+    compiled, sequence = s27
+    return run_audit(
+        compiled,
+        sequence,
+        fault_set,
+        options=AuditOptions(mode="full"),
+        strategy=result.ladder[0] if result.ladder else "MOT",
+        complete=result.stopped == "completed",
+        exact=True,
+        quarantine=quarantine,
+    )
+
+
+def test_fake_detection_is_refuted(s27):
+    fault_set, result = fresh_campaign(s27)
+    victim = next(r for r in fault_set if r.status == UNDETECTED)
+    victim.mark_detected(BY_MOT, 3)
+
+    report = run_full_audit(s27, fault_set, result, quarantine=True)
+
+    assert not report.ok
+    assert victim.fault.key() in report.refuted_keys()
+    # refuted faults are quarantined out of the coverage figures
+    assert victim.status not in (DETECTED, UNDETECTED)
+
+
+def test_erased_detection_is_refuted(s27):
+    fault_set, result = fresh_campaign(s27)
+    victim = next(r for r in fault_set if r.status == DETECTED)
+    victim.status = UNDETECTED
+    victim.detected_by = None
+    victim.detected_at = None
+
+    report = run_full_audit(s27, fault_set, result)
+
+    assert not report.ok
+    assert victim.fault.key() in report.refuted_keys()
+
+
+def test_honest_campaign_audits_clean(s27):
+    fault_set, result = fresh_campaign(s27)
+    report = run_full_audit(s27, fault_set, result)
+    assert report.ok
+    assert report.refuted_keys() == []
+
+
+def test_cli_audit_flags_corrupted_checkpoint(s27, tmp_path, capsys):
+    path = tmp_path / "run.ckpt"
+    rc = main([
+        "campaign", "s27", "--length", "40", "--seed", "7",
+        "--checkpoint", str(path),
+    ])
+    capsys.readouterr()
+    assert rc == 0
+
+    # flip one undetected fault to "detected" in every snapshot record
+    corrupted = []
+    flipped = False
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("type") == "checkpoint":
+            for entry in record["faults"]:
+                if entry["state"][0] == "undetected":
+                    entry["state"] = ["detected", "MOT", 3]
+                    flipped = True
+                    break
+        corrupted.append(json.dumps(record))
+    assert flipped, "campaign left no undetected fault to corrupt"
+    bad = tmp_path / "bad.ckpt"
+    bad.write_text("\n".join(corrupted) + "\n")
+
+    rc = main(["audit", str(bad)])
+    out = capsys.readouterr().out
+    assert rc == 4
+    assert "REFUTED" in out
+
+    # the untampered checkpoint still audits clean through the CLI
+    rc = main(["audit", str(path)])
+    capsys.readouterr()
+    assert rc == 0

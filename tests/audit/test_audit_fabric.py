@@ -1,0 +1,91 @@
+"""Sharded audits are byte-identical to serial; partial audits resume.
+
+The fabric shards only the detected-side replays; every finding is
+computed from the same seeded streams regardless of which worker runs
+it, so serial, inline-fabric (workers=0) and multi-process (workers=2)
+audits must produce the *same bytes* — not merely the same verdicts.
+"""
+
+import json
+
+import pytest
+
+from repro.audit import AuditOptions, run_audit
+from repro.circuit.compile import compile_circuit
+from repro.circuits.registry import get_circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import FaultSet
+from repro.runtime import run_campaign
+from repro.sequences.random_seq import random_sequence_for
+
+
+@pytest.fixture(scope="module")
+def audited():
+    compiled = compile_circuit(get_circuit("ctr8"))
+    sequence = random_sequence_for(compiled, 30, seed=11)
+    faults, _ = collapse_faults(compiled)
+    fault_set = FaultSet(faults)
+    result = run_campaign(compiled, sequence, fault_set)
+    return compiled, sequence, fault_set, result
+
+
+def audit_bytes(audited, options=None, **kw):
+    compiled, sequence, fault_set, result = audited
+    report = run_audit(
+        compiled,
+        sequence,
+        fault_set,
+        options=options or AuditOptions(mode="full", seed=3),
+        strategy=result.ladder[0] if result.ladder else "MOT",
+        complete=result.stopped == "completed",
+        exact=result.exact,
+        **kw,
+    )
+    return json.dumps(report.to_json(), sort_keys=True)
+
+
+def test_sharded_audit_matches_serial(audited):
+    serial = audit_bytes(audited)
+    inline = audit_bytes(audited, workers=0)
+    sharded = audit_bytes(audited, workers=2)
+    assert serial == inline
+    assert serial == sharded
+
+
+def test_audit_checkpoint_resume(audited, tmp_path):
+    path = str(tmp_path / "audit.ckpt")
+    options = AuditOptions(mode="full", seed=3, checkpoint_path=path)
+    expected = audit_bytes(audited, options=options)
+
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert json.loads(lines[0])["type"] == "audit-header"
+    assert len(lines) > 5, "need enough findings to truncate"
+
+    # keep the header and three findings; end on a torn partial line,
+    # as a SIGKILL mid-write would
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines[:4]) + "\n")
+        handle.write(lines[4][: len(lines[4]) // 2])
+
+    resumed = audit_bytes(
+        audited,
+        options=AuditOptions(mode="full", seed=3, checkpoint_path=path),
+    )
+    assert resumed == expected
+
+
+def test_resume_refuses_mismatched_knobs(audited, tmp_path):
+    from repro.runtime import CheckpointError
+
+    path = str(tmp_path / "audit.ckpt")
+    audit_bytes(
+        audited,
+        options=AuditOptions(mode="full", seed=3, checkpoint_path=path),
+    )
+    with pytest.raises(CheckpointError):
+        audit_bytes(
+            audited,
+            options=AuditOptions(mode="full", seed=4,
+                                 checkpoint_path=path),
+        )

@@ -1,0 +1,107 @@
+"""Round-trip properties of the witness-replay audit.
+
+Hypothesis explores the circuit space (the same generator as the
+engine property tests) and checks the load-bearing soundness claim:
+an honest campaign is NEVER refuted by its own audit.  Every audited
+detection must replay concretely — two runs of the independent
+three-valued engine, with and without the fault — and diverge at an
+observed output no later than the claimed detection frame.
+"""
+
+import random as random_module
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import (
+    CONFIRMED,
+    EXTRACTION_FAILED,
+    REFUTED,
+    AuditOptions,
+    run_audit,
+)
+from repro.circuit.compile import compile_circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.status import BY_MOT, BY_RMOT, FaultSet
+from repro.runtime import run_campaign
+from tests.util import random_circuit
+
+
+@st.composite
+def campaign_setups(draw):
+    seed = draw(st.integers(0, 5000))
+    compiled = compile_circuit(
+        random_circuit(
+            seed,
+            num_pis=draw(st.integers(1, 3)),
+            num_dffs=draw(st.integers(1, 3)),
+            num_gates=draw(st.integers(3, 10)),
+            num_pos=draw(st.integers(1, 2)),
+        )
+    )
+    rng = random_module.Random(draw(st.integers(0, 5000)))
+    length = draw(st.integers(3, 8))
+    sequence = [
+        tuple(rng.randrange(2) for _ in compiled.pis)
+        for _ in range(length)
+    ]
+    return compiled, sequence
+
+
+@settings(max_examples=25, deadline=None)
+@given(campaign_setups(), st.integers(0, 100))
+def test_full_audit_never_refutes_honest_campaign(setup, audit_seed):
+    compiled, sequence = setup
+    faults, _ = collapse_faults(compiled)
+    fault_set = FaultSet(faults)
+    result = run_campaign(compiled, sequence, fault_set)
+
+    report = run_audit(
+        compiled,
+        sequence,
+        fault_set,
+        options=AuditOptions(mode="full", seed=audit_seed),
+        strategy=result.ladder[0] if result.ladder else "MOT",
+        complete=result.stopped == "completed",
+        exact=result.exact,
+    )
+
+    counts = report.counts()
+    assert counts[REFUTED] == 0, report.render()
+    assert counts[EXTRACTION_FAILED] == 0, report.render()
+    assert report.ok
+
+    for finding in report.findings:
+        if finding.side != "detected":
+            continue
+        # a clean, completed campaign leaves nothing inconclusive on
+        # the detected side: every verdict replays
+        assert finding.classification == CONFIRMED, finding.to_json()
+        if finding.detected_by in (BY_MOT, BY_RMOT):
+            # the exact rebuild may collapse earlier than the claimed
+            # frame (the campaign rung was conservative), never later
+            assert finding.audited_at <= finding.detected_at
+
+
+@settings(max_examples=10, deadline=None)
+@given(campaign_setups(), st.integers(0, 100))
+def test_audit_is_deterministic(setup, audit_seed):
+    compiled, sequence = setup
+    faults, _ = collapse_faults(compiled)
+    fault_set = FaultSet(faults)
+    result = run_campaign(compiled, sequence, fault_set)
+
+    def one():
+        report = run_audit(
+            compiled,
+            sequence,
+            fault_set,
+            options=AuditOptions(mode="sample", seed=audit_seed,
+                                 sample_detected=4,
+                                 sample_undetected=4),
+            strategy=result.ladder[0] if result.ladder else "MOT",
+            complete=result.stopped == "completed",
+            exact=result.exact,
+        )
+        return report.to_json()
+
+    assert one() == one()
