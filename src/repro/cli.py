@@ -921,7 +921,51 @@ def build_parser():
     p.add_argument("circuit")
     p.add_argument("other")
 
+    p = sub.add_parser("serve",
+                       help="run the crash-safe campaign job daemon")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8357,
+                   help="bind port; 0 picks an ephemeral port, written "
+                        "to endpoint.json in the state dir "
+                        "(default 8357)")
+    p.add_argument("--state-dir", default="repro-serve", metavar="DIR",
+                   help="journal, per-job checkpoints and results live "
+                        "here; restart with the same DIR to recover "
+                        "(default ./repro-serve)")
+    p.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                   help="admission queue bound; a full queue sheds "
+                        "submissions with HTTP 429 (default 8)")
+    p.add_argument("--executors", type=int, default=1, metavar="N",
+                   help="concurrent job executor threads (default 1)")
+    p.add_argument("--retry-after", type=int, default=5, metavar="SECS",
+                   help="Retry-After hint on shed submissions "
+                        "(default 5)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   metavar="SECS",
+                   help="max seconds to wait for in-flight jobs to "
+                        "reach a stop point on SIGTERM (default: wait "
+                        "indefinitely)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write per-job JSONL trace spans to FILE")
+
     return parser
+
+
+def cmd_serve(args):
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        queue_limit=args.queue_limit,
+        executors=args.executors,
+        retry_after=args.retry_after,
+        trace=args.trace,
+        drain_timeout=args.drain_timeout,
+    )
+    return serve(config)
 
 
 _COMMANDS = {
@@ -939,6 +983,7 @@ _COMMANDS = {
     "diagnose": cmd_diagnose,
     "compact": cmd_compact,
     "equiv": cmd_equiv,
+    "serve": cmd_serve,
 }
 
 

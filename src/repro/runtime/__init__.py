@@ -37,8 +37,10 @@ _CHECKPOINT_EXPORTS = {
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "CheckpointWriter",
+    "JsonlWriter",
     "SignalGuard",
     "circuit_fingerprint",
+    "fsync_best_effort",
     "load_checkpoint",
     "read_jsonl_records",
     "sniff_checkpoint_kind",

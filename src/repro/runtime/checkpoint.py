@@ -26,11 +26,13 @@ stop request the campaign polls at frame boundaries, writing a final
 checkpoint before exiting cleanly.
 """
 
+import errno
 import hashlib
 import json
 import os
 import signal
 import tempfile
+import warnings
 
 from repro.faults.status import (
     fault_key_from_json,
@@ -40,6 +42,36 @@ from repro.logic import threeval
 from repro.runtime.errors import CheckpointError, CheckpointMismatch
 
 CHECKPOINT_VERSION = 1
+
+#: ``fsync`` errno values that mean "this filesystem cannot fsync this
+#: descriptor" (overlayfs directories, some tmpfs/FUSE mounts) rather
+#: than "your data is lost".  Durability degrades to the filesystem's
+#: own guarantees; crashing the checkpoint path would lose *more*.
+_FSYNC_UNSUPPORTED_ERRNOS = (errno.EINVAL, errno.EBADF, errno.ENOTSUP)
+
+
+def fsync_best_effort(fd, path):
+    """``os.fsync`` that degrades to a warning where fsync is refused.
+
+    Returns True when the sync happened (or genuinely failed in a way
+    worth propagating — those OSErrors are re-raised), False when the
+    filesystem refused the fsync itself (``EINVAL``/``EBADF``/
+    ``ENOTSUP``), in which case one :class:`RuntimeWarning` is emitted
+    and the caller should stop trying to fsync this file.
+    """
+    try:
+        os.fsync(fd)
+        return True
+    except OSError as exc:
+        if exc.errno not in _FSYNC_UNSUPPORTED_ERRNOS:
+            raise
+        warnings.warn(
+            f"fsync not supported for {path!r} ({exc}); durability "
+            "degrades to the filesystem's own write-back guarantees",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return False
 
 
 def circuit_fingerprint(compiled, fault_keys):
@@ -108,7 +140,7 @@ def write_json_atomic(path, payload):
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
             handle.flush()
-            os.fsync(handle.fileno())
+            fsync_best_effort(handle.fileno(), tmp_path)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -121,7 +153,10 @@ def write_json_atomic(path, payload):
     except OSError:  # pragma: no cover - exotic platforms
         return
     try:
-        os.fsync(dir_fd)
+        # overlay/tmpfs mounts may refuse directory fsync outright
+        # (EINVAL); the rename already happened, so degrade to a
+        # warning rather than failing a write that succeeded
+        fsync_best_effort(dir_fd, directory)
     finally:
         os.close(dir_fd)
 
@@ -159,22 +194,28 @@ def rng_state_from_json(data):
     return (version, tuple(internal), gauss)
 
 
-class CheckpointWriter:
-    """Appends header/checkpoint/progress records to a JSONL file.
+class JsonlWriter:
+    """Appends versioned, fsync'd JSON-lines records to a file.
 
-    Writes are crash-safe: every record is written as one line ending
-    in a newline, flushed and ``fsync``'d before the writer moves on.
-    A crash (power loss, ``SIGKILL``) can therefore lose at most the
-    record being written, leaving a truncated final line that
-    :func:`load_checkpoint` detects (no trailing newline / malformed
-    JSON on the last line) and skips instead of failing the resume.
+    The shared crash-safety primitive behind campaign checkpoints,
+    fabric shard checkpoints and the service job journal.  Every record
+    is written as one line ending in a newline, flushed and ``fsync``'d
+    before the writer moves on.  A crash (power loss, ``SIGKILL``) can
+    therefore lose at most the record being written, leaving a
+    truncated final line that :func:`read_jsonl_records` detects (no
+    trailing newline / malformed JSON on the last line) and skips
+    instead of failing the read.
+
+    On filesystems that refuse ``fsync`` itself (``EINVAL``/``EBADF``
+    on some overlay and tmpfs mounts) the writer degrades once to a
+    :class:`RuntimeWarning` and keeps appending without fsync rather
+    than crashing the checkpoint path.
     """
 
     def __init__(self, path, fsync=True):
         self.path = str(path)
         self.fsync = fsync
         self.records_written = 0
-        self.checkpoints_written = 0
         try:
             self._handle = open(self.path, "a")
         except OSError as exc:
@@ -185,11 +226,27 @@ class CheckpointWriter:
         try:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")
             self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
+            if self.fsync and not fsync_best_effort(
+                self._handle.fileno(), self.path
+            ):
+                self.fsync = False  # warned once; stop retrying
         except (OSError, TypeError, ValueError) as exc:
             raise CheckpointError(self.path, f"cannot write record: {exc}")
         self.records_written += 1
+
+    def close(self):
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+class CheckpointWriter(JsonlWriter):
+    """Appends header/checkpoint/progress records to a JSONL file."""
+
+    def __init__(self, path, fsync=True):
+        super().__init__(path, fsync=fsync)
+        self.checkpoints_written = 0
 
     def write_header(
         self,
@@ -262,12 +319,6 @@ class CheckpointWriter:
         record = {"type": "progress"}
         record.update(payload)
         self._write(record)
-
-    def close(self):
-        try:
-            self._handle.close()
-        except OSError:
-            pass
 
 
 class Checkpoint:

@@ -29,10 +29,14 @@ The governor's budgets are apportioned: each dispatch hands the worker
 the *remaining* wall-clock deadline and an equal share of the node
 budget.  Completed shards are absorbed into a crash-safe checkpoint
 the moment they land, so a killed coordinator resumes with partial
-progress (:func:`resume_sharded_campaign`).  ``SIGINT`` (via
-:class:`~repro.runtime.checkpoint.SignalGuard`) drains the pool
-gracefully: no new dispatches, in-flight shards finish, a partial
-result is returned with ``stopped == "signal"``.
+progress (:func:`resume_sharded_campaign`).  ``SIGINT`` and ``SIGTERM``
+(both via :class:`~repro.runtime.checkpoint.SignalGuard`) drain the
+pool identically and gracefully: no new dispatches, in-flight shards
+finish, a partial result is returned with ``stopped == "signal"``.
+Workers ignore both signals themselves, so a signal delivered to the
+whole process group (Ctrl-C in a terminal, ``systemctl stop``, a
+container runtime's ``SIGTERM``) still drains cleanly instead of
+killing workers mid-shard.
 """
 
 import multiprocessing

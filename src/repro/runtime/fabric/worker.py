@@ -21,9 +21,11 @@ that shard's faults, and reports back:
   failure inside the shard run (the worker survives and stays in the
   pool; the coordinator treats the shard like a crashed one).
 
-Workers ignore ``SIGINT``: on Ctrl-C the *coordinator* decides whether
-to drain gracefully, and a terminal delivering the signal to the whole
-process group must not kill workers mid-shard.
+Workers ignore ``SIGINT`` *and* ``SIGTERM``: on Ctrl-C — or a service
+manager's ``SIGTERM`` — the *coordinator* decides whether to drain
+gracefully, and a signal delivered to the whole process group must not
+kill workers mid-shard.  (``SIGKILL`` still works, and is what the
+coordinator itself uses to reap a hung or bloated worker.)
 
 Everything in the init payload and in messages is picklable, so the
 fabric works under both the ``fork`` and ``spawn`` start methods.
@@ -207,10 +209,11 @@ def _apply_chaos(chaos, shard_keys):
 
 def worker_main(worker_id, conn, init):
     """Entry point of a pool worker process."""
-    try:
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-    except (ValueError, OSError):  # pragma: no cover - exotic platforms
-        pass
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - exotic
+            pass
     compiled = init["compiled"]
     faults = init["faults"]
     sequence = init["sequence"]

@@ -1,0 +1,56 @@
+"""The crash-safe campaign service (``python -m repro serve``).
+
+A small stdlib-only daemon that runs fault-simulation campaigns as
+journaled jobs behind a JSON-over-HTTP API:
+
+* :mod:`repro.service.server` — HTTP front end, bounded admission
+  queue with load shedding, graceful drain, restart recovery,
+* :mod:`repro.service.journal` — the fsync'd append-only job journal
+  and its state machine,
+* :mod:`repro.service.jobs` — job specs (strict validation), the job
+  table entry and the cooperative stop guard,
+* :mod:`repro.service.executor` — the worker threads driving jobs
+  through :func:`repro.runtime.campaign.run_campaign` with per-job
+  checkpoints, deadlines and budgets.
+
+See ``docs/service.md`` for the API and operational semantics.
+"""
+
+from repro.service.jobs import Job, JobGuard, JobSpec, JobSpecError
+from repro.service.journal import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    INTERRUPTED,
+    RECOVERABLE,
+    RUNNING,
+    STATES,
+    SUBMITTED,
+    TERMINAL,
+    JobJournal,
+    JournalStateError,
+    replay_journal,
+)
+from repro.service.server import CampaignService, ServiceConfig, serve
+
+__all__ = [
+    "CampaignService",
+    "ServiceConfig",
+    "serve",
+    "Job",
+    "JobGuard",
+    "JobSpec",
+    "JobSpecError",
+    "JobJournal",
+    "JournalStateError",
+    "replay_journal",
+    "SUBMITTED",
+    "RUNNING",
+    "INTERRUPTED",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "RECOVERABLE",
+    "TERMINAL",
+    "STATES",
+]

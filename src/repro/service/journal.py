@@ -1,0 +1,133 @@
+"""The crash-safe job journal of the campaign service.
+
+One append-only JSON-lines file (``journal.jsonl`` in the service's
+state directory) is the authoritative record of every job the service
+has ever accepted.  It reuses the campaign checkpoint primitives —
+:class:`~repro.runtime.checkpoint.JsonlWriter` for fsync'd appends,
+:func:`~repro.runtime.checkpoint.read_jsonl_records` for torn-tail
+tolerant reads — so a ``kill -9`` of the daemon loses at most the
+record being written, and a restart replays the journal to recover.
+
+Record types:
+
+* ``service`` — one per daemon start/stop (pid, state dir, event),
+  informational only,
+* ``job`` — one per job state transition.  The ``submitted`` record
+  embeds the full job spec (the journal is the source of truth; no
+  separate spec file exists), later records carry only the transition
+  and its context (attempt count, stop reason, error, result file,
+  result digest).
+
+The job state machine::
+
+    submitted ──► running ──► done
+        ▲            │   ├──► failed
+        │            │   └──► cancelled
+        │            ▼
+        └─────── interrupted        (graceful drain checkpointed it)
+
+``done`` / ``failed`` / ``cancelled`` are terminal.  A restart requeues
+every job whose last journaled state is non-terminal: ``submitted``
+(never picked up), ``interrupted`` (drained mid-run with a checkpoint)
+and ``running`` (the daemon died mid-run — the job's campaign
+checkpoint, if any survived, short-cuts the re-run).
+"""
+
+from repro.runtime.checkpoint import JsonlWriter, read_jsonl_records
+
+SUBMITTED = "submitted"
+RUNNING = "running"
+INTERRUPTED = "interrupted"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: states a restarted service must requeue
+RECOVERABLE = (SUBMITTED, RUNNING, INTERRUPTED)
+#: states that end a job's lifecycle
+TERMINAL = (DONE, FAILED, CANCELLED)
+#: every legal state, in lifecycle order (for docs and validation)
+STATES = (SUBMITTED, RUNNING, INTERRUPTED, DONE, FAILED, CANCELLED)
+
+_TRANSITIONS = {
+    None: {SUBMITTED},
+    # SUBMITTED -> SUBMITTED is the restart requeue of a job the dead
+    # daemon never picked up; RUNNING -> SUBMITTED the requeue of one
+    # it died midway through
+    SUBMITTED: {RUNNING, CANCELLED, SUBMITTED},
+    RUNNING: {DONE, FAILED, CANCELLED, INTERRUPTED, SUBMITTED},
+    INTERRUPTED: {SUBMITTED, RUNNING, CANCELLED},
+    DONE: set(),
+    FAILED: set(),
+    CANCELLED: set(),
+}
+
+
+class JournalStateError(ValueError):
+    """An illegal job state transition (a service bug, never user input)."""
+
+    def __init__(self, job_id, old, new):
+        super().__init__(
+            f"job {job_id}: illegal transition {old!r} -> {new!r}"
+        )
+        self.job_id = job_id
+        self.old = old
+        self.new = new
+
+
+class JobJournal:
+    """Appends service/job records; every record is fsync'd durable."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._writer = JsonlWriter(self.path)
+        #: job id -> last journaled state, to reject illegal transitions
+        self._states = {}
+
+    def service_event(self, event, **fields):
+        record = {"type": "service", "event": event}
+        record.update(fields)
+        self._writer._write(record)
+
+    def job_event(self, job_id, state, **fields):
+        old = self._states.get(job_id)
+        if state not in _TRANSITIONS.get(old, ()):
+            raise JournalStateError(job_id, old, state)
+        record = {"type": "job", "id": job_id, "state": state}
+        record.update(fields)
+        self._writer._write(record)
+        self._states[job_id] = state
+
+    def note_replayed_state(self, job_id, state):
+        """Seed the transition checker from a replayed journal."""
+        self._states[job_id] = state
+
+    def close(self):
+        self._writer.close()
+
+
+def replay_journal(path):
+    """Fold the journal into per-job views, preserving submit order.
+
+    Returns ``(jobs, events)`` where *jobs* is an ordered ``{job_id:
+    view}`` dict — each view is the union of every record the job ever
+    journaled, with ``state`` holding the last transition and ``spec``
+    the submitted spec — and *events* counts the service records seen.
+    A torn final line (the daemon died mid-append) is skipped by the
+    underlying reader; everything before it is recovered.
+    """
+    jobs = {}
+    events = 0
+    for record in read_jsonl_records(path):
+        kind = record.get("type")
+        if kind == "service":
+            events += 1
+            continue
+        if kind != "job":
+            continue
+        view = jobs.setdefault(record["id"], {})
+        for key, value in record.items():
+            if key in ("type", "version"):
+                continue
+            view[key] = value
+    return jobs, events

@@ -1,0 +1,503 @@
+"""The campaign daemon: HTTP front end, admission control, recovery.
+
+``python -m repro serve`` starts a :class:`ThreadingHTTPServer`
+(stdlib only — the service has exactly the dependency footprint of the
+CLI) in front of a bounded admission queue and a small pool of
+:class:`~repro.service.executor.JobExecutor` threads.  The design
+invariants, in the order they matter:
+
+* **Admitted means finished.**  Overload is handled entirely at the
+  admission edge: a full queue answers ``429 Too Many Requests`` with
+  a ``Retry-After`` hint and increments a shed counter.  Jobs already
+  admitted are never degraded, reordered or dropped.
+* **Every lifecycle edge is journaled before it is acted on.**  The
+  fsync'd JSONL journal (:mod:`repro.service.journal`) is the single
+  source of truth; a ``kill -9`` loses at most the record being
+  written.  On restart :meth:`CampaignService.recover` replays the
+  journal, serves terminal jobs' results idempotently and requeues
+  everything non-terminal — the per-job campaign checkpoint then makes
+  the re-run exact.
+* **Drain is cooperative.**  ``SIGTERM``/``SIGINT`` stop admission
+  (``/readyz`` flips to 503), ask in-flight jobs to stop at their next
+  frame/shard boundary (they checkpoint and journal ``interrupted``),
+  flush the journal and exit 0.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, JsonlSink, Tracer
+from repro.runtime.checkpoint import write_json_atomic
+from repro.service import journal as states
+from repro.service.executor import RESULT_NAME, JobExecutor
+from repro.service.jobs import Job, JobSpec, JobSpecError
+from repro.service.journal import JobJournal, replay_journal
+
+JOURNAL_NAME = "journal.jsonl"
+ENDPOINT_NAME = "endpoint.json"
+
+
+class ServiceConfig:
+    """Tuning knobs of the campaign service (all with safe defaults)."""
+
+    def __init__(
+        self,
+        host="127.0.0.1",
+        port=0,
+        state_dir="repro-serve",
+        queue_limit=8,
+        executors=1,
+        retry_after=5,
+        trace=None,
+        drain_timeout=None,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if executors < 1:
+            raise ValueError("executors must be >= 1")
+        self.host = host
+        self.port = port
+        self.state_dir = state_dir
+        self.queue_limit = queue_limit
+        self.executors = executors
+        self.retry_after = retry_after
+        self.trace = trace
+        self.drain_timeout = drain_timeout
+
+
+class CampaignService:
+    """Job table, admission queue and journal behind the HTTP API."""
+
+    def __init__(self, config):
+        self.config = config
+        os.makedirs(config.state_dir, exist_ok=True)
+        self.journal = JobJournal(
+            os.path.join(config.state_dir, JOURNAL_NAME)
+        )
+        self.metrics = MetricsRegistry()
+        if config.trace:
+            self.tracer = Tracer(JsonlSink(config.trace))
+            self.tracer.write_header("repro-serve", pid=os.getpid())
+        else:
+            self.tracer = NULL_TRACER
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._queue = deque()
+        self._jobs = {}
+        self._next_id = 1
+        self.draining = False
+        self._server = None
+        self._http_thread = None
+        self._executor = None
+
+    # -- helpers -------------------------------------------------------
+
+    def job_dir(self, job_id):
+        return os.path.join(self.config.state_dir, "jobs", job_id)
+
+    def trace_span(self, name, **fields):
+        return self.tracer.span(name, **fields)
+
+    def _new_job_id(self):
+        job_id = f"job-{self._next_id:06d}"
+        self._next_id += 1
+        return job_id
+
+    def _refresh_gauges(self):
+        self.metrics.gauge("service.queue_depth", len(self._queue))
+        running = sum(
+            1 for job in self._jobs.values()
+            if job.state == states.RUNNING
+        )
+        self.metrics.gauge("service.running", running)
+
+    # -- recovery ------------------------------------------------------
+
+    def recover(self):
+        """Replay the journal: serve old results, requeue unfinished work.
+
+        Returns the number of jobs requeued.  Requeue preserves the
+        original submit order, so recovered work is not starved by (or
+        does not starve) anything — the queue after a restart looks
+        exactly like the queue the dead daemon owed its clients.
+        """
+        jobs, _events = replay_journal(self.journal.path)
+        requeued = 0
+        with self._lock:
+            for job_id, view in jobs.items():
+                state = view.get("state")
+                if state not in states.STATES:
+                    continue
+                spec = JobSpec(**view.get("spec", {}))
+                job = Job(job_id, spec, state,
+                          submitted_at=view.get("submitted_at"))
+                job.error = view.get("error")
+                job.result_file = view.get("result_file")
+                job.attempts = view.get("attempt", 0)
+                self._jobs[job_id] = job
+                self.journal.note_replayed_state(job_id, state)
+                try:
+                    numeric = int(job_id.rsplit("-", 1)[-1])
+                except ValueError:
+                    numeric = 0
+                self._next_id = max(self._next_id, numeric + 1)
+                if state in states.RECOVERABLE:
+                    self.journal.job_event(
+                        job_id, states.SUBMITTED, recovered=True,
+                        previous=state,
+                    )
+                    job.state = states.SUBMITTED
+                    self._queue.append(job)
+                    requeued += 1
+            self.metrics.set_total("service.recovered", requeued)
+            self._refresh_gauges()
+            self._work.notify_all()
+        self.journal.service_event(
+            "start", pid=os.getpid(), replayed=len(jobs), requeued=requeued
+        )
+        return requeued
+
+    # -- the job API (called from HTTP handler threads) ----------------
+
+    def submit(self, data):
+        """Admit a job or shed it.  Returns ``(status, headers, body)``."""
+        try:
+            spec = JobSpec.from_json(data)
+        except JobSpecError as exc:
+            return 400, {}, {"error": str(exc)}
+        with self._lock:
+            if self.draining:
+                return 503, {}, {"error": "service is draining"}
+            if len(self._queue) >= self.config.queue_limit:
+                self.metrics.inc("service.sheds")
+                return (
+                    429,
+                    {"Retry-After": str(self.config.retry_after)},
+                    {
+                        "error": "admission queue full",
+                        "queue_limit": self.config.queue_limit,
+                        "retry_after": self.config.retry_after,
+                    },
+                )
+            job = Job(self._new_job_id(), spec, states.SUBMITTED,
+                      submitted_at=time.time())
+            self.journal.job_event(
+                job.id, states.SUBMITTED, spec=spec.to_json(),
+                submitted_at=job.submitted_at,
+            )
+            self._jobs[job.id] = job
+            self._queue.append(job)
+            self.metrics.inc("service.submitted")
+            self._refresh_gauges()
+            self._work.notify()
+            return 202, {}, job.summary()
+
+    def get_job(self, job_id, include_result=True):
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return 404, {}, {"error": f"no such job {job_id!r}"}
+            body = job.summary()
+        if include_result and job.result_file:
+            result_path = os.path.join(
+                self.job_dir(job_id), job.result_file
+            )
+            try:
+                with open(result_path, encoding="utf-8") as handle:
+                    body["result"] = json.load(handle)
+            except (OSError, ValueError):
+                body["result"] = None
+        return 200, {}, body
+
+    def list_jobs(self):
+        with self._lock:
+            body = {
+                "jobs": [job.summary() for job in self._jobs.values()],
+                "queue_depth": len(self._queue),
+                "draining": self.draining,
+            }
+        return 200, {}, body
+
+    def cancel(self, job_id):
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return 404, {}, {"error": f"no such job {job_id!r}"}
+            if job.state in states.TERMINAL:
+                return 409, {}, {
+                    "error": f"job {job_id} already {job.state}",
+                    "state": job.state,
+                }
+            job.cancel_requested = True
+            if job.state == states.SUBMITTED:
+                # still queued: cancel immediately (next_job skips it)
+                self.journal.job_event(job_id, states.CANCELLED,
+                                       where="queue")
+                job.state = states.CANCELLED
+                self.metrics.inc("service.cancelled")
+                self._refresh_gauges()
+                return 200, {}, job.summary()
+            # running: cooperative stop at the next frame/shard boundary
+            job.guard.request_stop("cancel")
+            return 202, {}, job.summary()
+
+    def health(self):
+        return 200, {}, {"status": "ok", "pid": os.getpid()}
+
+    def ready(self):
+        with self._lock:
+            if self.draining:
+                return 503, {}, {"status": "draining"}
+            return 200, {}, {
+                "status": "ready",
+                "queue_depth": len(self._queue),
+                "queue_limit": self.config.queue_limit,
+            }
+
+    def metrics_body(self):
+        return 200, {}, self.metrics.flat()
+
+    # -- executor side -------------------------------------------------
+
+    def next_job(self):
+        """Block until a job is available; ``None`` once drained dry."""
+        with self._work:
+            while True:
+                while self._queue:
+                    job = self._queue.popleft()
+                    self._refresh_gauges()
+                    if job.state == states.CANCELLED:
+                        continue  # cancelled while queued
+                    return job
+                if self.draining:
+                    return None
+                self._work.wait(timeout=0.25)
+
+    def note_running(self, job):
+        with self._lock:
+            job.attempts += 1
+            job.state = states.RUNNING
+            self.journal.job_event(job.id, states.RUNNING,
+                                   attempt=job.attempts)
+            self._refresh_gauges()
+
+    def note_done(self, job, result_file, digest, payload):
+        with self._lock:
+            job.state = states.DONE
+            job.result_file = result_file
+            self.journal.job_event(
+                job.id, states.DONE, result_file=result_file,
+                digest=digest, counts=payload.get("counts"),
+            )
+            self.metrics.inc("service.done")
+            self._refresh_gauges()
+
+    def note_failed(self, job, error, result_file=None, digest=None,
+                    stopped=None):
+        with self._lock:
+            job.state = states.FAILED
+            job.error = error
+            job.result_file = result_file
+            job.stop_reason = stopped
+            fields = {"error": error}
+            if result_file is not None:
+                fields["result_file"] = result_file
+                fields["digest"] = digest
+            if stopped is not None:
+                fields["stopped"] = stopped
+            self.journal.job_event(job.id, states.FAILED, **fields)
+            self.metrics.inc("service.failed")
+            self._refresh_gauges()
+
+    def note_cancelled(self, job, result_file=None, digest=None):
+        with self._lock:
+            job.state = states.CANCELLED
+            job.result_file = result_file
+            fields = {"where": "running"}
+            if result_file is not None:
+                fields["result_file"] = result_file
+                fields["digest"] = digest
+            self.journal.job_event(job.id, states.CANCELLED, **fields)
+            self.metrics.inc("service.cancelled")
+            self._refresh_gauges()
+
+    def note_interrupted(self, job, result_file=None, digest=None):
+        with self._lock:
+            job.state = states.INTERRUPTED
+            job.result_file = result_file
+            job.stop_reason = "drain"
+            fields = {}
+            if result_file is not None:
+                fields["result_file"] = result_file
+                fields["digest"] = digest
+            self.journal.job_event(job.id, states.INTERRUPTED, **fields)
+            self.metrics.inc("service.interrupted")
+            self._refresh_gauges()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start_http(self):
+        """Bind and serve in a daemon thread; returns ``(host, port)``.
+
+        The bound endpoint is also written to ``endpoint.json`` in the
+        state directory so scripts using ``--port 0`` (tests, CI) can
+        discover the ephemeral port without scraping stdout.
+        """
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        host, port = self._server.server_address[:2]
+        write_json_atomic(
+            os.path.join(self.config.state_dir, ENDPOINT_NAME),
+            {"host": host, "port": port, "pid": os.getpid()},
+        )
+        self._http_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return host, port
+
+    def start_executors(self):
+        self._executor = JobExecutor(self, count=self.config.executors)
+        self._executor.start()
+
+    def drain(self, reason="signal"):
+        """Stop admitting, stop in-flight work at a safe point, flush.
+
+        Returns ``True`` when every executor thread exited before the
+        configured ``drain_timeout`` (always true with no timeout).
+        """
+        with self._lock:
+            if self.draining:
+                return True
+            self.draining = True
+            for job in self._jobs.values():
+                if job.state == states.RUNNING:
+                    job.guard.request_stop("drain")
+            self._work.notify_all()
+        clean = True
+        if self._executor is not None:
+            clean = self._executor.join(self.config.drain_timeout)
+        self.journal.service_event(
+            "drain", reason=reason, clean=clean, pid=os.getpid()
+        )
+        self.journal.close()
+        if self.tracer is not NULL_TRACER:
+            self.tracer.close()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        return clean
+
+
+# -- HTTP plumbing -----------------------------------------------------
+
+
+def _make_handler(service):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # the service's own journal is the log; the default per-request
+        # stderr line would swamp it under load
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _respond(self, status, headers, body):
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _read_json(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ValueError("empty request body")
+            return json.loads(raw)
+
+        def do_GET(self):
+            if self.path == "/healthz":
+                self._respond(*service.health())
+            elif self.path == "/readyz":
+                self._respond(*service.ready())
+            elif self.path == "/metrics":
+                self._respond(*service.metrics_body())
+            elif self.path == "/jobs":
+                self._respond(*service.list_jobs())
+            elif self.path.startswith("/jobs/"):
+                job_id = self.path[len("/jobs/"):]
+                self._respond(*service.get_job(job_id))
+            else:
+                self._respond(404, {}, {"error": f"no route {self.path}"})
+
+        def do_POST(self):
+            if self.path != "/jobs":
+                self._respond(404, {}, {"error": f"no route {self.path}"})
+                return
+            try:
+                data = self._read_json()
+            except ValueError as exc:
+                self._respond(400, {}, {"error": f"bad JSON body: {exc}"})
+                return
+            self._respond(*service.submit(data))
+
+        def do_DELETE(self):
+            if not self.path.startswith("/jobs/"):
+                self._respond(404, {}, {"error": f"no route {self.path}"})
+                return
+            job_id = self.path[len("/jobs/"):]
+            self._respond(*service.cancel(job_id))
+
+    return Handler
+
+
+def serve(config):
+    """CLI entry: run the daemon until a signal, drain, exit code."""
+    service = CampaignService(config)
+    requeued = service.recover()
+    host, port = service.start_http()
+    service.start_executors()
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(state {config.state_dir}, queue limit "
+        f"{config.queue_limit}, {config.executors} executor(s), "
+        f"{requeued} job(s) recovered)",
+        flush=True,
+    )
+    stop = threading.Event()
+    received = {}
+
+    def _handler(signum, frame):
+        received["signum"] = signum
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _handler)
+    try:
+        stop.wait()
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+    signum = received.get("signum")
+    name = signal.Signals(signum).name if signum else "request"
+    print(f"repro serve: {name} received, draining", flush=True)
+    clean = service.drain(reason=name)
+    print(
+        "repro serve: drained"
+        + ("" if clean else " (timeout: some executors still running)"),
+        flush=True,
+    )
+    return 0 if clean else 3

@@ -1,0 +1,189 @@
+"""Chaos: kill the campaign daemon, demand graceful drain / recovery.
+
+Two failure modes, two contracts:
+
+* ``SIGTERM`` (service manager shutdown) — the daemon stops admitting,
+  asks in-flight jobs to checkpoint at their next shard boundary,
+  flushes the journal and exits 0.  A restart requeues the interrupted
+  job and finishes it.
+* ``SIGKILL`` (OOM killer, power loss) — no drain happened, the
+  journal's last words are ``running``.  A restart must replay the
+  journal, requeue the job, resume its campaign checkpoint and produce
+  verdicts **byte-identical** to an uninterrupted run of the same spec
+  (fabric-style resume is exact, and service jobs run sharded).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+
+#: long campaign, tiny shards: many checkpoint/drain points
+JOB = {"circuit": "ctr8", "length": 2000, "seed": 11, "shard_size": 2}
+POLL = 0.05
+
+
+def _repro_env():
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _start_daemon(state_dir, env):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state-dir", str(state_dir), "--queue-limit", "4"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, start_new_session=True,
+    )
+    endpoint = os.path.join(str(state_dir), "endpoint.json")
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(f"daemon died on startup: {out} {err}")
+        if os.path.exists(endpoint):
+            with open(endpoint, encoding="utf-8") as handle:
+                record = json.load(handle)
+            if record.get("pid") == proc.pid:
+                base = f"http://{record['host']}:{record['port']}"
+                try:
+                    _request(base, "GET", "/healthz")
+                    return proc, base
+                except (urllib.error.URLError, OSError):
+                    pass
+        time.sleep(POLL)
+    raise AssertionError("daemon never became healthy")
+
+
+def _request(base, method, path, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait_for_progress(state_dir, job_id, min_shards=2, timeout=120):
+    """Block until the job's campaign checkpoint holds completed shards."""
+    path = os.path.join(str(state_dir), "jobs", job_id, "campaign.ckpt")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                if sum('"type": "shard"' in line
+                       for line in handle) >= min_shards:
+                    return
+        time.sleep(POLL)
+    raise AssertionError(f"job {job_id} never checkpointed a shard")
+
+
+def _poll_done(base, job_id, timeout=300):
+    deadline = time.monotonic() + timeout
+    body = None
+    while time.monotonic() < deadline:
+        _, body = _request(base, "GET", f"/jobs/{job_id}")
+        if body.get("state") == "done":
+            return body
+        assert body.get("state") not in ("failed", "cancelled"), body
+        time.sleep(POLL)
+    raise AssertionError(f"job {job_id} never finished: {body}")
+
+
+def _journal_states(state_dir, job_id):
+    path = os.path.join(str(state_dir), "journal.jsonl")
+    out = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail after SIGKILL
+            if record.get("type") == "job" and record.get("id") == job_id:
+                out.append(record["state"])
+    return out
+
+
+def test_sigterm_drains_gracefully_and_restart_finishes(tmp_path):
+    env = _repro_env()
+    state_dir = tmp_path / "state"
+    proc, base = _start_daemon(state_dir, env)
+    status, body = _request(base, "POST", "/jobs", JOB)
+    assert status == 202, body
+    job_id = body["id"]
+    _wait_for_progress(state_dir, job_id)
+
+    os.kill(proc.pid, signal.SIGTERM)
+    out, err = proc.communicate(timeout=120)
+    # the drain contract: exit 0, journal flushed, job interrupted
+    assert proc.returncode == 0, (proc.returncode, out, err)
+    assert "draining" in out and "drained" in out
+    history = _journal_states(state_dir, job_id)
+    if history[-1] == "done":
+        pytest.skip("job finished before the signal landed")
+    assert history[-1] == "interrupted", history
+
+    proc, base = _start_daemon(state_dir, env)
+    try:
+        final = _poll_done(base, job_id)
+        assert final["result"]["stopped"] == "completed"
+        history = _journal_states(state_dir, job_id)
+        assert history[-1] == "done"
+        assert "interrupted" in history
+    finally:
+        os.kill(proc.pid, signal.SIGTERM)
+        proc.communicate(timeout=60)
+
+
+def test_sigkill_recovery_reproduces_verdicts_exactly(tmp_path):
+    env = _repro_env()
+    state_dir = tmp_path / "state"
+    proc, base = _start_daemon(state_dir, env)
+    status, body = _request(base, "POST", "/jobs", JOB)
+    assert status == 202, body
+    job_id = body["id"]
+    _wait_for_progress(state_dir, job_id)
+
+    # no drain, no flush beyond the per-record fsync: power loss
+    os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+    proc.communicate(timeout=60)
+    assert proc.returncode == -signal.SIGKILL
+    history = _journal_states(state_dir, job_id)
+    if history[-1] == "done":
+        pytest.skip("job finished before the kill landed")
+    assert history[-1] == "running", history
+
+    # the restarted daemon replays the journal and requeues the job
+    proc, base = _start_daemon(state_dir, env)
+    try:
+        recovered = _poll_done(base, job_id)
+        history = _journal_states(state_dir, job_id)
+        # requeue edge: ... running -> submitted(recovered) -> ... done
+        assert history[history.index("running") + 1] == "submitted"
+
+        # the acceptance bar: byte-identical verdicts vs a fresh,
+        # uninterrupted run of the very same spec on the same daemon
+        status, body = _request(base, "POST", "/jobs", JOB)
+        assert status == 202, body
+        reference = _poll_done(base, body["id"])
+        assert (
+            recovered["result"]["verdicts"]
+            == reference["result"]["verdicts"]
+        )
+        assert (
+            recovered["result"]["counts"] == reference["result"]["counts"]
+        )
+    finally:
+        os.kill(proc.pid, signal.SIGTERM)
+        proc.communicate(timeout=60)

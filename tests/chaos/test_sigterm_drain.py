@@ -1,0 +1,93 @@
+"""Chaos: SIGTERM a sharded campaign, demand a clean checkpoint.
+
+``SIGTERM`` is what service managers (systemd, Kubernetes, ``docker
+stop``) send before escalating to ``SIGKILL`` — and they send it to
+the whole process group.  The fabric must treat it exactly like
+``SIGINT``: the coordinator drains (in-flight shards finish, no new
+dispatches, a final fabric checkpoint survives on disk), workers
+ignore the group-delivered signal instead of dying mid-shard, and a
+resume completes the campaign with verdicts identical to an
+uninterrupted run (a fabric resume is exact).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.faults.status import DETECTED
+from repro.runtime.fabric import load_fabric_checkpoint
+
+
+def _repro_env():
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _detected(payload):
+    return {
+        f["fault"] for f in payload["faults"] if f["status"] == DETECTED
+    }
+
+
+def test_sigterm_process_group_drains_sharded_campaign(tmp_path):
+    env = _repro_env()
+    path = tmp_path / "run.ckpt"
+    base = [sys.executable, "-m", "repro", "campaign", "ctr8",
+            "--length", "200", "--seed", "7", "--json"]
+    # small shards so the drain point (a shard boundary) arrives fast
+    proc = subprocess.Popen(
+        base + ["--workers", "2", "--shard-size", "8",
+                "--checkpoint", str(path)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, start_new_session=True,
+    )
+    # SIGTERM the whole group once at least one shard is checkpointed:
+    # the coordinator must drain, the workers must survive the signal
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline and proc.poll() is None:
+        if path.exists():
+            with open(path) as handle:
+                if sum('"type": "shard"' in line for line in handle) >= 1:
+                    break
+        time.sleep(0.005)
+    if proc.poll() is None:
+        os.killpg(os.getpgid(proc.pid), signal.SIGTERM)
+    out, err = proc.communicate(timeout=120)
+    if proc.returncode == 0:
+        pytest.skip("campaign finished before the signal landed")
+    # exit 3 = graceful signal stop with a final checkpoint, exactly
+    # like SIGINT; any other code means the group signal killed us
+    assert proc.returncode == 3, (proc.returncode, err)
+    partial = json.loads(out)
+    assert partial["runtime"]["stopped"] == "signal"
+
+    # the checkpoint is clean: parseable header + completed shards
+    checkpoint = load_fabric_checkpoint(str(path))
+    assert checkpoint.shards, "drain must preserve completed shards"
+
+    resumed_proc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign",
+         "--resume", str(path), "--json"],
+        env=env, capture_output=True, text=True, timeout=240,
+    )
+    assert resumed_proc.returncode == 0, resumed_proc.stderr
+    resumed = json.loads(resumed_proc.stdout)
+    assert resumed["runtime"]["stopped"] == "completed"
+
+    reference_proc = subprocess.run(
+        base + ["--workers", "0", "--shard-size", "8"],
+        env=env, capture_output=True, text=True, timeout=240,
+    )
+    assert reference_proc.returncode == 0, reference_proc.stderr
+    reference = json.loads(reference_proc.stdout)
+    # a fabric resume re-runs whole shards, so — unlike an in-process
+    # campaign resume — the verdicts match the uninterrupted run
+    assert _detected(resumed) == _detected(reference)

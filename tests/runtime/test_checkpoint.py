@@ -187,6 +187,54 @@ def test_writer_fsyncs_by_default(tmp_path, monkeypatch):
     assert synced  # every record hit the disk before returning
 
 
+def test_writer_degrades_when_fsync_unsupported(tmp_path, monkeypatch):
+    """EINVAL from fsync (overlay/tmpfs mounts) must not crash writes."""
+    import errno
+
+    calls = []
+
+    def refusing_fsync(fd):
+        calls.append(fd)
+        raise OSError(errno.EINVAL, "Invalid argument")
+
+    monkeypatch.setattr("repro.runtime.checkpoint.os.fsync", refusing_fsync)
+    path = tmp_path / "run.ckpt"
+    with pytest.warns(RuntimeWarning, match="fsync not supported"):
+        write_campaign_file(path)
+    # degraded once, then stopped retrying: exactly one fsync attempt
+    assert len(calls) == 1
+    # and the file is complete and loadable regardless
+    checkpoint = load_checkpoint(path)
+    assert checkpoint.frame == 20
+
+
+def test_writer_propagates_real_fsync_errors(tmp_path, monkeypatch):
+    """EIO-class fsync failures are data loss, not degradation."""
+    import errno
+
+    def failing_fsync(fd):
+        raise OSError(errno.EIO, "Input/output error")
+
+    monkeypatch.setattr("repro.runtime.checkpoint.os.fsync", failing_fsync)
+    with pytest.raises(CheckpointError, match="cannot write record"):
+        write_campaign_file(tmp_path / "run.ckpt")
+
+
+def test_write_json_atomic_tolerates_fsync_refusal(tmp_path, monkeypatch):
+    import errno
+
+    from repro.runtime import write_json_atomic
+
+    def refusing_fsync(fd):
+        raise OSError(errno.EINVAL, "Invalid argument")
+
+    monkeypatch.setattr("repro.runtime.checkpoint.os.fsync", refusing_fsync)
+    target = tmp_path / "summary.json"
+    with pytest.warns(RuntimeWarning, match="fsync not supported"):
+        write_json_atomic(target, {"ok": True, "n": 3})
+    assert json.loads(target.read_text()) == {"ok": True, "n": 3}
+
+
 def test_sniff_checkpoint_kind(tmp_path):
     from repro.runtime import sniff_checkpoint_kind
 

@@ -1,0 +1,113 @@
+"""Unit coverage of the job journal: state machine, replay, torn tails."""
+
+import json
+
+import pytest
+
+from repro.service import journal as states
+from repro.service.journal import (
+    JobJournal,
+    JournalStateError,
+    replay_journal,
+)
+
+
+def _journal(tmp_path):
+    return JobJournal(str(tmp_path / "journal.jsonl"))
+
+
+def test_happy_path_transitions(tmp_path):
+    journal = _journal(tmp_path)
+    journal.job_event("j1", states.SUBMITTED, spec={"circuit": "ctr8"})
+    journal.job_event("j1", states.RUNNING, attempt=1)
+    journal.job_event("j1", states.DONE, result_file="result.json")
+    journal.close()
+    jobs, _ = replay_journal(journal.path)
+    assert jobs["j1"]["state"] == states.DONE
+    assert jobs["j1"]["spec"] == {"circuit": "ctr8"}
+    assert jobs["j1"]["result_file"] == "result.json"
+
+
+@pytest.mark.parametrize("first, second", [
+    (states.DONE, states.RUNNING),        # terminal states are final
+    (states.FAILED, states.SUBMITTED),
+    (states.CANCELLED, states.RUNNING),
+])
+def test_terminal_states_reject_followups(tmp_path, first, second):
+    journal = _journal(tmp_path)
+    journal.job_event("j1", states.SUBMITTED)
+    journal.job_event("j1", states.RUNNING)
+    journal.job_event("j1", first)
+    with pytest.raises(JournalStateError, match="illegal transition"):
+        journal.job_event("j1", second)
+    journal.close()
+
+
+def test_first_record_must_be_submitted(tmp_path):
+    journal = _journal(tmp_path)
+    with pytest.raises(JournalStateError):
+        journal.job_event("j1", states.RUNNING)
+    journal.close()
+
+
+def test_restart_requeue_transitions(tmp_path):
+    """Every recoverable state may be requeued as ``submitted``."""
+    journal = _journal(tmp_path)
+    journal.job_event("never-picked-up", states.SUBMITTED)
+    journal.job_event("died-mid-run", states.SUBMITTED)
+    journal.job_event("died-mid-run", states.RUNNING)
+    journal.job_event("drained", states.SUBMITTED)
+    journal.job_event("drained", states.RUNNING)
+    journal.job_event("drained", states.INTERRUPTED)
+    for job_id in ("never-picked-up", "died-mid-run", "drained"):
+        journal.job_event(job_id, states.SUBMITTED, recovered=True)
+    journal.close()
+    jobs, _ = replay_journal(journal.path)
+    assert all(v["state"] == states.SUBMITTED for v in jobs.values())
+    assert all(v["recovered"] for v in jobs.values())
+
+
+def test_replay_preserves_submit_order_and_skips_torn_tail(tmp_path):
+    journal = _journal(tmp_path)
+    journal.service_event("start", pid=123)
+    for job_id in ("a", "b", "c"):
+        journal.job_event(job_id, states.SUBMITTED)
+    journal.job_event("a", states.RUNNING)
+    journal.close()
+    # simulate a kill -9 mid-append: a torn, unparseable final line
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "job", "id": "c", "sta')
+    jobs, events = replay_journal(journal.path)
+    assert list(jobs) == ["a", "b", "c"]
+    assert events == 1
+    assert jobs["a"]["state"] == states.RUNNING
+    assert jobs["c"]["state"] == states.SUBMITTED  # torn record dropped
+
+
+def test_note_replayed_state_seeds_checker(tmp_path):
+    """A restarted journal continues the dead daemon's state machine."""
+    journal = _journal(tmp_path)
+    journal.job_event("j1", states.SUBMITTED)
+    journal.job_event("j1", states.RUNNING)
+    journal.close()
+
+    reopened = JobJournal(journal.path)
+    jobs, _ = replay_journal(journal.path)
+    reopened.note_replayed_state("j1", jobs["j1"]["state"])
+    # RUNNING -> DONE legal, RUNNING -> SUBMITTED (requeue) legal...
+    reopened.job_event("j1", states.SUBMITTED, recovered=True)
+    # ...but the requeued job cannot jump straight to DONE
+    with pytest.raises(JournalStateError):
+        reopened.job_event("j1", states.DONE)
+    reopened.close()
+
+
+def test_journal_records_are_versioned_and_appended(tmp_path):
+    journal = _journal(tmp_path)
+    journal.service_event("start", pid=1)
+    journal.job_event("j1", states.SUBMITTED)
+    journal.close()
+    with open(journal.path, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    assert [r["type"] for r in records] == ["service", "job"]
+    assert all("version" in r for r in records)
