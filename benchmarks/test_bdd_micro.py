@@ -135,6 +135,58 @@ def test_bdd_disabled_observability_overhead(benchmark):
     assert disabled <= enabled * 1.10
 
 
+def test_bdd_disabled_failpoints_overhead(benchmark):
+    """Guard: an empty failpoint registry must not tax the node
+    allocator.
+
+    With nothing armed, ``BddManager`` installs no alloc hook at all,
+    so ``mk()`` runs the uninstrumented path; with ``bdd.alloc`` armed
+    at an unreachable threshold the hook is installed and evaluated on
+    every fresh node.  Disabled must not drift up toward the armed
+    time — that would mean the injection plumbing leaked out of its
+    arm-time guard.
+    """
+    import time
+
+    from repro import failpoints
+
+    def once(arm):
+        failpoints.clear()
+        if arm:
+            failpoints.set_failpoint("bdd.alloc", "after:1000000000")
+        try:
+            m = BddManager(num_vars=32)
+            t0 = time.perf_counter()
+            build_adder_bits(m, 16)
+            return time.perf_counter() - t0
+        finally:
+            failpoints.clear()
+
+    def run():
+        disabled = min(once(False) for _ in range(5))
+        armed = min(once(True) for _ in range(5))
+        return disabled, armed
+
+    disabled, armed = benchmark(run)
+    benchmark.extra_info["disabled_s"] = round(disabled, 6)
+    benchmark.extra_info["armed_s"] = round(armed, 6)
+    benchmark.extra_info["ratio"] = round(disabled / armed, 3)
+    assert disabled <= armed * 1.10
+
+
+def test_disabled_failpoint_fire_dispatch(benchmark):
+    """The disarmed ``fire()`` site cost: one falsy dict check."""
+    from repro import failpoints
+
+    failpoints.clear()
+
+    def run():
+        for _ in range(10_000):
+            failpoints.fire("checkpoint.write.enospc")
+
+    benchmark(run)
+
+
 def test_null_tracer_dispatch(benchmark):
     """The no-op tracer's per-site cost: one attribute check / call."""
     from repro.obs.tracer import NULL_TRACER

@@ -25,6 +25,7 @@ coordinator's retry-backoff jitter and never influences verdicts.
 import json
 import os
 import random
+import warnings
 
 from repro.audit.replay import (
     TRANSCRIPT_CAP,
@@ -378,6 +379,9 @@ def audit_undetected_record(
 class AuditCheckpointWriter(CheckpointWriter):
     """Appends audit-header / audit-finding records (fsync'd JSONL)."""
 
+    def __init__(self, path, fsync=True):
+        super().__init__(path, fsync=fsync, site_prefix="audit.checkpoint")
+
     def write_audit_header(self, fingerprint, options, strategy,
                            complete, exact):
         self._write(
@@ -413,7 +417,19 @@ def _load_audit_resume(path, fingerprint, options, strategy):
     findings = {}
     if not os.path.exists(path):
         return header_seen, findings
-    for record in read_jsonl_records(path):
+
+    def quarantine(report):
+        # a finding failing its CRC just stops counting as done — the
+        # audit re-derives it, which is exact (the header checks below
+        # still run strict: resuming under unknown knobs is refused)
+        warnings.warn(
+            f"audit checkpoint {path}: quarantined corrupt record at "
+            f"line {report['line']} ({report['reason']})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    for record in read_jsonl_records(path, on_corrupt=quarantine):
         kind = record.get("type")
         if kind == "audit-header":
             header_seen = True

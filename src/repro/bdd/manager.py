@@ -22,12 +22,25 @@ the root.  :mod:`repro.bdd.ordering` provides the interleaved x/y
 numbering used by the MOT strategy.
 """
 
+from repro import failpoints as _failpoints
 from repro.bdd.errors import SpaceLimitExceeded, VariableOrderError
 
 FALSE = 0
 TRUE = 1
 
 _TERMINAL_VAR = 1 << 40
+
+
+def _injected_alloc_failure():
+    """Alloc hook body of the ``bdd.alloc`` failpoint.
+
+    Raises :class:`MemoryError` when the armed policy trips — the
+    stand-in for the interpreter failing an allocation at an awkward
+    node.  The campaign treats it like a space overflow: surrender,
+    fall back, stay conservative (see ``Campaign._step_symbolic_group``).
+    """
+    if _failpoints.fire("bdd.alloc"):
+        raise MemoryError("injected: failpoint bdd.alloc")
 
 # Tags for the explicit task stacks of the iterative traversals below.
 # All recursive structural operations (ite, restrict, compose, rename,
@@ -89,8 +102,16 @@ class BddManager:
         self.peak_nodes = 2
         # optional zero-argument callback invoked after every node
         # allocation; the campaign runtime uses it to meter total node
-        # consumption and to poll a wall-clock deadline at fine grain
-        self.alloc_hook = None
+        # consumption and to poll a wall-clock deadline at fine grain.
+        # The ``bdd.alloc`` failpoint rides the same slot — installed
+        # only when armed at construction, so a disabled build executes
+        # exactly the uninstrumented mk() instruction stream (consumers
+        # that attach their own hooks chain rather than overwrite).
+        self.alloc_hook = (
+            _injected_alloc_failure
+            if _failpoints.is_armed("bdd.alloc")
+            else None
+        )
         # lifetime operation stats.  Per-operation counting (ite calls,
         # cache hit/miss) is opt-in via enable_stats() and implemented
         # by swapping in a counting table / wrapping ite, so the

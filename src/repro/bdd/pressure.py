@@ -35,6 +35,7 @@ ships to every worker; each symbolic session gets its own monitor
 built from it.
 """
 
+from repro import failpoints as _failpoints
 from repro.bdd.errors import MemoryPressureExceeded
 
 #: fraction of the node limit at which frame-boundary GC fires
@@ -272,6 +273,14 @@ class PressureMonitor:
             self.cache_budget is not None
             and manager.cache_size > self.cache_budget
         ):
+            if _failpoints.fire("pressure.evict"):
+                # the eviction rung "fails": surrender through the
+                # same exception the hard watermark uses, so the
+                # demotion/fallback machinery absorbs it conservatively
+                self._rss_pending = True
+                raise MemoryPressureExceeded(
+                    self.cache_budget, manager.cache_size
+                )
             dropped = manager.evict_cache(0.5)
             self.cache_evictions += 1
             self.entries_evicted += dropped
@@ -308,7 +317,12 @@ class PressureMonitor:
         the live fraction says a rebuild is worth it), then — when GC
         alone did not get back under the watermark and rescue is
         enabled — a block-window reorder of the session's roots.
-        Never raises; the hard stop lives in :meth:`check_alloc`.
+        Never raises organically; the hard stop lives in
+        :meth:`check_alloc`.  (The ``pressure.gc`` / ``pressure.rescue``
+        failpoints are the deliberate exception: an injected rung
+        failure surrenders via
+        :class:`~repro.bdd.errors.MemoryPressureExceeded`, which the
+        caller's frame boundary already treats like a space overflow.)
         """
         manager = self._manager
         if manager is None:
@@ -326,6 +340,10 @@ class PressureMonitor:
         total = manager.num_nodes
         live = session.live_nodes()
         if live <= self.live_fraction * total:
+            if _failpoints.fire("pressure.gc"):
+                raise MemoryPressureExceeded(
+                    manager.node_limit or 0, total
+                )
             freed = session.compact()
             self.gc_runs += 1
             self.nodes_freed += max(freed, 0)
@@ -337,6 +355,10 @@ class PressureMonitor:
                 return
         if not self.reorder_rescue:
             return
+        if _failpoints.fire("pressure.rescue"):
+            raise MemoryPressureExceeded(
+                manager.node_limit or 0, manager.num_nodes
+            )
         freed = session.reorder_rescue(
             window=self.rescue_window, passes=self.rescue_passes
         )

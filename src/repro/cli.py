@@ -11,6 +11,7 @@
     python -m repro campaign --resume run.ckpt
     python -m repro campaign ctr8 --trace run.trace.jsonl --metrics m.json
     python -m repro profile run.trace.jsonl
+    python -m repro fsck run.ckpt serve/journal.jsonl
     python -m repro xred ctr8 --length 200
     python -m repro evaluate s27 --sequence t.seq --response r.seq
     python -m repro sync syncc6
@@ -750,6 +751,14 @@ def build_parser():
                        help="seed of the audit's sampling and constant-"
                             "witness draws (default 0)")
 
+    def _add_failpoint_option(p):
+        p.add_argument("--failpoints", default=None, metavar="SPEC",
+                       help="arm deterministic failure injection sites "
+                            "for this run, e.g. 'checkpoint.write."
+                            "enospc=once,bdd.alloc=after:5000' "
+                            "(see docs/failpoints.md); equivalent to "
+                            "the REPRO_FAILPOINTS environment variable")
+
     def _add_observability_options(p):
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="stream a JSONL trace (spans, events, "
@@ -810,6 +819,7 @@ def build_parser():
     _add_fabric_options(p)
     _add_observability_options(p)
     _add_audit_options(p)
+    _add_failpoint_option(p)
 
     p = sub.add_parser(
         "campaign",
@@ -847,6 +857,7 @@ def build_parser():
     _add_fabric_options(p)
     _add_observability_options(p)
     _add_audit_options(p)
+    _add_failpoint_option(p)
 
     p = sub.add_parser(
         "audit",
@@ -948,8 +959,37 @@ def build_parser():
                         "indefinitely)")
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="write per-job JSONL trace spans to FILE")
+    _add_failpoint_option(p)
+
+    p = sub.add_parser(
+        "fsck",
+        help="offline integrity check of checkpoints and journals "
+             "(CRC, torn tail, record structure, state machine)",
+    )
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help="campaign/fabric/audit checkpoint or service "
+                        "journal files (kind auto-detected)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report, one JSON object per "
+                        "file")
 
     return parser
+
+
+def cmd_fsck(args):
+    from repro.runtime.fsck import fsck_paths
+
+    reports, code = fsck_paths(args.paths)
+    if args.json:
+        import json
+
+        for report in reports:
+            print(json.dumps(report.to_json(), sort_keys=True))
+    else:
+        for report in reports:
+            for line in report.lines():
+                print(line)
+    return code
 
 
 def cmd_serve(args):
@@ -984,12 +1024,18 @@ _COMMANDS = {
     "compact": cmd_compact,
     "equiv": cmd_equiv,
     "serve": cmd_serve,
+    "fsck": cmd_fsck,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "failpoints", None):
+            from repro import failpoints
+
+            # merges over (and overrides) any REPRO_FAILPOINTS sites
+            failpoints.configure(args.failpoints)
         return _COMMANDS[args.command](args)
     except BrokenPipeError:
         # e.g. `python -m repro list | head`

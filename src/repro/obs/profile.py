@@ -12,6 +12,9 @@ or merged fabric trace), validates it, and reports:
   campaign progress (``metrics`` samples),
 * **pressure/demotion timeline** — every pressure action, demotion,
   quarantine and budget stop, in order,
+* **failpoints** — on chaos runs (``--failpoints`` /
+  ``REPRO_FAILPOINTS``), every injected-failure fire counted by site
+  and reconciled against the summary's ``failpoints_fired``,
 * **reconciliation** — event counts checked *exactly* against the
   campaign's own summary record; any mismatch means the trace is
   lying about the run and is reported loudly.
@@ -32,6 +35,7 @@ RECONCILE_KEYS = (
     "detected",
     "checkpoints_written",
     "pressure_events",
+    "failpoints_fired",
 )
 
 _TIMELINE_EVENTS = (
@@ -69,6 +73,7 @@ def profile_trace(path, top=10):
     truncated = 0
     summary = None
     fabric = None
+    failpoint_sites = {}  # site -> fired count (chaos runs only)
     audit_counts = {}  # classification -> audit-fault span count
     audit_summary = None  # the runner's audit-summary event
     totals = {
@@ -79,6 +84,7 @@ def profile_trace(path, top=10):
         "detected": 0,
         "checkpoints_written": 0,
         "pressure_events": 0,
+        "failpoints_fired": 0,
     }
 
     for record in records:
@@ -120,6 +126,10 @@ def profile_trace(path, top=10):
                 totals["pressure_events"] += 1
                 if record.get("action") == "gc":
                     totals["gc_runs"] += 1
+            elif name == "failpoint":
+                totals["failpoints_fired"] += 1
+                site = record["site"]
+                failpoint_sites[site] = failpoint_sites.get(site, 0) + 1
             elif name == "fabric":
                 fabric = {
                     k: v for k, v in record.items()
@@ -182,6 +192,7 @@ def profile_trace(path, top=10):
         "totals": totals,
         "summary": summary,
         "fabric": fabric,
+        "failpoints": dict(sorted(failpoint_sites.items())),
         "audit": audit,
         "reconciliation": reconciliation,
     }
@@ -365,6 +376,12 @@ def render_profile(profile, width=72):
                 push(f"  REFUTED {name}")
         for cls, count in audit["spans"].items():
             push(f"  spans {cls:<32} {count}")
+
+    if profile.get("failpoints"):
+        push("")
+        push("failpoints fired (chaos run):")
+        for site, count in profile["failpoints"].items():
+            push(f"  {site:<36} {count}")
 
     push("")
     rec = profile["reconciliation"]

@@ -78,6 +78,11 @@ def validate_record(record, line_no=0):
     if kind in ("span", "event", "metrics"):
         if not isinstance(record.get("name"), str):
             _fail(line_no, f"{kind} missing name", record)
+    if kind == "event" and record.get("name") == "failpoint":
+        # failpoint fire events must say which site fired, or the
+        # profiler cannot reconcile them against failpoints.* counters
+        if not isinstance(record.get("site"), str):
+            _fail(line_no, "failpoint event missing site", record)
     for field in ("ts", "dur"):
         if field in record:
             value = record[field]

@@ -46,6 +46,9 @@ aggregated into :attr:`CampaignResult.pressure` and the checkpoint
 counters.
 """
 
+import warnings
+
+from repro import failpoints as _failpoints
 from repro.bdd.errors import MemoryPressureExceeded, SpaceLimitExceeded
 from repro.bdd.pressure import PressureConfig
 from repro.engines.algebra import THREE_VALUED
@@ -491,6 +494,7 @@ class Campaign:
             ladder=self.ladder.names(),
             resumed_from=self.resumed_from,
         )
+        observer_token = self._install_failpoint_observer()
         try:
             if not self._attached:
                 self._write_header()
@@ -502,6 +506,31 @@ class Campaign:
         finally:
             if self._writer is not None:
                 self._writer.close()
+            if observer_token is not None:
+                _failpoints.set_observer(observer_token[0])
+
+    def _install_failpoint_observer(self):
+        """Route failpoint fires into this campaign's trace/metrics.
+
+        Installed only while sites are armed: a disabled run keeps its
+        byte-identical trace and metric set.  Returns a restore token
+        (the previous observer, boxed) or None when nothing is armed.
+        """
+        if _failpoints.armed_count() == 0:
+            return None
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "failpoints.active", _failpoints.armed_count()
+            )
+
+        def observe(site):
+            if self.tracer.enabled:
+                self.tracer.event("failpoint", site=site)
+            if self.metrics is not None:
+                self.metrics.inc("failpoints.fired")
+                self.metrics.inc(f"failpoints.site.{site}")
+
+        return (_failpoints.set_observer(observe),)
 
     def _pre_passes(self):
         """ID_X-red and the conventional three-valued pass.
@@ -635,9 +664,11 @@ class Campaign:
             if group.session is None and group.records:
                 try:
                     self._open_session(group)
-                except SpaceLimitExceeded as exc:
+                except (SpaceLimitExceeded, MemoryError) as exc:
                     # the rung's limit cannot even hold the state
-                    # encoding: run this group three-valued for a while
+                    # encoding (or the allocation itself failed — a
+                    # real OOM or the bdd.alloc failpoint): run this
+                    # group three-valued for a while
                     self._note_surrender(exc)
                     self.fallbacks += 1
                     self.tracer.event(
@@ -759,16 +790,22 @@ class Campaign:
                 return False
             try:
                 detected = session.step(vector)
-            except SpaceLimitExceeded as exc:
+            except (SpaceLimitExceeded, MemoryError) as exc:
+                # MemoryError is an allocation failing outright (a real
+                # OOM, or the bdd.alloc failpoint standing in for one);
+                # the step left the session untouched either way, so it
+                # gets the same surrender protocol as a space overflow
+                # — conservative, never a wrong verdict
                 self.peak_nodes = max(
                     self.peak_nodes, session.manager.peak_nodes
                 )
                 self._note_surrender(exc)
-                reason = (
-                    "pressure"
-                    if isinstance(exc, MemoryPressureExceeded)
-                    else "space"
-                )
+                if isinstance(exc, MemoryPressureExceeded):
+                    reason = "pressure"
+                elif isinstance(exc, MemoryError):
+                    reason = "alloc"
+                else:
+                    reason = "space"
                 if not gc_tried:
                     freed = session.compact()
                     self.gc_runs += 1
@@ -780,8 +817,9 @@ class Campaign:
                     limit = session.manager.node_limit or 0
                     if session.manager.num_nodes < _GC_RETRY_FRACTION * limit:
                         continue
-                if exc.fault_key is not None:
-                    self._demote(group, exc.fault_key, reason=reason)
+                fault_key = getattr(exc, "fault_key", None)
+                if fault_key is not None:
+                    self._demote(group, fault_key, reason=reason)
                     continue
                 self._begin_interlude(group)
                 return "interlude"
@@ -824,7 +862,7 @@ class Campaign:
             try:
                 target.session.attach_fault(record, diff)
                 return
-            except SpaceLimitExceeded:
+            except (SpaceLimitExceeded, MemoryError):
                 # the target session is itself out of headroom; push the
                 # whole target group into a three-valued interlude and
                 # park the record with it
@@ -1084,6 +1122,11 @@ class Campaign:
         }
         if self.resumed_from is not None:
             summary["resumed_from"] = self.resumed_from
+        if _failpoints.armed_count():
+            # only under injection: a clean run's summary is unchanged
+            summary["failpoints_fired"] = sum(
+                _failpoints.fired_counts().values()
+            )
         if self.tracer.wall:
             summary["elapsed"] = round(self.governor.elapsed(), 3)
         self.tracer.summary(summary)
@@ -1407,6 +1450,7 @@ def resume_campaign(
     pressure=None,
     tracer=None,
     metrics=None,
+    on_corrupt=None,
 ):
     """Resume a campaign from the last snapshot in *checkpoint_path*.
 
@@ -1415,8 +1459,26 @@ def resume_campaign(
     fault universe) and validated against the recorded fault keys.
     Returns a :class:`CampaignResult` with ``resumed_from`` set and
     ``exact=False``.
+
+    A record failing its CRC (or otherwise unparseable mid-file) is
+    *quarantined*, not fatal: snapshots are cumulative, so resuming
+    from the latest intact one only re-runs frames — verdicts are
+    unaffected.  The default *on_corrupt* emits a ``RuntimeWarning``
+    per quarantined record; pass a callable to collect the reports
+    instead.  Resume still refuses (typed
+    :class:`~repro.runtime.errors.CheckpointError`) when the loss is
+    verdict-affecting: a corrupt header, or no intact snapshot left.
     """
-    checkpoint = load_checkpoint(checkpoint_path)
+    if on_corrupt is None:
+        def on_corrupt(report, _path=str(checkpoint_path)):
+            warnings.warn(
+                f"checkpoint {_path}: quarantined corrupt record at line "
+                f"{report['line']} ({report['reason']}); resuming from "
+                "the latest intact snapshot",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    checkpoint = load_checkpoint(checkpoint_path, on_corrupt=on_corrupt)
     if compiled is None:
         compiled = _load_compiled(checkpoint.circuit_spec)
     if fault_set is None:

@@ -33,7 +33,9 @@ import os
 import signal
 import tempfile
 import warnings
+import zlib
 
+from repro import failpoints as _failpoints
 from repro.faults.status import (
     fault_key_from_json,
     fault_key_to_json,
@@ -42,6 +44,19 @@ from repro.logic import threeval
 from repro.runtime.errors import CheckpointError, CheckpointMismatch
 
 CHECKPOINT_VERSION = 1
+
+
+def record_crc(body):
+    """CRC32 of a serialized record body (the canonical JSON line).
+
+    The canonical form is ``json.dumps(record, sort_keys=True)`` with
+    the ``"crc"`` key absent — exactly what :class:`JsonlWriter`
+    serializes before splicing the checksum in, and what readers
+    reproduce by popping ``"crc"`` and re-dumping.  JSON round-trips
+    this form stably (sorted keys, shortest-repr floats, ASCII
+    escapes), so writer and reader always agree on the covered bytes.
+    """
+    return zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
 
 #: ``fsync`` errno values that mean "this filesystem cannot fsync this
 #: descriptor" (overlayfs directories, some tmpfs/FUSE mounts) rather
@@ -194,6 +209,46 @@ def rng_state_from_json(data):
     return (version, tuple(internal), gauss)
 
 
+def _trim_torn_tail(path):
+    """Truncate a final line left without its newline (torn write).
+
+    A crash mid-append (SIGKILL, power loss) can leave a partial last
+    line; readers already skip it.  But a writer *re-opening* the file
+    in append mode would glue its next record onto the partial line,
+    turning two harmless artifacts into one corrupt mid-file record
+    that costs a quarantined entry on the next read.  Trimming the
+    torn tail before appending loses nothing durable — the partial
+    record was never readable — and keeps resume-after-crash files
+    byte-clean.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            # walk back in chunks to the last newline; everything
+            # after it is the torn record
+            position = size
+            keep = 0
+            while position > 0:
+                chunk_size = min(4096, position)
+                position -= chunk_size
+                handle.seek(position)
+                chunk = handle.read(chunk_size)
+                newline = chunk.rfind(b"\n")
+                if newline >= 0:
+                    keep = position + newline + 1
+                    break
+            handle.truncate(keep)
+    except OSError:
+        # unreadable/missing file: the append open below will say so
+        pass
+
+
 class JsonlWriter:
     """Appends versioned, fsync'd JSON-lines records to a file.
 
@@ -210,27 +265,102 @@ class JsonlWriter:
     on some overlay and tmpfs mounts) the writer degrades once to a
     :class:`RuntimeWarning` and keeps appending without fsync rather
     than crashing the checkpoint path.
+
+    Every record carries a ``"crc"`` field: the CRC32 of its canonical
+    serialization (:func:`record_crc`), letting readers detect bit rot
+    and mid-file corruption that torn-tail logic cannot (readers
+    accept crc-less records for backward compatibility).
+
+    An ``OSError`` mid-record — ENOSPC being the canonical case —
+    never corrupts the file: the writer remembers the pre-write size,
+    truncates the partial record back out and raises a typed
+    :class:`CheckpointError`.  The file stays valid JSONL, so a resume
+    after space returns picks up from the last durable record.
+
+    *site_prefix* names this writer's failpoint sites
+    (``<prefix>.write.enospc`` / ``.write.torn`` / ``.fsync.before`` /
+    ``.fsync.after`` — see :mod:`repro.failpoints`), so chaos tests
+    can target the campaign checkpoint, the fabric shard checkpoint,
+    the audit checkpoint and the service journal independently.
     """
 
-    def __init__(self, path, fsync=True):
+    def __init__(self, path, fsync=True, site_prefix="checkpoint"):
         self.path = str(path)
         self.fsync = fsync
+        self.site_prefix = site_prefix
         self.records_written = 0
+        _trim_torn_tail(self.path)
         try:
             self._handle = open(self.path, "a")
         except OSError as exc:
             raise CheckpointError(path, f"cannot open for append: {exc}")
 
+    def _tail_position(self):
+        """Current end-of-file offset (None when even fstat fails)."""
+        try:
+            return os.fstat(self._handle.fileno()).st_size
+        except OSError:  # pragma: no cover - fd already dead
+            return None
+
+    def _repair_to(self, position):
+        """Truncate a partially written record back out of the file.
+
+        Runs after an ``OSError`` mid-record (ENOSPC, EIO): whatever
+        prefix of the record reached the file is removed so the file
+        stays valid JSONL and the *next* successful write appends a
+        clean record.  If the truncate itself fails the torn tail is
+        left behind — readers tolerate exactly one.
+        """
+        if position is None:
+            return
+        try:
+            self._handle.seek(position)
+            self._handle.truncate()
+        except (OSError, ValueError):
+            pass
+
     def _write(self, record):
         record["version"] = CHECKPOINT_VERSION
         try:
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            body = json.dumps(record, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(self.path, f"cannot write record: {exc}")
+        # splice the checksum into the serialized body so the CRC
+        # covers exactly the canonical form readers will reconstruct
+        line = f'{body[:-1]}, "crc": {record_crc(body)}}}\n'
+        prefix = self.site_prefix
+        start = self._tail_position()
+        try:
+            if _failpoints.fire(prefix + ".write.enospc"):
+                # the disk fills mid-record: half the bytes land, the
+                # write fails, and the repair below truncates them
+                self._handle.write(line[: len(line) // 2])
+                self._handle.flush()
+                raise OSError(
+                    errno.ENOSPC, "injected: no space left on device"
+                )
+            if _failpoints.fire(prefix + ".write.torn"):
+                # SIGKILL mid-write: half a record stays on disk and no
+                # repair runs (the process would already be gone)
+                self._handle.write(line[: len(line) // 2])
+                self._handle.flush()
+                raise CheckpointError(
+                    self.path, f"failpoint {prefix}.write.torn fired"
+                )
+            self._handle.write(line)
             self._handle.flush()
+            if _failpoints.fire(prefix + ".fsync.before"):
+                raise OSError(errno.EIO, "injected: error before fsync")
             if self.fsync and not fsync_best_effort(
                 self._handle.fileno(), self.path
             ):
                 self.fsync = False  # warned once; stop retrying
-        except (OSError, TypeError, ValueError) as exc:
+            if _failpoints.fire(prefix + ".fsync.after"):
+                raise OSError(errno.EIO, "injected: error after fsync")
+        except OSError as exc:
+            # unsynced bytes may or may not have reached the platter;
+            # the conservative story is "this record never happened"
+            self._repair_to(start)
             raise CheckpointError(self.path, f"cannot write record: {exc}")
         self.records_written += 1
 
@@ -244,8 +374,8 @@ class JsonlWriter:
 class CheckpointWriter(JsonlWriter):
     """Appends header/checkpoint/progress records to a JSONL file."""
 
-    def __init__(self, path, fsync=True):
-        super().__init__(path, fsync=fsync)
+    def __init__(self, path, fsync=True, site_prefix="checkpoint"):
+        super().__init__(path, fsync=fsync, site_prefix=site_prefix)
         self.checkpoints_written = 0
 
     def write_header(
@@ -397,22 +527,39 @@ class Checkpoint:
         return None if data is None else rng_state_from_json(data)
 
 
-def read_jsonl_records(path, expected_version=CHECKPOINT_VERSION):
+def read_jsonl_records(path, expected_version=CHECKPOINT_VERSION,
+                       on_corrupt=None):
     """Yield the parsed records of a checkpoint JSONL file.
 
     A record and its trailing newline are written (and fsync'd) as a
     unit, so a crash mid-write leaves exactly one signature: a *final*
     line with no trailing newline.  Such a line is skipped — the file
-    resumes from the previous complete record.  A malformed line
-    anywhere else (or one that *does* end in a newline), and any
-    version mismatch on a complete line, raise
-    :class:`CheckpointError`: that is corruption, not a torn write.
+    resumes from the previous complete record.
+
+    Everything else — a malformed line anywhere else (or one that
+    *does* end in a newline), a version mismatch, a CRC32 mismatch on
+    a record that carries one — is corruption, not a torn write.  With
+    the default ``on_corrupt=None`` that raises
+    :class:`CheckpointError`; passing a callable instead quarantines
+    the record — ``on_corrupt({"line": n, "reason": ...})`` is called
+    and the read continues, so loaders can skip damage and let the
+    caller decide whether the loss is verdict-affecting.
+
+    Records without a ``"crc"`` field (written before checksumming
+    existed) are accepted unverified; the field itself is popped, so
+    consumers see the same record shape either way.
     """
     if not os.path.exists(path):
         raise CheckpointError(path, "file does not exist")
     with open(path) as handle:
         lines = handle.readlines()
     last_index = len(lines) - 1
+
+    def corrupt(index, reason):
+        if on_corrupt is None:
+            raise CheckpointError(path, f"line {index + 1}: {reason}")
+        on_corrupt({"line": index + 1, "reason": reason})
+
     for index, line in enumerate(lines):
         stripped = line.strip()
         if not stripped:
@@ -423,22 +570,35 @@ def read_jsonl_records(path, expected_version=CHECKPOINT_VERSION):
         except json.JSONDecodeError as exc:
             if torn_tail:
                 return  # torn final write: resume from the prior record
-            raise CheckpointError(path, f"line {index + 1}: {exc}")
+            corrupt(index, str(exc))
+            continue
         if not isinstance(record, dict):
             if torn_tail:
                 return
-            raise CheckpointError(
-                path, f"line {index + 1}: record is not a JSON object"
-            )
+            corrupt(index, "record is not a JSON object")
+            continue
+        crc = record.pop("crc", None)
+        if crc is not None:
+            body = json.dumps(record, sort_keys=True)
+            if record_crc(body) != crc:
+                if torn_tail:
+                    return  # torn mid-record but still parseable JSON
+                corrupt(
+                    index,
+                    f"crc mismatch (recorded {crc}, "
+                    f"computed {record_crc(body)})",
+                )
+                continue
         version = record.get("version")
         if version != expected_version:
             if torn_tail:
-                return  # torn mid-record but still parseable JSON
-            raise CheckpointError(
-                path,
-                f"line {index + 1}: unsupported version {version!r} "
+                return
+            corrupt(
+                index,
+                f"unsupported version {version!r} "
                 f"(expected {expected_version})",
             )
+            continue
         yield record
 
 
@@ -452,11 +612,19 @@ def sniff_checkpoint_kind(path):
     raise CheckpointError(path, "no records")
 
 
-def load_checkpoint(path):
-    """Parse the header and the *last* checkpoint record of *path*."""
+def load_checkpoint(path, on_corrupt=None):
+    """Parse the header and the *last* checkpoint record of *path*.
+
+    With *on_corrupt* (see :func:`read_jsonl_records`) damaged records
+    are quarantined instead of failing the load: a corrupt snapshot
+    simply stops being the resume point (the previous good one wins —
+    conservative, never wrong), while a corrupt *header* still fails
+    the load with "no header record", because resuming without the
+    fault universe would be verdict-affecting.
+    """
     header = None
     snapshot = None
-    for record in read_jsonl_records(path):
+    for record in read_jsonl_records(path, on_corrupt=on_corrupt):
         kind = record.get("type")
         if kind == "header":
             header = record

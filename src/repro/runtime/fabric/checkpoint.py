@@ -23,6 +23,11 @@ from repro.runtime.errors import CheckpointError
 class FabricCheckpointWriter(CheckpointWriter):
     """Appends fabric-header/shard records to a JSONL file."""
 
+    def __init__(self, path, fsync=True):
+        super().__init__(
+            path, fsync=fsync, site_prefix="fabric.checkpoint"
+        )
+
     def write_fabric_header(
         self,
         circuit_spec,
@@ -143,11 +148,19 @@ class FabricCheckpoint:
         return covered
 
 
-def load_fabric_checkpoint(path):
-    """Parse a fabric checkpoint: the header plus completed shards."""
+def load_fabric_checkpoint(path, on_corrupt=None):
+    """Parse a fabric checkpoint: the header plus completed shards.
+
+    With *on_corrupt* (see :func:`~repro.runtime.checkpoint.
+    read_jsonl_records`) a damaged ``shard`` record is quarantined
+    instead of failing the load — its faults simply drop out of
+    ``covered_indices()`` and the resumed fabric re-runs them, which
+    is exact.  A damaged *header* still fails the load: without the
+    fault universe a resume would be verdict-affecting.
+    """
     header = None
     shards = {}
-    for record in read_jsonl_records(path):
+    for record in read_jsonl_records(path, on_corrupt=on_corrupt):
         kind = record.get("type")
         if kind == "fabric-header":
             header = record

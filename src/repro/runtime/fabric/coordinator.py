@@ -12,7 +12,10 @@ Failure handling, from mildest to worst:
 
 * **slow shard** — per-shard wall-clock timeout (``shard_timeout``);
   the worker is SIGKILLed and the shard handled as a crash,
-* **hung worker** — heartbeat liveness (``heartbeat_timeout``); same,
+* **hung worker** — heartbeat liveness: an explicit
+  ``heartbeat_timeout`` if configured, else the default hang watchdog
+  (``hang_grace`` missed intervals) distinguishes a stalled-but-alive
+  process (counted in ``hangs``) from a dead one; same remedy,
 * **crashed worker** (segfault-class death, OOM kill, chaos
   injection) — the shard is retried with exponential backoff plus
   jitter and a fresh worker is spawned into the vacant slot,
@@ -44,6 +47,7 @@ import random
 import time as _time
 from multiprocessing.connection import wait as _connection_wait
 
+from repro import failpoints as _failpoints
 from repro.faults.status import (
     UNDETECTED,
     X_REDUNDANT,
@@ -56,12 +60,13 @@ from repro.runtime.fabric.checkpoint import (
     FabricCheckpointWriter,
     load_fabric_checkpoint,
 )
+from repro.runtime.fabric.frames import FrameProtocolError, FrameReader
 from repro.runtime.fabric.sharding import (
     aligned_shard_size,
     plan_shards,
     shard_id_text,
 )
-from repro.runtime.fabric.worker import run_shard, worker_main
+from repro.runtime.fabric.worker import WorkerPipes, run_shard, worker_main
 from repro.runtime.governor import ResourceGovernor
 from repro.runtime.ladder import DegradationLadder
 
@@ -69,6 +74,12 @@ COMPLETED = "completed"
 
 #: how long the event loop sleeps at most between bookkeeping passes
 _POLL_INTERVAL = 0.25
+
+#: the hang watchdog's grace window is ``hang_grace`` heartbeat
+#: intervals, but never less than this: ``heartbeat_interval=0.0``
+#: ("beat as fast as you can") must not collapse the window to zero
+#: and declare every busy worker hung on the first bookkeeping pass
+_HANG_WINDOW_FLOOR = 1.0
 
 
 def _merge_pressure(merged, shard_pressure):
@@ -109,6 +120,7 @@ class FabricConfig:
         shard_timeout=None,
         heartbeat_timeout=None,
         heartbeat_interval=0.05,
+        hang_grace=200,
         max_retries=2,
         backoff_base=0.05,
         backoff_cap=2.0,
@@ -129,6 +141,19 @@ class FabricConfig:
         self.shard_timeout = shard_timeout
         self.heartbeat_timeout = heartbeat_timeout
         self.heartbeat_interval = heartbeat_interval
+        #: the hang watchdog, ON by default: a busy worker silent for
+        #: ``hang_grace`` heartbeat intervals is presumed wedged —
+        #: alive but making no progress (stuck syscall, half-written
+        #: pipe frame, runaway C loop) — and is SIGKILLed, its shard
+        #: retried under the normal backoff/bisection machinery.
+        #: Workers beat at frame boundaries *and* at BDD-allocation
+        #: granularity, so a legitimately expensive frame keeps
+        #: beating.  The grace window (``hang_grace *
+        #: heartbeat_interval``) never shrinks below one second, so a
+        #: tiny or zero beat interval cannot turn the watchdog into a
+        #: hair trigger.  An explicit ``heartbeat_timeout`` takes
+        #: precedence; ``None`` disables the watchdog.
+        self.hang_grace = hang_grace
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -164,22 +189,29 @@ class FabricConfig:
             "pack_width": self.pack_width,
             "shard_timeout": self.shard_timeout,
             "heartbeat_timeout": self.heartbeat_timeout,
+            "hang_grace": self.hang_grace,
             "max_retries": self.max_retries,
             "worker_rss_cap": self.worker_rss_cap,
         }
 
 
 class _WorkerHandle:
-    """Coordinator-side state of one pool worker."""
+    """Coordinator-side state of one pool worker.
 
-    __slots__ = ("worker_id", "process", "conn", "shard",
+    ``cmd`` is the blocking send end of the command pipe; ``reader``
+    is a :class:`FrameReader` over the report pipe, so a worker that
+    wedges mid-frame can never block the coordinator's event loop.
+    """
+
+    __slots__ = ("worker_id", "process", "cmd", "reader", "shard",
                  "dispatched_at", "last_beat", "last_rss", "killing",
                  "ready")
 
-    def __init__(self, worker_id, process, conn):
+    def __init__(self, worker_id, process, cmd, reader):
         self.worker_id = worker_id
         self.process = process
-        self.conn = conn
+        self.cmd = cmd
+        self.reader = reader
         self.shard = None  # in-flight Shard, if busy
         self.dispatched_at = None
         self.last_beat = None
@@ -203,6 +235,7 @@ class _FabricAccounting:
         self.respawns = 0
         self.bisections = 0
         self.timeouts = 0
+        self.hangs = 0  # stalled-but-alive workers reaped by the watchdog
         self.quarantined_by_crash = []  # fault keys, in fault order
         self.resumed_shards = 0
         self.rss_recycles = 0  # workers killed for breaching the RSS cap
@@ -217,6 +250,7 @@ class _FabricAccounting:
             "respawns": self.respawns,
             "bisections": self.bisections,
             "timeouts": self.timeouts,
+            "hangs": self.hangs,
             "quarantined_by_crash": len(self.quarantined_by_crash),
             "resumed_shards": self.resumed_shards,
             "rss_recycles": self.rss_recycles,
@@ -441,6 +475,10 @@ class ShardFabric:
             "pre_pass_3v": self.pre_pass_3v,
             "heartbeat_interval": self.config.heartbeat_interval,
             "chaos": self.config.chaos,
+            # ship the active failpoint spec so worker-side sites
+            # (heartbeat drop/dup, stall, pipe truncate, bdd.alloc,
+            # pressure rungs) fire in the pool exactly as inline
+            "failpoints": _failpoints.active_spec(),
             "pressure": (
                 self.pressure.to_json() if self.pressure is not None else None
             ),
@@ -450,22 +488,58 @@ class ShardFabric:
     def _spawn_worker(self, ctx, init):
         worker_id = self._next_worker_id
         self._next_worker_id += 1
-        parent_conn, child_conn = ctx.Pipe()
+        # two half-duplex pipes: commands stay blocking (tiny, always
+        # drained), reports are read through a non-blocking FrameReader
+        # so a half-written frame cannot stall the event loop
+        cmd_recv, cmd_send = ctx.Pipe(duplex=False)
+        report_recv, report_send = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=worker_main,
-            args=(worker_id, child_conn, init),
+            args=(worker_id, WorkerPipes(cmd_recv, report_send), init),
             name=f"fabric-worker-{worker_id}",
             daemon=True,
         )
         process.start()
-        child_conn.close()
-        handle = _WorkerHandle(worker_id, process, parent_conn)
+        cmd_recv.close()
+        report_send.close()
+        handle = _WorkerHandle(
+            worker_id, process, cmd_send, FrameReader(report_recv)
+        )
         handle.last_beat = _time.monotonic()
         self._handles[worker_id] = handle
         self.accounting.workers = max(
             self.accounting.workers, len(self._handles)
         )
         return handle
+
+    def _try_spawn(self, ctx, init):
+        """Spawn a replacement worker, tolerating transient failures.
+
+        A respawn can fail for reasons that pass (fork EAGAIN, a brief
+        fd squeeze); one failure retries on the next event-loop pass
+        instead of crashing the campaign.  Three consecutive failures
+        — shared with the died-before-ready counter, and reset by any
+        worker reaching readiness — mean the pool is unrecoverable:
+        :class:`WorkerCrashed` propagates.  Returns None on a
+        tolerated failure.
+        """
+        try:
+            if _failpoints.fire("fabric.respawn.fail"):
+                raise OSError("injected: failpoint fabric.respawn.fail")
+            return self._spawn_worker(ctx, init)
+        except OSError as exc:
+            self._spawn_failures += 1
+            self._emit(
+                "respawn-failed", error=str(exc),
+                failures=self._spawn_failures,
+            )
+            if self._spawn_failures >= 3:
+                raise WorkerCrashed(
+                    None,
+                    f"{self._spawn_failures} consecutive worker spawn "
+                    f"failures (last: {exc})",
+                )
+            return None
 
     def _task_opts(self):
         """Apportion the governor's budgets for one dispatch."""
@@ -494,7 +568,7 @@ class ShardFabric:
         handle.shard = shard
         handle.dispatched_at = _time.monotonic()
         handle.last_beat = handle.dispatched_at
-        handle.conn.send(("run", shard.shard_id, shard.indices, opts))
+        handle.cmd.send(("run", shard.shard_id, shard.indices, opts))
         self._emit(
             "dispatch",
             worker_id=handle.worker_id,
@@ -513,6 +587,18 @@ class ShardFabric:
                 shard=shard_id_text(handle.shard.shard_id)
                 if handle.shard else None,
             )
+        elif reason == "hang":
+            # stalled but alive: the process exists, the pipe is open,
+            # yet no beat arrived for hang_grace intervals — distinct
+            # from a death (sentinel fires) and from a slow shard
+            # (which keeps beating); accounted separately so operators
+            # can tell wedged processes from genuine timeouts
+            self.accounting.hangs += 1
+            self._emit(
+                "hang", worker_id=handle.worker_id,
+                shard=shard_id_text(handle.shard.shard_id)
+                if handle.shard else None,
+            )
         else:
             self.accounting.timeouts += 1
             self._emit(
@@ -528,7 +614,7 @@ class ShardFabric:
     def _shutdown_pool(self):
         for handle in self._handles.values():
             try:
-                handle.conn.send(("stop",))
+                handle.cmd.send(("stop",))
             except OSError:
                 pass
         for handle in self._handles.values():
@@ -540,9 +626,10 @@ class ShardFabric:
                 handle.process.kill()
                 handle.process.join(timeout=1.0)
             try:
-                handle.conn.close()
+                handle.cmd.close()
             except OSError:
                 pass
+            handle.reader.close()
         self._handles.clear()
 
     # ------------------------------------------------------------------
@@ -602,9 +689,10 @@ class ShardFabric:
     def _on_worker_death(self, handle, reason):
         self._handles.pop(handle.worker_id, None)
         try:
-            handle.conn.close()
+            handle.cmd.close()
         except OSError:
             pass
+        handle.reader.close()
         shard = handle.shard
         handle.shard = None
         if shard is not None:
@@ -707,7 +795,8 @@ class ShardFabric:
                    len(self._pending) + sum(
                        1 for h in self._handles.values() if h.busy))
         while len(self._handles) < want:
-            self._spawn_worker(ctx, init)
+            if self._try_spawn(ctx, init) is None:
+                break  # tolerated failure: retry next event-loop pass
             self.accounting.respawns += 1
 
     def _enforce_timeouts(self):
@@ -725,6 +814,17 @@ class ShardFabric:
                 and now - handle.last_beat > self.config.heartbeat_timeout
             ):
                 self._kill_worker(handle, "heartbeat-timeout")
+            elif (
+                self.config.heartbeat_timeout is None
+                and self.config.hang_grace is not None
+                and now - handle.last_beat
+                > max(
+                    self.config.hang_grace
+                    * self.config.heartbeat_interval,
+                    _HANG_WINDOW_FLOOR,
+                )
+            ):
+                self._kill_worker(handle, "hang")
             elif (
                 self.config.worker_rss_cap is not None
                 and handle.last_rss is not None
@@ -773,11 +873,29 @@ class ShardFabric:
             if shard is not None and shard.shard_id == shard_id:
                 self._record_crash(shard, reason)
 
+    def _drain_reader(self, handle):
+        """Process every complete report frame; False once the stream
+        is dead (EOF past the buffered frames, or unparseable)."""
+        try:
+            for message in handle.reader.drain():
+                self._handle_message(handle, message)
+        except (FrameProtocolError, OSError):
+            return False
+        return not handle.reader.at_eof()
+
     def _pump_events(self):
-        """Wait for pipe traffic or worker deaths and process them."""
+        """Wait for pipe traffic or worker deaths and process them.
+
+        Report pipes are drained through each handle's
+        :class:`FrameReader`: complete frames are dispatched, a
+        partial frame stays buffered and the loop moves on — a worker
+        wedged mid-write (``fabric.pipe.truncate``) degrades into a
+        silent worker for the hang watchdog instead of a deadlocked
+        coordinator.
+        """
         sources = {}
         for handle in self._handles.values():
-            sources[handle.conn] = handle
+            sources[handle.reader] = handle
             sources[handle.process.sentinel] = handle
         if not sources:
             return
@@ -785,11 +903,8 @@ class ShardFabric:
         dead = []
         for source in ready:
             handle = sources[source]
-            if source is handle.conn:
-                try:
-                    while handle.conn.poll():
-                        self._handle_message(handle, handle.conn.recv())
-                except (EOFError, OSError):
+            if source is handle.reader:
+                if not self._drain_reader(handle):
                     dead.append(handle)
             elif not handle.process.is_alive():
                 dead.append(handle)
@@ -798,11 +913,7 @@ class ShardFabric:
                 continue  # reaped via the other source already
             # drain any result the worker managed to send before dying
             # (e.g. killed for a timeout it had just beaten)
-            try:
-                while handle.conn.poll():
-                    self._handle_message(handle, handle.conn.recv())
-            except (EOFError, OSError):
-                pass
+            self._drain_reader(handle)
             handle.process.join(timeout=0.1)
             code = handle.process.exitcode
             reason = (
@@ -1087,6 +1198,25 @@ class ShardFabric:
         """Drive the sharded campaign to completion (or graceful stop)."""
         self.governor.start()
         self._open_writer()
+        # coordinator-side failpoint fires (fabric checkpoint writes,
+        # respawn failures) land in the merged trace/metrics; worker-
+        # side fires are traced by the worker's own Campaign and ride
+        # home in the shard payload.  Only installed under injection.
+        observer_token = None
+        if _failpoints.armed_count():
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "failpoints.active", _failpoints.armed_count()
+                )
+
+            def observe(site):
+                if self.tracer.enabled:
+                    self.tracer.event("failpoint", site=site)
+                if self.metrics is not None:
+                    self.metrics.inc("failpoints.fired")
+                    self.metrics.inc(f"failpoints.site.{site}")
+
+            observer_token = (_failpoints.set_observer(observe),)
         try:
             self._plan()
             if self._pending:
@@ -1098,6 +1228,8 @@ class ShardFabric:
         finally:
             if self._writer is not None:
                 self._writer.close()
+            if observer_token is not None:
+                _failpoints.set_observer(observer_token[0])
 
 
 # ----------------------------------------------------------------------
@@ -1145,6 +1277,7 @@ def resume_sharded_campaign(
     governor=None,
     signal_guard=None,
     config=None,
+    on_corrupt=None,
     **kwargs,
 ):
     """Resume a sharded campaign from its fabric checkpoint.
@@ -1154,8 +1287,26 @@ def resume_sharded_campaign(
     re-sharded and run.  Because re-running a shard reproduces its
     verdicts exactly, a fabric resume — unlike an in-process campaign
     resume — does not make the result conservative.
+
+    A shard record failing its CRC is quarantined (default: one
+    ``RuntimeWarning`` per record, or pass *on_corrupt* to collect
+    reports): its indices drop out of the covered set and the shard
+    simply re-runs — same verdicts, more work.  Only a corrupt header
+    is verdict-affecting, and still refuses with a typed
+    :class:`~repro.runtime.errors.CheckpointError`.
     """
-    checkpoint = load_fabric_checkpoint(checkpoint_path)
+    if on_corrupt is None:
+        def on_corrupt(report, _path=str(checkpoint_path)):
+            import warnings
+
+            warnings.warn(
+                f"fabric checkpoint {_path}: quarantined corrupt record "
+                f"at line {report['line']} ({report['reason']}); the "
+                "affected shard will re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    checkpoint = load_fabric_checkpoint(checkpoint_path, on_corrupt=on_corrupt)
     if compiled is None:
         from repro.runtime.campaign import _load_compiled
 
@@ -1172,6 +1323,7 @@ def resume_sharded_campaign(
             shard_size=recorded.get("shard_size"),
             shard_timeout=recorded.get("shard_timeout"),
             heartbeat_timeout=recorded.get("heartbeat_timeout"),
+            hang_grace=recorded.get("hang_grace", 200),
             max_retries=recorded.get("max_retries", 2),
             worker_rss_cap=recorded.get("worker_rss_cap"),
         )

@@ -1,0 +1,148 @@
+"""Partial-frame-tolerant reads of a worker's report pipe.
+
+``multiprocessing.Connection.recv()`` blocks until a *complete*
+message arrives.  ``poll()`` only promises that *some* bytes are
+readable — so the old coordinator pattern ``while conn.poll():
+conn.recv()`` deadlocks the entire event loop the moment a worker
+wedges halfway through writing a frame (the ``fabric.pipe.truncate``
+failpoint reproduces exactly that: half a length-prefixed frame, then
+silence).  One stuck worker must never stall the coordinator.
+
+:class:`FrameReader` therefore bypasses ``recv()``: it puts the read
+end into non-blocking mode, buffers whatever bytes are available and
+deframes them itself.  An incomplete frame simply stays buffered —
+the event loop moves on, and the wedged writer is eventually reaped
+by the hang watchdog.  The wire format is CPython's own
+``Connection._send_bytes`` framing (which the workers' unmodified
+``send()`` produces): a 4-byte big-endian signed length prefix, or
+``-1`` followed by an 8-byte unsigned length for messages over 2 GiB.
+
+Only byte-stream transports behave this way, which is what
+``multiprocessing.Pipe(duplex=False)`` (an OS pipe) and the POSIX
+socketpair behind ``Pipe(duplex=True)`` both are.
+"""
+
+import errno
+import os
+import pickle
+import struct
+
+_HEADER = struct.Struct("!i")
+_LARGE = struct.Struct("!Q")
+_READ_CHUNK = 1 << 16
+
+#: errno values meaning "no bytes right now" on a non-blocking read
+_WOULD_BLOCK = (errno.EAGAIN, errno.EWOULDBLOCK)
+
+
+class FrameProtocolError(Exception):
+    """The byte stream stopped being parseable as frames.
+
+    Raised on a negative length prefix (other than the -1 large-frame
+    marker) or an unpicklable payload — either means the worker wrote
+    garbage, and the coordinator treats it like a dead worker.
+    """
+
+
+class FrameReader:
+    """Buffered, non-blocking deframer over one readable Connection."""
+
+    def __init__(self, conn):
+        self.conn = conn
+        self._fd = conn.fileno()
+        os.set_blocking(self._fd, False)
+        self._buffer = bytearray()
+        self._closed = False
+
+    def fileno(self):
+        return self._fd
+
+    @property
+    def buffered(self):
+        """Bytes sitting in the buffer (>0 mid-frame)."""
+        return len(self._buffer)
+
+    def at_eof(self):
+        """True once the peer closed and every whole frame was drained."""
+        return self._closed and not self._complete_frame_buffered()
+
+    def drain(self):
+        """Read what is available and return the complete messages.
+
+        Never blocks.  Bytes of an incomplete trailing frame stay
+        buffered for a later call.  Returns a (possibly empty) list;
+        after the peer closes, keeps returning already-buffered whole
+        frames until :meth:`at_eof` goes True.  Raises
+        :class:`FrameProtocolError` on an unparseable stream.
+        """
+        while not self._closed:
+            try:
+                chunk = os.read(self._fd, _READ_CHUNK)
+            except InterruptedError:
+                continue
+            except OSError as exc:
+                if exc.errno in _WOULD_BLOCK:
+                    break
+                self._closed = True
+                break
+            if not chunk:
+                self._closed = True
+                break
+            self._buffer += chunk
+            if len(chunk) < _READ_CHUNK:
+                break
+        messages = []
+        while True:
+            frame = self._pop_frame()
+            if frame is None:
+                break
+            try:
+                messages.append(pickle.loads(frame))
+            except Exception as exc:
+                raise FrameProtocolError(f"unpicklable frame: {exc}")
+        return messages
+
+    def close(self):
+        self._closed = True
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _frame_extent(self):
+        """(header_size, payload_size) of the buffered frame head, or
+        None while even the length prefix is incomplete."""
+        buffer = self._buffer
+        if len(buffer) < _HEADER.size:
+            return None
+        (size,) = _HEADER.unpack_from(buffer)
+        if size == -1:  # large-frame escape: 8-byte length follows
+            if len(buffer) < _HEADER.size + _LARGE.size:
+                return None
+            (size,) = _LARGE.unpack_from(buffer, _HEADER.size)
+            return _HEADER.size + _LARGE.size, size
+        if size < 0:
+            raise FrameProtocolError(f"negative frame length {size}")
+        return _HEADER.size, size
+
+    def _complete_frame_buffered(self):
+        try:
+            extent = self._frame_extent()
+        except FrameProtocolError:
+            return True  # surface the error through drain()
+        if extent is None:
+            return False
+        header, size = extent
+        return len(self._buffer) >= header + size
+
+    def _pop_frame(self):
+        extent = self._frame_extent()
+        if extent is None:
+            return None
+        header, size = extent
+        if len(self._buffer) < header + size:
+            return None
+        frame = bytes(self._buffer[header:header + size])
+        del self._buffer[:header + size]
+        return frame

@@ -1,9 +1,11 @@
 """The shard-fabric worker process.
 
-A worker is one OS process owning one end of a :func:`multiprocessing.
-Pipe`.  It receives shard tasks from the coordinator, runs each as an
-ordinary in-process :class:`~repro.runtime.campaign.Campaign` over just
-that shard's faults, and reports back:
+A worker is one OS process owning a :class:`WorkerPipes` pair — a
+blocking command pipe in, a report pipe out (which the coordinator
+reads through a partial-frame-tolerant deframer).  It receives shard
+tasks from the coordinator, runs each as an ordinary in-process
+:class:`~repro.runtime.campaign.Campaign` over just that shard's
+faults, and reports back:
 
 * ``("ready", worker_id, pid)`` — once, after start-up,
 * ``("heartbeat", worker_id, shard_id, frame, rss, metrics_delta)`` —
@@ -38,9 +40,12 @@ segfaults and wedged processes.
 """
 
 import os
+import pickle
 import signal
+import struct
 import time as _time
 
+from repro import failpoints as _failpoints
 from repro.faults.status import FaultSet
 from repro.runtime.governor import ResourceGovernor
 from repro.runtime.ladder import DegradationLadder
@@ -53,6 +58,49 @@ CHAOS_EXIT_CODE = 139
 #: overflow is counted (``trace_dropped``) rather than silently lost
 TRACE_RECORD_CAP = 4096
 
+#: node allocations between liveness-beat attempts: a beat opportunity
+#: at BDD-allocation granularity, so a worker grinding through one
+#: enormous frame still proves it is alive (the wall-clock throttle in
+#: :meth:`WorkerGovernor.note_node` keeps the pipe traffic bounded)
+_BEAT_STRIDE = 2048
+
+
+class WorkerPipes:
+    """The worker's two half-duplex channels: commands in, reports out.
+
+    The coordinator keeps the command pipe blocking (its sends are
+    tiny and the worker always drains them) but reads the report pipe
+    through a partial-frame-tolerant :class:`~repro.runtime.fabric.
+    frames.FrameReader`, so a worker that wedges mid-write can never
+    stall the event loop.  Instances are passed as a ``Process`` arg;
+    ``multiprocessing``'s reduction machinery handles the nested
+    connections under both ``fork`` and ``spawn``.
+    """
+
+    def __init__(self, commands, reports):
+        self.commands = commands
+        self.reports = reports
+
+    def recv(self):
+        return self.commands.recv()
+
+    def send(self, message):
+        self.reports.send(message)
+
+    def send_truncated(self, message):
+        """Write *half* a frame, raw — the ``fabric.pipe.truncate``
+        injection: the length prefix promises bytes that never come."""
+        blob = pickle.dumps(message)
+        frame = struct.pack("!i", len(blob)) + blob
+        os.write(self.reports.fileno(), frame[: max(len(frame) // 2, 5)])
+
+    def close(self):
+        for conn in (self.commands, self.reports):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
 
 class WorkerGovernor(ResourceGovernor):
     """A resource governor that also emits heartbeats.
@@ -63,6 +111,11 @@ class WorkerGovernor(ResourceGovernor):
     flood the pipe.  Each beat carries the worker's current RSS so the
     coordinator can recycle a bloating worker; a sampler is therefore
     always constructed, budget or not.
+
+    Beats also flow at node-allocation granularity (:meth:`note_node`,
+    every ``_BEAT_STRIDE`` allocations, same wall-clock throttle): a
+    single pathological frame can run for minutes, and the hang
+    watchdog must not mistake it for a wedged process.
     """
 
     def __init__(self, heartbeat, heartbeat_interval, **kwargs):
@@ -71,9 +124,31 @@ class WorkerGovernor(ResourceGovernor):
         self._heartbeat = heartbeat
         self._heartbeat_interval = heartbeat_interval
         self._last_beat = 0.0
+        self._since_beat = 0
+        #: meter allocations only when a budget asked for it, so an
+        #: unbudgeted pooled run reports the same ``nodes_allocated``
+        #: (zero) as the inline path — the hook itself stays installed
+        #: regardless, purely as the liveness signal
+        self._metered = super()._wants_alloc_hook()
+
+    def _wants_alloc_hook(self):
+        # always hook allocations, budgets or not: the alloc hook is
+        # what keeps heartbeats flowing through long frames
+        return True
 
     def check_frame(self, frame, pack=None):
         super().check_frame(frame, pack=pack)
+        self._maybe_beat(frame)
+
+    def note_node(self):
+        if self._metered:
+            super().note_node()
+        self._since_beat += 1
+        if self._since_beat >= _BEAT_STRIDE:
+            self._since_beat = 0
+            self._maybe_beat(self.frame)
+
+    def _maybe_beat(self, frame):
         now = _time.monotonic()
         if now - self._last_beat >= self._heartbeat_interval:
             self._last_beat = now
@@ -207,25 +282,33 @@ def _apply_chaos(chaos, shard_keys):
         _time.sleep(chaos.get("hang_seconds", 3600.0))
 
 
-def worker_main(worker_id, conn, init):
+def worker_main(worker_id, pipes, init):
     """Entry point of a pool worker process."""
     for sig in (signal.SIGINT, signal.SIGTERM):
         try:
             signal.signal(sig, signal.SIG_IGN)
         except (ValueError, OSError):  # pragma: no cover - exotic
             pass
+    # the coordinator ships its active failpoint spec so injections
+    # behave identically pooled and inline; policy counters restart
+    # per process (a respawned worker re-fires a ``once`` site)
+    _failpoints.configure(init.get("failpoints") or "", replace=True)
     compiled = init["compiled"]
     faults = init["faults"]
     sequence = init["sequence"]
     heartbeat_interval = init.get("heartbeat_interval", 0.05)
     chaos = init.get("chaos")
     try:
-        conn.send(("ready", worker_id, os.getpid()))
+        pipes.send(("ready", worker_id, os.getpid()))
         while True:
-            message = conn.recv()
+            message = pipes.recv()
             if message[0] == "stop":
                 break
             _, shard_id, indices, opts = message
+            if _failpoints.fire("fabric.worker.stall"):
+                # a wedged-but-alive process: no beats, no progress —
+                # exactly what the hang watchdog exists to catch
+                _time.sleep(3600.0)
             _apply_chaos(
                 chaos, {faults[i].key() for i in indices}
             )
@@ -233,12 +316,15 @@ def worker_main(worker_id, conn, init):
 
             def heartbeat(frame, rss=None, _shard_id=shard_id,
                           _registry=registry):
+                if _failpoints.fire("fabric.heartbeat.drop"):
+                    return
                 delta = (
                     _registry.flush_delta() if _registry is not None else None
                 )
-                conn.send(
-                    ("heartbeat", worker_id, _shard_id, frame, rss, delta)
-                )
+                beat = ("heartbeat", worker_id, _shard_id, frame, rss, delta)
+                pipes.send(beat)
+                if _failpoints.fire("fabric.heartbeat.dup"):
+                    pipes.send(beat)
 
             governor = WorkerGovernor(
                 heartbeat,
@@ -268,17 +354,20 @@ def worker_main(worker_id, conn, init):
                         tracer=tracer, metrics=registry,
                     )
             except Exception as exc:  # deterministic shard failure
-                conn.send(
+                pipes.send(
                     ("error", worker_id, shard_id,
                      f"{type(exc).__name__}: {exc}")
                 )
                 continue
-            conn.send(("result", worker_id, shard_id, payload))
+            if _failpoints.fire("fabric.pipe.truncate"):
+                # half a result frame, then silence: the coordinator
+                # must buffer the partial frame without blocking and
+                # let the hang watchdog reap this worker
+                pipes.send_truncated(("result", worker_id, shard_id, payload))
+                _time.sleep(3600.0)
+            pipes.send(("result", worker_id, shard_id, payload))
     except (EOFError, OSError, KeyboardInterrupt):
         # coordinator went away (or we are being torn down): just exit
         pass
     finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
+        pipes.close()

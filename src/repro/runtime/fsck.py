@@ -1,0 +1,335 @@
+"""Offline integrity checking for every durable JSONL artifact.
+
+``python -m repro fsck <path>`` validates a campaign checkpoint, a
+fabric shard checkpoint, an audit checkpoint or a service job journal
+— auto-detected from the first intact record — without loading the
+circuit or replaying any state.  It answers the operator's question
+after a crash, a disk incident or a suspicious resume: *is this file
+damaged, and does the damage matter?*
+
+Checked, in layers:
+
+* **line integrity** — JSON validity, record shape, the ``version``
+  field and each record's CRC32 (:func:`~repro.runtime.checkpoint.
+  record_crc`); records written before checksumming carry no ``crc``
+  and are accepted unverified (counted in ``unchecksummed``),
+* **torn tail** — a final line without a trailing newline is the
+  signature of a crash mid-append.  Readers skip it by design, so it
+  is reported as expected crash damage, *not* corruption,
+* **structure** — kind-specific invariants: a header record exists
+  and precedes the data, per-fault lists match the header's fault
+  universe, checkpoint frames never decrease, every journaled job
+  transition is legal under the service state machine, shard records
+  carry as many states as indices,
+* **fingerprint presence** — headers are expected to embed a circuit
+  fingerprint; its absence (legacy files) is a warning.
+
+The verdict mirrors the resume loaders exactly: ``corrupt`` entries
+are what :func:`~repro.runtime.checkpoint.read_jsonl_records` would
+quarantine, ``problems`` are what a resume would refuse or a service
+replay would mishandle.  Exit status (via the CLI): 0 when clean
+(warnings allowed), 4 when anything is corrupt or structurally wrong.
+The chaos suites run fsck after every injected failure: a failpoint
+may cost work, but it must never leave a file fsck rejects.
+"""
+
+import os
+
+from repro.runtime.checkpoint import read_jsonl_records
+from repro.runtime.errors import CheckpointError
+
+#: first-record type -> artifact kind
+_KIND_OF_TYPE = {
+    "header": "campaign",
+    "checkpoint": "campaign",
+    "progress": "campaign",
+    "fabric-header": "fabric",
+    "shard": "fabric",
+    "audit-header": "audit",
+    "audit-finding": "audit",
+    "service": "journal",
+    "job": "journal",
+}
+
+
+def _has_torn_tail(path):
+    """True when the final line lacks its newline (crash mid-append)."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return False
+            handle.seek(size - 1)
+            return handle.read(1) != b"\n"
+    except OSError:
+        return False
+
+
+def _check_campaign(records, report):
+    header = None
+    last_frame = None
+    for index, record in records:
+        kind = record.get("type")
+        if kind == "header":
+            if header is not None:
+                report.problem(index, "duplicate header record")
+            header = record
+            if record.get("fingerprint") is None:
+                report.warn(index, "header has no circuit fingerprint")
+        elif kind == "checkpoint":
+            if header is None:
+                report.problem(index, "checkpoint record before header")
+            elif len(record.get("faults") or ()) != len(
+                header.get("fault_keys") or ()
+            ):
+                report.problem(
+                    index,
+                    "checkpoint fault list does not match header "
+                    f"({len(record.get('faults') or ())} vs "
+                    f"{len(header.get('fault_keys') or ())} faults)",
+                )
+            frame = record.get("frame")
+            if last_frame is not None and isinstance(frame, int) \
+                    and frame < last_frame:
+                report.problem(
+                    index,
+                    f"checkpoint frame went backwards ({last_frame} -> "
+                    f"{frame})",
+                )
+            if isinstance(frame, int):
+                last_frame = frame
+        elif kind != "progress":
+            report.problem(index, f"unknown record type {kind!r}")
+    if header is None:
+        report.problem(None, "no header record (resume would refuse)")
+    elif last_frame is None:
+        report.warn(None, "no checkpoint record (nothing to resume from)")
+
+
+def _check_fabric(records, report):
+    header = None
+    for index, record in records:
+        kind = record.get("type")
+        if kind == "fabric-header":
+            if header is not None:
+                report.problem(index, "duplicate fabric-header record")
+            header = record
+            if record.get("fingerprint") is None:
+                report.warn(index, "header has no circuit fingerprint")
+        elif kind == "shard":
+            if header is None:
+                report.problem(index, "shard record before fabric-header")
+            indices = record.get("indices") or ()
+            states = record.get("states") or ()
+            if len(indices) != len(states):
+                report.problem(
+                    index,
+                    f"shard carries {len(states)} states for "
+                    f"{len(indices)} fault indices",
+                )
+            universe = len(header.get("fault_keys") or ()) if header else None
+            if universe is not None and any(
+                not isinstance(i, int) or not 0 <= i < universe
+                for i in indices
+            ):
+                report.problem(
+                    index,
+                    "shard indices outside the header's fault universe",
+                )
+        else:
+            report.problem(index, f"unknown record type {kind!r}")
+    if header is None:
+        report.problem(None, "no fabric-header record (resume would refuse)")
+
+
+def _check_audit(records, report):
+    header = None
+    for index, record in records:
+        kind = record.get("type")
+        if kind == "audit-header":
+            if header is not None:
+                report.problem(index, "duplicate audit-header record")
+            header = record
+            if record.get("fingerprint") is None:
+                report.warn(index, "header has no circuit fingerprint")
+        elif kind == "audit-finding":
+            if header is None:
+                report.problem(index, "finding record before audit-header")
+            if not isinstance(record.get("finding"), dict):
+                report.problem(index, "finding record has no finding body")
+        else:
+            report.problem(index, f"unknown record type {kind!r}")
+    if header is None:
+        report.problem(None, "no audit-header record (resume would refuse)")
+
+
+def _check_journal(records, report):
+    # the authoritative transition table, not a copy: fsck must agree
+    # with what the live service enforces
+    from repro.service.journal import _TRANSITIONS, STATES
+
+    last_state = {}
+    for index, record in records:
+        kind = record.get("type")
+        if kind == "service":
+            continue
+        if kind != "job":
+            report.problem(index, f"unknown record type {kind!r}")
+            continue
+        job_id = record.get("id")
+        state = record.get("state")
+        if not isinstance(job_id, str) or not job_id:
+            report.problem(index, "job record without an id")
+            continue
+        if state not in STATES:
+            report.problem(
+                index, f"job {job_id}: unknown state {state!r}"
+            )
+            continue
+        old = last_state.get(job_id)
+        if state not in _TRANSITIONS.get(old, ()):
+            report.problem(
+                index,
+                f"job {job_id}: illegal transition {old!r} -> {state!r}",
+            )
+        last_state[job_id] = state
+        if state == "submitted" and old is None \
+                and not isinstance(record.get("spec"), dict):
+            report.problem(
+                index, f"job {job_id}: submitted record carries no spec"
+            )
+
+
+_CHECKERS = {
+    "campaign": _check_campaign,
+    "fabric": _check_fabric,
+    "audit": _check_audit,
+    "journal": _check_journal,
+}
+
+
+class FsckReport:
+    """The structured outcome of one fsck run."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.kind = None
+        self.records = 0
+        self.unchecksummed = 0
+        self.torn_tail = False
+        self.corrupt = []  # {"line", "reason"} from the CRC/JSON layer
+        self.problems = []  # structural findings a resume would hit
+        self.warnings = []  # legacy/benign observations
+
+    def problem(self, index, reason):
+        self.problems.append(
+            {"line": None if index is None else index, "reason": reason}
+        )
+
+    def warn(self, index, reason):
+        self.warnings.append(
+            {"line": None if index is None else index, "reason": reason}
+        )
+
+    @property
+    def ok(self):
+        """Clean (warnings and an expected torn tail are allowed)."""
+        return not self.corrupt and not self.problems
+
+    def to_json(self):
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "ok": self.ok,
+            "records": self.records,
+            "unchecksummed": self.unchecksummed,
+            "torn_tail": self.torn_tail,
+            "corrupt": list(self.corrupt),
+            "problems": list(self.problems),
+            "warnings": list(self.warnings),
+        }
+
+    def lines(self):
+        """Human-readable report lines (the CLI prints these)."""
+        verdict = "clean" if self.ok else "CORRUPT"
+        yield (
+            f"{self.path}: {self.kind or 'unknown'} — {verdict} "
+            f"({self.records} records)"
+        )
+        if self.torn_tail:
+            yield (
+                "  torn tail: final record truncated mid-append "
+                "(expected crash damage; readers skip it)"
+            )
+        if self.unchecksummed:
+            yield (
+                f"  {self.unchecksummed} record(s) predate CRC "
+                "checksumming (accepted unverified)"
+            )
+        for entry in self.corrupt:
+            yield f"  corrupt line {entry['line']}: {entry['reason']}"
+        for entry in self.problems:
+            where = "" if entry["line"] is None else f" line {entry['line']}:"
+            yield f"  problem{where} {entry['reason']}"
+        for entry in self.warnings:
+            where = "" if entry["line"] is None else f" line {entry['line']}:"
+            yield f"  warning{where} {entry['reason']}"
+
+
+def fsck_file(path):
+    """Validate one artifact; returns an :class:`FsckReport`.
+
+    Raises :class:`~repro.runtime.errors.CheckpointError` only when
+    the file cannot be examined at all (missing, unreadable, or not
+    recognizable as any known artifact).
+    """
+    report = FsckReport(path)
+    report.torn_tail = _has_torn_tail(path)
+    intact = []
+    raw_lines = {}
+    for record in read_jsonl_records(
+        path, on_corrupt=report.corrupt.append
+    ):
+        intact.append(record)
+    report.records = len(intact)
+    # the reader popped each record's crc; recover which lines carried
+    # one by rescanning raw lines (cheap: the file is already cached)
+    try:
+        with open(path) as handle:
+            for line_no, line in enumerate(handle, 1):
+                raw_lines[line_no] = line
+    except OSError as exc:  # pragma: no cover - raced deletion
+        raise CheckpointError(path, f"cannot read: {exc}")
+    report.unchecksummed = sum(
+        1
+        for line in raw_lines.values()
+        if line.endswith("\n") and line.strip()
+        and '"crc"' not in line
+    )
+    if not intact:
+        if report.corrupt or report.torn_tail:
+            report.problem(None, "no intact records survive")
+            return report
+        raise CheckpointError(path, "no records")
+    kind = _KIND_OF_TYPE.get(intact[0].get("type"))
+    if kind is None:
+        raise CheckpointError(
+            path,
+            f"unrecognized artifact (first record type "
+            f"{intact[0].get('type')!r})",
+        )
+    report.kind = kind
+    # line numbers of intact records are approximate once corruption
+    # skews the count; enumerate() positions are still monotonic and
+    # good enough to locate a structural problem
+    _CHECKERS[kind](
+        list(enumerate(intact, 1)), report
+    )
+    return report
+
+
+def fsck_paths(paths):
+    """fsck every path; returns (reports, exit_code) — 0 clean, 4 not."""
+    reports = [fsck_file(path) for path in paths]
+    return reports, (0 if all(r.ok for r in reports) else 4)

@@ -178,15 +178,40 @@ class ResourceGovernor:
             )
 
     # ------------------------------------------------------------------
-    def attach_manager(self, manager):
-        """Meter *manager*'s node allocations (and the clock and RSS)
-        via mk()."""
-        if (
+    def _wants_alloc_hook(self):
+        """Should :meth:`attach_manager` install :meth:`note_node`?
+
+        Subclasses widen this: the fabric's :class:`WorkerGovernor`
+        always attaches so heartbeats keep flowing during long frames
+        even when no budgets are armed.
+        """
+        return (
             self.node_budget is not None
             or self.deadline is not None
             or self.rss_budget is not None
-        ):
+        )
+
+    def attach_manager(self, manager):
+        """Meter *manager*'s node allocations (and the clock and RSS)
+        via mk().
+
+        Chains with any hook already installed (the ``bdd.alloc``
+        failpoint arms one at manager construction) instead of
+        overwriting it.
+        """
+        if not self._wants_alloc_hook():
+            return
+        previous = manager.alloc_hook
+        if previous is None:
             manager.alloc_hook = self.note_node
+        else:
+            note_node = self.note_node
+
+            def chained(_previous=previous, _note=note_node):
+                _previous()
+                _note()
+
+            manager.alloc_hook = chained
 
     def accounting(self):
         """Budget consumption snapshot for results and checkpoints."""

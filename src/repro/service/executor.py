@@ -23,6 +23,7 @@ import os
 import threading
 import time
 
+from repro import failpoints as _failpoints
 from repro.faults.status import FaultSet
 from repro.runtime.campaign import _load_compiled, run_campaign
 from repro.runtime.checkpoint import (
@@ -149,6 +150,11 @@ class JobExecutor:
         result_path = os.path.join(job_dir, RESULT_NAME)
         # durability order: result bytes first, journal verdict second
         write_json_atomic(result_path, payload)
+        if _failpoints.fire("service.result.crash"):
+            # the exact durability gap the ordering above defends: the
+            # result is on disk but the journal still says ``running``.
+            # A restart must requeue the job and reproduce the digest.
+            os._exit(86)
         digest = verdict_digest(payload)
         span.add(outcome=result.stopped, digest=digest)
         span.close()

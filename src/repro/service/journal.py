@@ -80,7 +80,7 @@ class JobJournal:
 
     def __init__(self, path):
         self.path = str(path)
-        self._writer = JsonlWriter(self.path)
+        self._writer = JsonlWriter(self.path, site_prefix="journal")
         #: job id -> last journaled state, to reject illegal transitions
         self._states = {}
 
@@ -106,7 +106,7 @@ class JobJournal:
         self._writer.close()
 
 
-def replay_journal(path):
+def replay_journal(path, on_corrupt=None):
     """Fold the journal into per-job views, preserving submit order.
 
     Returns ``(jobs, events)`` where *jobs* is an ordered ``{job_id:
@@ -115,10 +115,17 @@ def replay_journal(path):
     the submitted spec — and *events* counts the service records seen.
     A torn final line (the daemon died mid-append) is skipped by the
     underlying reader; everything before it is recovered.
+
+    With *on_corrupt* (see :func:`~repro.runtime.checkpoint.
+    read_jsonl_records`) a record failing its CRC is quarantined
+    instead of failing the replay.  A job whose *submitted* record was
+    the casualty surfaces as a view without a ``spec`` — the service's
+    recovery cancels such a job with a typed error rather than
+    requeueing work it can no longer describe.
     """
     jobs = {}
     events = 0
-    for record in read_jsonl_records(path):
+    for record in read_jsonl_records(path, on_corrupt=on_corrupt):
         kind = record.get("type")
         if kind == "service":
             events += 1

@@ -126,15 +126,36 @@ class CampaignService:
         original submit order, so recovered work is not starved by (or
         does not starve) anything — the queue after a restart looks
         exactly like the queue the dead daemon owed its clients.
+
+        Journal records failing their CRC are quarantined (counted in
+        ``service.journal_quarantined``), never fatal to recovery.  A
+        recoverable job whose *submitted* record was the casualty has
+        no spec left to re-run: it is journaled ``cancelled`` with a
+        typed reason instead of being requeued blind or dropped
+        silently.
         """
-        jobs, _events = replay_journal(self.journal.path)
+        corrupt = []
+        jobs, _events = replay_journal(
+            self.journal.path, on_corrupt=corrupt.append
+        )
         requeued = 0
         with self._lock:
             for job_id, view in jobs.items():
                 state = view.get("state")
                 if state not in states.STATES:
                     continue
-                spec = JobSpec(**view.get("spec", {}))
+                spec_json = view.get("spec")
+                if spec_json is None:
+                    self.journal.note_replayed_state(job_id, state)
+                    if state in states.RECOVERABLE:
+                        self.journal.job_event(
+                            job_id, states.CANCELLED,
+                            error="journal corruption: submitted record "
+                                  "quarantined, job spec unrecoverable",
+                        )
+                        self.metrics.inc("service.cancelled")
+                    continue
+                spec = JobSpec(**spec_json)
                 job = Job(job_id, spec, state,
                           submitted_at=view.get("submitted_at"))
                 job.error = view.get("error")
@@ -156,10 +177,21 @@ class CampaignService:
                     self._queue.append(job)
                     requeued += 1
             self.metrics.set_total("service.recovered", requeued)
+            if corrupt:
+                self.metrics.set_total(
+                    "service.journal_quarantined", len(corrupt)
+                )
             self._refresh_gauges()
             self._work.notify_all()
         self.journal.service_event(
-            "start", pid=os.getpid(), replayed=len(jobs), requeued=requeued
+            "start", pid=os.getpid(), replayed=len(jobs), requeued=requeued,
+            **(
+                {"journal_quarantined": [
+                    {"line": r["line"], "reason": r["reason"]}
+                    for r in corrupt
+                ]}
+                if corrupt else {}
+            ),
         )
         return requeued
 

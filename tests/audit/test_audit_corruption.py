@@ -23,6 +23,7 @@ from repro.faults.status import (
     FaultSet,
 )
 from repro.runtime import run_campaign
+from repro.runtime.checkpoint import record_crc
 from repro.sequences.random_seq import random_sequence_for
 
 
@@ -98,7 +99,9 @@ def test_cli_audit_flags_corrupted_checkpoint(s27, tmp_path, capsys):
     capsys.readouterr()
     assert rc == 0
 
-    # flip one undetected fault to "detected" in every snapshot record
+    # flip one undetected fault to "detected" in every snapshot record,
+    # re-sealing each record's CRC: a well-formed but semantically wrong
+    # checkpoint is exactly what the audit (not the CRC layer) catches
     corrupted = []
     flipped = False
     for line in path.read_text().splitlines():
@@ -109,7 +112,9 @@ def test_cli_audit_flags_corrupted_checkpoint(s27, tmp_path, capsys):
                     entry["state"] = ["detected", "MOT", 3]
                     flipped = True
                     break
-        corrupted.append(json.dumps(record))
+        record.pop("crc", None)
+        body = json.dumps(record, sort_keys=True)
+        corrupted.append(f'{body[:-1]}, "crc": {record_crc(body)}}}')
     assert flipped, "campaign left no undetected fault to corrupt"
     bad = tmp_path / "bad.ckpt"
     bad.write_text("\n".join(corrupted) + "\n")
