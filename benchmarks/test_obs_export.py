@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the observability exporters.
+
+Exporters run on the operator's critical path (a Prometheus scrape
+holds an HTTP worker; ``repro export-trace`` runs over multi-thousand
+record traces), so their costs are worth pinning alongside the BDD
+micro-benchmarks.
+"""
+
+from repro.obs.export import (
+    render_prometheus,
+    trace_to_chrome,
+    trace_to_collapsed,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_registry(n_counters=50, n_hist_samples=500):
+    registry = MetricsRegistry()
+    for i in range(n_counters):
+        registry.inc(f"component{i % 5}.counter{i}", i + 1)
+        registry.gauge(f"component{i % 5}.gauge{i}", i * 3)
+    for i in range(n_hist_samples):
+        registry.observe("fault.bdd_size", (i * 37) % 4096 + 1)
+        registry.observe("frame.micros", (i * 113) % 100_000 + 1)
+    return registry
+
+
+def make_trace(spans=2000):
+    """A canonical fabric-style trace: spans, events, counters."""
+    records = [
+        {"kind": "trace-header", "v": 1, "source": "bench"},
+        {"kind": "span", "name": "campaign", "seq": 0, "parent": None},
+    ]
+    seq = 1
+    for i in range(spans):
+        parent = 0
+        records.append({
+            "kind": "span", "name": "fault", "seq": seq,
+            "parent": parent, "shard": str(i % 8), "worker": i % 4,
+        })
+        span_seq = seq
+        seq += 1
+        records.append({
+            "kind": "event", "name": "detect", "seq": seq,
+            "parent": span_seq,
+        })
+        seq += 1
+        if i % 10 == 0:
+            records.append({
+                "kind": "metrics", "name": "sample", "seq": seq,
+                "parent": span_seq, "values": {"bdd.nodes": i},
+            })
+            seq += 1
+    return records
+
+
+def test_render_prometheus(benchmark):
+    registry = make_registry()
+    text = benchmark(lambda: render_prometheus(registry))
+    benchmark.extra_info["bytes"] = len(text)
+    assert text.endswith("\n")
+
+
+def test_trace_to_chrome(benchmark):
+    records = make_trace()
+    doc = benchmark(lambda: trace_to_chrome(records))
+    benchmark.extra_info["events"] = len(doc["traceEvents"])
+    assert doc["traceEvents"]
+
+
+def test_trace_to_collapsed(benchmark):
+    records = make_trace()
+    text = benchmark(lambda: trace_to_collapsed(records))
+    benchmark.extra_info["lines"] = len(text.splitlines())
+    assert text

@@ -973,6 +973,81 @@ def build_parser():
                    help="machine-readable report, one JSON object per "
                         "file")
 
+    p = sub.add_parser(
+        "metrics-export",
+        help="render a --metrics JSON snapshot as Prometheus text "
+             "exposition",
+    )
+    p.add_argument("metrics", help="metrics JSON written by --metrics "
+                                   "(or a flat name->number mapping)")
+    p.add_argument("--prefix", default="repro",
+                   help="metric name prefix (default repro)")
+    p.add_argument("-o", "--output", help="write here instead of stdout")
+
+    p = sub.add_parser(
+        "export-trace",
+        help="convert a JSONL trace to Chrome/Perfetto trace_event "
+             "JSON or collapsed flamegraph stacks",
+    )
+    p.add_argument("trace", help="trace file (.jsonl) written by --trace")
+    p.add_argument("--format", choices=("chrome", "flame"),
+                   default="chrome",
+                   help="chrome: load in ui.perfetto.dev; flame: "
+                        "collapsed stacks for flamegraph.pl/speedscope")
+    p.add_argument("-o", "--output", help="write here instead of stdout")
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a running campaign (service job "
+             "event stream or local checkpoint)",
+    )
+    p.add_argument("job", nargs="?", default=None,
+                   help="service job id (with --url)")
+    p.add_argument("--url", default="http://127.0.0.1:8357",
+                   help="service base URL (default "
+                        "http://127.0.0.1:8357)")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="tail a local campaign checkpoint instead of a "
+                        "service job")
+    p.add_argument("--once", action="store_true",
+                   help="render the current state once and exit")
+    p.add_argument("--poll-timeout", type=float, default=5.0,
+                   metavar="SECS",
+                   help="long-poll timeout per request (default 5)")
+    p.add_argument("--interval", type=float, default=0.5, metavar="SECS",
+                   help="checkpoint re-read interval (default 0.5)")
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark suite; compare against a "
+             "committed baseline with a noise guardband",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="the small suite CI runs on every push")
+    p.add_argument("--label", default="local",
+                   help="label baked into BENCH_<label>.json "
+                        "(default local)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the bench JSON here (default "
+                        "BENCH_<label>.json)")
+    p.add_argument("--compare", nargs="+", metavar="BASELINE",
+                   help="compare against these baseline bench JSONs "
+                        "(several = trajectory, per-workload best); "
+                        "exit 5 on regression")
+    p.add_argument("--current", metavar="FILE",
+                   help="with --compare: diff this bench JSON instead "
+                        "of running the suite")
+    p.add_argument("--guardband", type=float, default=0.5,
+                   metavar="FRAC",
+                   help="allowed relative growth in normalized cost "
+                        "(default 0.5)")
+    p.add_argument("--floor", type=float, default=0.005, metavar="SECS",
+                   help="absolute wall-clock excess below which a "
+                        "regression never fires (default 0.005)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-workload progress and the "
+                        "results dump")
+
     return parser
 
 
@@ -990,6 +1065,110 @@ def cmd_fsck(args):
             for line in report.lines():
                 print(line)
     return code
+
+
+def cmd_metrics_export(args):
+    import json as _json
+
+    from repro.obs.export import render_prometheus
+
+    with open(args.metrics, encoding="utf-8") as handle:
+        snapshot = _json.load(handle)
+    if not isinstance(snapshot, dict):
+        raise ValueError(
+            f"{args.metrics}: expected a metrics snapshot object"
+        )
+    text = render_prometheus(snapshot, prefix=args.prefix)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_export_trace(args):
+    import json as _json
+
+    from repro.obs.export import trace_to_chrome, trace_to_collapsed
+    from repro.obs.profile import read_trace
+
+    records = read_trace(args.trace)
+    if args.format == "chrome":
+        text = _json.dumps(trace_to_chrome(records), sort_keys=True)
+    else:
+        text = trace_to_collapsed(records)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_top(args):
+    from repro.obs.top import run_top
+
+    if bool(args.checkpoint) == bool(args.job):
+        raise ValueError(
+            "pass exactly one source: --checkpoint FILE, or "
+            "--url URL with a job id"
+        )
+    return run_top(
+        job=args.job,
+        url=args.url,
+        checkpoint=args.checkpoint,
+        once=args.once,
+        poll_timeout=args.poll_timeout,
+        interval=args.interval,
+    )
+
+
+def cmd_bench(args):
+    import json as _json
+
+    from repro.obs.bench import (
+        compare_bench,
+        load_bench_json,
+        render_compare,
+        run_suite,
+        trajectory_baseline,
+    )
+    from repro.runtime.checkpoint import write_json_atomic
+
+    if args.compare and args.current:
+        current = load_bench_json(args.current)
+    else:
+        current = run_suite(
+            quick=args.quick,
+            label=args.label,
+            progress=(
+                None if args.quiet
+                else lambda name: print(f"bench: {name}", file=sys.stderr)
+            ),
+        )
+        out = args.output or f"BENCH_{args.label}.json"
+        write_json_atomic(out, current)
+        if not args.quiet:
+            print(f"wrote {out}", file=sys.stderr)
+    if not args.compare:
+        if not args.quiet:
+            print(_json.dumps(current["results"], indent=2,
+                              sort_keys=True))
+        return 0
+    baselines = [load_bench_json(path) for path in args.compare]
+    baseline = (
+        baselines[0] if len(baselines) == 1
+        else trajectory_baseline(baselines)
+    )
+    report = compare_bench(
+        baseline, current,
+        guardband=args.guardband, floor=args.floor,
+    )
+    print(render_compare(report))
+    return 0 if report["ok"] else 5
 
 
 def cmd_serve(args):
@@ -1025,6 +1204,10 @@ _COMMANDS = {
     "equiv": cmd_equiv,
     "serve": cmd_serve,
     "fsck": cmd_fsck,
+    "metrics-export": cmd_metrics_export,
+    "export-trace": cmd_export_trace,
+    "top": cmd_top,
+    "bench": cmd_bench,
 }
 
 

@@ -22,7 +22,12 @@ Three pieces:
 """
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.schema import TRACE_VERSION, TraceSchemaError, validate_record
+from repro.obs.schema import (
+    TRACE_VERSION,
+    TraceSchemaError,
+    validate_record,
+    validate_stream_record,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     JsonlSink,
@@ -41,15 +46,30 @@ __all__ = [
     "TraceSchemaError",
     "Tracer",
     "profile_trace",
+    "render_prometheus",
+    "trace_to_chrome",
+    "trace_to_collapsed",
     "validate_record",
+    "validate_stream_record",
 ]
+
+_LAZY = {
+    # profile/export pull in nothing heavy, but keep them lazy so
+    # importing the tracer from hot paths stays minimal.
+    "profile_trace": ("repro.obs.profile", "profile_trace"),
+    "render_prometheus": ("repro.obs.export", "render_prometheus"),
+    "trace_to_chrome": ("repro.obs.export", "trace_to_chrome"),
+    "trace_to_collapsed": ("repro.obs.export", "trace_to_collapsed"),
+}
 
 
 def __getattr__(name):
-    # profile pulls in nothing heavy, but keep it lazy so importing the
-    # tracer from hot paths stays minimal.
-    if name == "profile_trace":
-        from repro.obs.profile import profile_trace
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
 
-        return profile_trace
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,338 @@
+"""Benchmark sentinel: pinned workloads, calibrated runs, guarded diffs.
+
+``repro bench`` runs a pinned suite of micro workloads (BDD substrate
+operations) plus a small end-to-end campaign, and writes the timings
+to ``BENCH_<label>.json``.  Raw seconds are useless across machines,
+so every run first measures a fixed pure-Python calibration loop; each
+workload is then reported both in seconds and *normalized* (seconds
+divided by the calibration unit), which is what comparisons use — a
+slower CI runner shifts both numerator and denominator.
+
+:func:`compare_bench` diffs a current run against a committed baseline
+(or a trajectory of past runs) with a noise-aware guardband: a
+workload only counts as regressed when its normalized cost exceeds the
+baseline by more than the relative guardband *and* the absolute
+wall-clock excess is above a floor, so micro workloads jittering by
+microseconds can never fail a build.  CI runs this on every push and
+fails the ``bench-sentinel`` job on any regression.
+
+Everything is stdlib-only and deterministic apart from the clock.
+"""
+
+import json
+import platform
+import sys
+import time
+
+BENCH_VERSION = 1
+
+#: default relative guardband — normalized cost may grow this fraction
+DEFAULT_GUARDBAND = 0.5
+#: absolute floor (seconds): smaller wall-clock excesses never fail.
+#: Workloads are deliberately sized to tens of milliseconds so a real
+#: guardband breach always clears this, while scheduler jitter on a
+#: single unlucky round cannot.
+DEFAULT_FLOOR = 0.005
+
+
+class BenchSchemaError(ValueError):
+    """A bench JSON document violates the schema."""
+
+
+# -- pinned workloads --------------------------------------------------
+
+
+def _calibration_workload():
+    # fixed integer-churn loop: measures this interpreter+machine's
+    # basic speed, the denominator for machine normalization
+    acc = 0
+    for i in range(200_000):
+        acc = (acc * 1103515245 + 12345 + i) & 0xFFFFFFFF
+    return acc
+
+
+# each micro workload is looped to tens of milliseconds: long enough
+# that a guardband breach clears the absolute floor, short enough that
+# the quick suite stays CI-cheap
+
+def _bdd_parity():
+    from repro.bdd import BddManager
+
+    f = None
+    for _ in range(20):
+        m = BddManager(num_vars=32)
+        f = m.const(0)
+        for i in range(32):
+            f = m.xor(f, m.mk_var(i))
+    return f
+
+
+def _bdd_adder():
+    from repro.bdd import BddManager
+
+    carry = None
+    for _ in range(15):
+        m = BddManager(num_vars=32)
+        carry = m.const(0)
+        for i in range(16):
+            a = m.mk_var(2 * i)
+            b = m.mk_var(2 * i + 1)
+            m.xor(m.xor(a, b), carry)
+            carry = m.or_(m.and_(a, b), m.and_(carry, m.xor(a, b)))
+    return carry
+
+
+def _bdd_satcount():
+    from repro.bdd import BddManager
+
+    m = BddManager(num_vars=20)
+    f = m.const(0)
+    for i in range(20):
+        f = m.xor(f, m.mk_var(i))
+    count = 0
+    for _ in range(500):
+        count = m.sat_count(f, range(20))
+    return count
+
+
+def _campaign(circuit, length, seed=3):
+    from repro.circuit.compile import compile_circuit
+    from repro.circuits.registry import get_circuit
+    from repro.faults.collapse import collapse_faults
+    from repro.faults.status import FaultSet
+    from repro.runtime.campaign import run_campaign
+    from repro.sequences.random_seq import random_sequence_for
+
+    compiled = compile_circuit(get_circuit(circuit))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, length, seed=seed)
+    return run_campaign(compiled, sequence, FaultSet(faults))
+
+
+# name -> (callable, repeats); min-of-repeats is the reported time
+QUICK_SUITE = {
+    "bdd_parity32": (_bdd_parity, 5),
+    "bdd_adder16": (_bdd_adder, 5),
+    "bdd_satcount20": (_bdd_satcount, 5),
+    "campaign_ctr8_L12": (lambda: _campaign("ctr8", 12), 2),
+}
+
+FULL_SUITE = dict(QUICK_SUITE)
+FULL_SUITE.update({
+    "campaign_ctr8_L30": (lambda: _campaign("ctr8", 30), 2),
+    "campaign_syncc6_L20": (lambda: _campaign("syncc6", 20), 2),
+})
+
+
+# -- running -----------------------------------------------------------
+
+
+def calibrate(rounds=5):
+    """Best-of-*rounds* seconds for the fixed calibration loop."""
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        _calibration_workload()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def _time_workload(fn, repeats):
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def run_suite(quick=True, label="local", progress=None):
+    """Run the pinned suite and return a schema-valid bench document."""
+    suite = QUICK_SUITE if quick else FULL_SUITE
+    unit = calibrate()
+    results = {}
+    for name in sorted(suite):
+        fn, repeats = suite[name]
+        if progress is not None:
+            progress(name)
+        seconds = _time_workload(fn, repeats)
+        results[name] = {
+            "seconds": round(seconds, 6),
+            "normalized": round(seconds / unit, 3),
+            "repeats": repeats,
+        }
+    doc = {
+        "bench_version": BENCH_VERSION,
+        "label": label,
+        "suite": "quick" if quick else "full",
+        "machine": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "unit_seconds": round(unit, 6),
+        },
+        "generated_at": round(time.time(), 3),
+        "results": results,
+    }
+    validate_bench_json(doc)
+    return doc
+
+
+# -- schema ------------------------------------------------------------
+
+
+def validate_bench_json(doc):
+    """Raise :class:`BenchSchemaError` unless *doc* is a valid bench
+    document; returns the document for chaining."""
+    if not isinstance(doc, dict):
+        raise BenchSchemaError("bench document must be a JSON object")
+    if doc.get("bench_version") != BENCH_VERSION:
+        raise BenchSchemaError(
+            f"bench_version must be {BENCH_VERSION}, "
+            f"got {doc.get('bench_version')!r}"
+        )
+    if not isinstance(doc.get("label"), str) or not doc["label"]:
+        raise BenchSchemaError("label must be a non-empty string")
+    if doc.get("suite") not in ("quick", "full"):
+        raise BenchSchemaError("suite must be 'quick' or 'full'")
+    machine = doc.get("machine")
+    if not isinstance(machine, dict):
+        raise BenchSchemaError("machine must be an object")
+    unit = machine.get("unit_seconds")
+    if not isinstance(unit, (int, float)) or isinstance(unit, bool) \
+            or unit <= 0:
+        raise BenchSchemaError("machine.unit_seconds must be > 0")
+    results = doc.get("results")
+    if not isinstance(results, dict) or not results:
+        raise BenchSchemaError("results must be a non-empty object")
+    for name, entry in results.items():
+        if not isinstance(entry, dict):
+            raise BenchSchemaError(f"results[{name!r}] must be an object")
+        for field in ("seconds", "normalized"):
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value <= 0:
+                raise BenchSchemaError(
+                    f"results[{name!r}].{field} must be > 0"
+                )
+        repeats = entry.get("repeats")
+        if not isinstance(repeats, int) or isinstance(repeats, bool) \
+                or repeats < 1:
+            raise BenchSchemaError(
+                f"results[{name!r}].repeats must be an integer >= 1"
+            )
+    return doc
+
+
+def load_bench_json(path):
+    """Read and validate one bench document from *path*."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except ValueError as exc:
+            raise BenchSchemaError(f"{path}: not valid JSON: {exc}")
+    try:
+        return validate_bench_json(doc)
+    except BenchSchemaError as exc:
+        raise BenchSchemaError(f"{path}: {exc}")
+
+
+# -- comparison --------------------------------------------------------
+
+
+def trajectory_baseline(docs):
+    """Fold past runs into one synthetic baseline (per-workload best).
+
+    Using the trajectory's best normalized cost per workload makes the
+    guardband measure "how much worse than we have ever reliably been",
+    which resists a slow ratchet where each run regresses just inside
+    the band against its immediate predecessor.
+    """
+    if not docs:
+        raise BenchSchemaError("empty trajectory")
+    results = {}
+    for doc in docs:
+        validate_bench_json(doc)
+        for name, entry in doc["results"].items():
+            best = results.get(name)
+            if best is None or entry["normalized"] < best["normalized"]:
+                results[name] = dict(entry)
+    folded = dict(docs[-1])
+    folded["label"] = "trajectory"
+    folded["results"] = results
+    return folded
+
+
+def compare_bench(baseline, current, guardband=DEFAULT_GUARDBAND,
+                  floor=DEFAULT_FLOOR):
+    """Diff *current* against *baseline*; return a report dict.
+
+    A workload regresses when its normalized cost exceeds the
+    baseline's by more than *guardband* (relative) AND the implied
+    wall-clock excess on the current machine is above *floor* seconds.
+    Workloads present in the baseline but missing from the current run
+    are reported as regressions too (a silently dropped workload must
+    not pass the sentinel).  ``report["ok"]`` is the verdict.
+    """
+    validate_bench_json(baseline)
+    validate_bench_json(current)
+    unit = current["machine"]["unit_seconds"]
+    regressions = []
+    compared = []
+    for name, base in sorted(baseline["results"].items()):
+        cur = current["results"].get(name)
+        if cur is None:
+            regressions.append({
+                "workload": name, "reason": "missing from current run",
+            })
+            continue
+        ratio = cur["normalized"] / base["normalized"]
+        allowed = base["normalized"] * (1.0 + guardband)
+        excess_seconds = (cur["normalized"] - allowed) * unit
+        entry = {
+            "workload": name,
+            "baseline_normalized": base["normalized"],
+            "current_normalized": cur["normalized"],
+            "ratio": round(ratio, 3),
+        }
+        compared.append(entry)
+        if cur["normalized"] > allowed and excess_seconds > floor:
+            regressions.append(dict(
+                entry,
+                reason=(
+                    f"{ratio:.2f}x baseline "
+                    f"(guardband {1.0 + guardband:.2f}x)"
+                ),
+            ))
+    return {
+        "ok": not regressions,
+        "guardband": guardband,
+        "floor": floor,
+        "compared": compared,
+        "regressions": regressions,
+    }
+
+
+def render_compare(report):
+    """One human line per workload plus a verdict line."""
+    lines = []
+    for entry in report["compared"]:
+        lines.append(
+            f"  {entry['workload']}: "
+            f"{entry['baseline_normalized']} -> "
+            f"{entry['current_normalized']} "
+            f"({entry['ratio']}x)"
+        )
+    for reg in report["regressions"]:
+        if "ratio" not in reg:
+            lines.append(f"  {reg['workload']}: {reg['reason']}")
+    if report["ok"]:
+        lines.append(
+            f"bench: ok ({len(report['compared'])} workloads within "
+            f"{1.0 + report['guardband']:.2f}x guardband)"
+        )
+    else:
+        names = ", ".join(r["workload"] for r in report["regressions"])
+        lines.append(f"bench: REGRESSION in {names}")
+    return "\n".join(lines)

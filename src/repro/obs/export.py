@@ -1,0 +1,353 @@
+"""Exporters: Prometheus text exposition and standard trace formats.
+
+PR 4 gave the engine canonical traces and deterministic metrics; this
+module makes both consumable by the tools an operator would actually
+point at a fault-simulation farm:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4) with ``# HELP``/``# TYPE`` lines, counters suffixed
+  ``_total``, gauges, and histograms expanded into cumulative
+  ``_bucket``/``_sum``/``_count`` series.  Served by the campaign
+  service's ``/metrics`` under content negotiation and dumpable
+  offline via ``repro metrics-export``.
+* :func:`trace_to_chrome` — converts a canonical JSONL trace into the
+  Chrome ``trace_event`` JSON format, loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Wall-clock
+  traces keep real timings; canonical (``wall=False``) traces get a
+  synthetic timeline derived from ``seq`` nesting, so the *structure*
+  of a byte-reproducible trace is still explorable.
+* :func:`trace_to_collapsed` — folds span nesting into collapsed-stack
+  lines (``root;child;leaf <weight>``), the input format of every
+  flamegraph renderer (Brendan Gregg's ``flamegraph.pl``, speedscope,
+  inferno).
+
+Everything here is a pure function over already-validated records —
+no I/O, no clock reads — so exports are deterministic and unit-testable
+without files.
+"""
+
+# -- Prometheus exposition ---------------------------------------------
+
+#: the content type Prometheus scrapers send in Accept and expect back
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def sanitize_metric_name(name):
+    """Make *name* a legal Prometheus metric name.
+
+    Registry names use dots (``bdd.cache_hits``, ``service.sheds``);
+    Prometheus allows ``[a-zA-Z_:][a-zA-Z0-9_:]*``.  Every illegal
+    character becomes ``_`` and a leading digit gets a ``_`` prefix,
+    so distinct-but-odd registry names stay distinct in the common
+    case and are always *legal* in every case.
+    """
+    out = "".join(c if c in _NAME_OK else "_" for c in str(name))
+    if not out:
+        return "_"
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value):
+    """Escape a label value per the exposition format rules."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _format_number(value):
+    """Exposition-format numbers: integers stay integral."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _labels_text(labels):
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(k)}="{escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(metrics, prefix="repro", labels=None, help_text=None):
+    """Render a registry (or its snapshot) as Prometheus exposition text.
+
+    *metrics* is a :class:`~repro.obs.metrics.MetricsRegistry` or a
+    snapshot dict (``{"counters", "gauges", "histograms",
+    "histogram_sums"}``); a flat ``name -> number`` mapping (the
+    service's JSON ``/metrics`` body) is accepted too and rendered as
+    untyped gauges.  Counters get the conventional ``_total`` suffix.
+    Output is deterministic: families sorted by name, one trailing
+    newline.  *labels* are stamped on every series (the service uses
+    none; ``repro metrics-export --label`` can attach provenance).
+    """
+    if hasattr(metrics, "snapshot"):
+        snapshot = metrics.snapshot()
+    else:
+        snapshot = metrics
+    if "counters" not in snapshot and "gauges" not in snapshot:
+        # a flat mapping: render everything as a gauge
+        snapshot = {"counters": {}, "gauges": dict(snapshot)}
+    help_text = help_text or {}
+    label_part = _labels_text(labels)
+    lines = []
+
+    def family(raw_name, kind, suffix=""):
+        name = prefix + "_" if prefix else ""
+        name += sanitize_metric_name(raw_name) + suffix
+        text = help_text.get(raw_name, f"repro metric {raw_name}")
+        lines.append(f"# HELP {name} {escape_label_value(text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        return name
+
+    for raw, value in sorted(snapshot.get("counters", {}).items()):
+        name = family(raw, "counter", suffix="_total")
+        lines.append(f"{name}{label_part} {_format_number(value)}")
+    for raw, value in sorted(snapshot.get("gauges", {}).items()):
+        name = family(raw, "gauge")
+        lines.append(f"{name}{label_part} {_format_number(value)}")
+    sums = snapshot.get("histogram_sums", {})
+    for raw, hist in sorted(snapshot.get("histograms", {}).items()):
+        name = family(raw, "histogram")
+        running = 0
+        for upper in sorted(int(b) for b in hist):
+            running += hist[str(upper)] if str(upper) in hist else hist[upper]
+            bucket_labels = dict(labels or {})
+            lines.append(
+                f'{name}_bucket{{'
+                + (
+                    ",".join(
+                        f'{sanitize_metric_name(k)}='
+                        f'"{escape_label_value(v)}"'
+                        for k, v in sorted(bucket_labels.items())
+                    ) + ","
+                    if bucket_labels else ""
+                )
+                + f'le="{upper}"}} {running}'
+            )
+        lines.append(
+            f'{name}_bucket{{'
+            + (
+                ",".join(
+                    f'{sanitize_metric_name(k)}="{escape_label_value(v)}"'
+                    for k, v in sorted((labels or {}).items())
+                ) + ","
+                if labels else ""
+            )
+            + f'le="+Inf"}} {running}'
+        )
+        lines.append(
+            f"{name}_sum{label_part} {_format_number(sums.get(raw, 0))}"
+        )
+        lines.append(f"{name}_count{label_part} {running}")
+    return "\n".join(lines) + "\n"
+
+
+def wants_prometheus(accept_header):
+    """Content negotiation: does this Accept header ask for exposition?
+
+    The JSON body stays the default — only an explicit ``text/plain``
+    or OpenMetrics media type switches to exposition, so existing
+    clients (tests, scripts, the CLI) keep their contract.
+    """
+    accept = (accept_header or "").lower()
+    return "text/plain" in accept or "openmetrics" in accept
+
+
+# -- Chrome trace_event export -----------------------------------------
+
+
+def _subtree_spans(records):
+    """seq -> (record, subtree_max_seq) for synthetic timelines.
+
+    In a canonical trace a span's ``seq`` is assigned when it *opens*
+    and every descendant gets a larger ``seq``, so the half-open
+    interval ``[seq, max(subtree) + 1)`` nests exactly like the real
+    spans did.  That interval is the synthetic duration (in
+    microseconds) used when the trace carries no wall clock.
+    """
+    max_seq = {}
+    parent_of = {}
+    for record in records:
+        seq = record.get("seq")
+        if seq is None:
+            continue
+        parent_of[seq] = record.get("parent")
+        node = seq
+        while node is not None:
+            max_seq[node] = max(max_seq.get(node, node), seq)
+            node = parent_of.get(node)
+    return max_seq
+
+
+def _track_ids(record, shard_tracks):
+    """(pid, tid) attribution for one record.
+
+    Worker-attributed fabric records get their worker id as the pid;
+    each shard gets its own tid lane so Perfetto lays shards out as
+    parallel tracks.  Single-process traces collapse to (0, 0).
+    """
+    worker = record.get("worker")
+    pid = worker if isinstance(worker, int) else 0
+    shard = record.get("shard")
+    if shard is None:
+        return pid, 0
+    if shard not in shard_tracks:
+        shard_tracks[shard] = len(shard_tracks) + 1
+    return pid, shard_tracks[shard]
+
+
+_CORE_FIELDS = ("kind", "name", "seq", "parent", "ts", "dur", "pid", "tid")
+
+
+def trace_to_chrome(records):
+    """Convert validated trace records to a Chrome trace_event dict.
+
+    Returns the JSON-ready ``{"traceEvents": [...], ...}`` object.
+    Spans become complete (``"ph": "X"``) events, point events become
+    instants (``"ph": "i"``), metrics samples become counter
+    (``"ph": "C"``) events.  Wall traces use real ``ts``/``dur``
+    (converted to microseconds); canonical traces synthesize a
+    timeline from ``seq`` nesting (1 seq = 1 µs), preserving structure
+    and relative ordering exactly.
+    """
+    shard_tracks = {}
+    synthetic = _subtree_spans(records)
+    events = []
+    source = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "trace-header":
+            source = record.get("source")
+            continue
+        seq = record.get("seq")
+        pid, tid = _track_ids(record, shard_tracks)
+        args = {
+            k: v for k, v in record.items() if k not in _CORE_FIELDS
+        }
+        args["seq"] = seq
+        if kind == "span":
+            if "ts" in record and "dur" in record:
+                ts = round(record["ts"] * 1e6)
+                dur = max(round(record["dur"] * 1e6), 1)
+            else:
+                ts = seq
+                dur = synthetic.get(seq, seq) - seq + 1
+            events.append({
+                "name": record.get("name", "?"),
+                "ph": "X", "ts": ts, "dur": dur,
+                "pid": pid, "tid": tid, "cat": "span", "args": args,
+            })
+        elif kind == "event":
+            ts = round(record["ts"] * 1e6) if "ts" in record else seq
+            events.append({
+                "name": record.get("name", "?"),
+                "ph": "i", "s": "t", "ts": ts,
+                "pid": pid, "tid": tid, "cat": "event", "args": args,
+            })
+        elif kind == "metrics":
+            ts = round(record["ts"] * 1e6) if "ts" in record else seq
+            values = {
+                k: v for k, v in (record.get("values") or {}).items()
+            }
+            events.append({
+                "name": record.get("name", "metrics"),
+                "ph": "C", "ts": ts,
+                "pid": pid, "tid": tid, "args": values,
+            })
+        elif kind == "summary":
+            ts = synthetic.get(seq, seq) if seq is not None else 0
+            events.append({
+                "name": "summary", "ph": "i", "s": "g", "ts": ts,
+                "pid": pid, "tid": tid, "cat": "summary", "args": args,
+            })
+    # stable presentation order for byte-reproducible exports
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"],
+                               e["args"].get("seq", -1)
+                               if isinstance(e.get("args"), dict) else -1))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": source or "campaign",
+                      "exporter": "repro export-trace"},
+    }
+
+
+# -- collapsed-stack (flamegraph) export -------------------------------
+
+
+def trace_to_collapsed(records):
+    """Fold span nesting into collapsed-stack lines.
+
+    One line per unique root-to-leaf span path:
+    ``campaign;step;...;leaf <weight>``.  The weight is *self* time in
+    microseconds for wall traces (a parent's children are subtracted,
+    floored at zero) or self seq-span width for canonical traces — in
+    both cases weights over a path sum to the root span's total, which
+    is the invariant flamegraph renderers assume.  Lines are sorted
+    for deterministic output.
+    """
+    spans = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        seq = record.get("seq")
+        if seq is None:
+            continue
+        spans[seq] = record
+    synthetic = _subtree_spans(list(spans.values()))
+
+    def total_weight(record):
+        if "dur" in record:
+            return max(round(record["dur"] * 1e6), 1)
+        seq = record["seq"]
+        return synthetic.get(seq, seq) - seq + 1
+
+    def frame_name(record):
+        name = record.get("name", "?")
+        shard = record.get("shard")
+        return f"{name}[{shard}]" if shard is not None else name
+
+    def path_of(record):
+        frames = []
+        node = record
+        seen = set()
+        while node is not None and node["seq"] not in seen:
+            seen.add(node["seq"])
+            frames.append(frame_name(node))
+            parent = node.get("parent")
+            node = spans.get(parent) if parent is not None else None
+        return ";".join(reversed(frames))
+
+    weights = {}
+    child_weight = {}
+    for seq, record in spans.items():
+        parent = record.get("parent")
+        if parent in spans:
+            child_weight[parent] = (
+                child_weight.get(parent, 0) + total_weight(record)
+            )
+    for seq, record in sorted(spans.items()):
+        self_weight = max(
+            total_weight(record) - child_weight.get(seq, 0), 0
+        )
+        if self_weight == 0:
+            continue
+        path = path_of(record)
+        weights[path] = weights.get(path, 0) + self_weight
+    return "\n".join(
+        f"{path} {weight}" for path, weight in sorted(weights.items())
+    ) + ("\n" if weights else "")

@@ -34,6 +34,7 @@ class MetricsRegistry:
         self._counters = {}
         self._gauges = {}
         self._histograms = {}
+        self._histogram_sums = {}
         self._sent_counters = {}
         self._sent_gauges = {}
 
@@ -61,6 +62,9 @@ class MetricsRegistry:
         hist = self._histograms.setdefault(name, {})
         bucket = _bucket(value)
         hist[bucket] = hist.get(bucket, 0) + 1
+        self._histogram_sums[name] = (
+            self._histogram_sums.get(name, 0) + value
+        )
 
     # -- readers ------------------------------------------------------
 
@@ -75,7 +79,33 @@ class MetricsRegistry:
                 name: {str(b): n for b, n in sorted(hist.items())}
                 for name, hist in sorted(self._histograms.items())
             }
+            out["histogram_sums"] = dict(
+                sorted(self._histogram_sums.items())
+            )
         return out
+
+    def histogram_stats(self, name):
+        """Cumulative view of one histogram, Prometheus-shaped.
+
+        Returns ``{"buckets": [(le, cumulative), ...], "sum", "count"}``
+        with the bucket upper bounds in increasing order and counts
+        cumulative (every bucket includes all smaller ones), which is
+        exactly the ``_bucket``/``_sum``/``_count`` contract of the
+        Prometheus exposition format.  None for an unknown histogram.
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            return None
+        buckets = []
+        running = 0
+        for upper in sorted(hist):
+            running += hist[upper]
+            buckets.append((upper, running))
+        return {
+            "buckets": buckets,
+            "sum": self._histogram_sums.get(name, 0),
+            "count": running,
+        }
 
     def flat(self):
         """Counters and gauges flattened into one sorted mapping."""
@@ -132,3 +162,7 @@ class MetricsRegistry:
             for bucket, count in hist.items():
                 bucket = int(bucket)
                 mine[bucket] = mine.get(bucket, 0) + count
+        for name, total in snapshot.get("histogram_sums", {}).items():
+            self._histogram_sums[name] = (
+                self._histogram_sums.get(name, 0) + total
+            )

@@ -99,6 +99,84 @@ def validate_record(record, line_no=0):
     return record
 
 
+#: kinds of live-stream records (``GET /jobs/<id>/events`` batches and
+#: checkpoint ``progress`` records re-surfaced by ``repro top``)
+STREAM_KINDS = ("state", "progress")
+
+#: job lifecycle states a ``state`` stream record may carry — mirrors
+#: the service journal's state machine
+STREAM_STATES = (
+    "submitted", "running", "interrupted", "done", "failed", "cancelled",
+)
+
+
+def validate_stream_record(record, line_no=0):
+    """Validate one job-event stream record (seq'd state/progress).
+
+    The stream contract: every record has a positive integer ``seq``
+    (per-job, monotonically increasing — gaps mean the bounded buffer
+    dropped records and the consumer should resync), a ``kind`` from
+    :data:`STREAM_KINDS`, and a numeric ``ts``.  ``state`` records
+    carry a journal state; ``progress`` records carry non-negative
+    numeric counters wherever the well-known counter fields appear.
+    """
+    if not isinstance(record, dict):
+        _fail(line_no, "stream record is not an object", record)
+    kind = record.get("kind")
+    if kind not in STREAM_KINDS:
+        _fail(line_no, f"unknown stream kind {kind!r}", record)
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+        _fail(line_no, f"bad stream seq {seq!r}", record)
+    ts = record.get("ts")
+    if ts is not None and (
+        not isinstance(ts, _NUMBER) or isinstance(ts, bool) or ts < 0
+    ):
+        _fail(line_no, f"bad stream ts {ts!r}", record)
+    if kind == "state":
+        if record.get("state") not in STREAM_STATES:
+            _fail(
+                line_no,
+                f"bad stream state {record.get('state')!r}",
+                record,
+            )
+        return record
+    validate_progress_payload(record, line_no=line_no)
+    return record
+
+
+def validate_progress_payload(payload, line_no=0):
+    """Validate the counter fields of a progress payload.
+
+    Used both for stream ``progress`` records and the checkpoint's
+    ``type: progress`` records: any of the well-known counters that is
+    present must be a non-negative number.  Extra fields pass —
+    progress payloads grow without schema bumps, like trace records.
+    """
+    if not isinstance(payload, dict):
+        _fail(line_no, "progress payload is not an object", payload)
+    for field in (
+        "frame", "frames_total", "detected", "live", "quarantined",
+        "fallbacks", "demotions", "peak_nodes", "elapsed", "monotonic",
+        "nodes_allocated", "shards_done", "shards", "workers",
+        "faults_done", "faults_total", "peak_worker_rss",
+    ):
+        if field in payload and payload[field] is not None:
+            value = payload[field]
+            if not isinstance(value, _NUMBER) or isinstance(value, bool) \
+                    or value < 0:
+                _fail(line_no, f"bad progress {field} {value!r}", payload)
+    worker_rss = payload.get("worker_rss")
+    if worker_rss is not None:
+        if not isinstance(worker_rss, dict):
+            _fail(line_no, "worker_rss is not an object", payload)
+        for worker, rss in worker_rss.items():
+            if not isinstance(rss, _NUMBER) or isinstance(rss, bool) \
+                    or rss < 0:
+                _fail(line_no, f"bad worker_rss[{worker}]", payload)
+    return payload
+
+
 def validate_trace_file(path):
     """Validate every line of a JSONL trace; return the record count.
 

@@ -46,6 +46,7 @@ aggregated into :attr:`CampaignResult.pressure` and the checkpoint
 counters.
 """
 
+import time
 import warnings
 
 from repro import failpoints as _failpoints
@@ -1274,6 +1275,14 @@ class Campaign:
             "demotions": self.ladder_state.demotions,
             "peak_nodes": self.peak_nodes,
             "elapsed": round(self.governor.elapsed(), 3),
+            # for live consumers (`repro top`, /jobs/<id>/events):
+            # a monotonic stamp to order payloads across sources and
+            # the cumulative BDD-node effort so throughput and ETA can
+            # be derived without guessing at wall-clock skew
+            "monotonic": round(time.monotonic(), 3),
+            "nodes_allocated": getattr(
+                self.governor, "nodes_allocated", 0
+            ),
         }
 
     def _emit_progress(self, final=False):

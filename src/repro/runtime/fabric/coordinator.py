@@ -353,6 +353,9 @@ class ShardFabric:
         self._writer = None
         self._worker_nodes = 0  # node allocations reported by shards
         self._spawn_failures = 0  # consecutive deaths before readiness
+        self._faults_done = 0  # faults in completed shards
+        self._shard_demotions = 0  # demotions reported by shards
+        self._start_monotonic = _time.monotonic()
         self.accounting = _FabricAccounting()
 
     # ------------------------------------------------------------------
@@ -724,6 +727,8 @@ class ShardFabric:
         for index, state in zip(indices, payload["states"]):
             self.fault_set.records[index].state_from_json(state)
         self._worker_nodes += payload.get("nodes_allocated", 0)
+        self._faults_done += len(indices)
+        self._shard_demotions += payload.get("demotions", 0) or 0
         self.accounting.shards_completed += 1
         if self._writer is not None and not checkpointed:
             self._writer.write_shard(shard_id, indices, payload)
@@ -1011,11 +1016,27 @@ class ShardFabric:
     def _emit_progress(self, frame=None):
         if self.progress_hook is None:
             return
+        now = _time.monotonic()
         payload = {
             "shards_done": self.accounting.shards_completed,
             "shards": self.accounting.shards_planned,
             "workers": len(self._handles) or None,
             "frame": frame,
+            # live-consumer enrichment (ProgressLine, /jobs/<id>/events,
+            # `repro top`): throughput/ETA inputs plus the health signals
+            # an operator actually watches
+            "monotonic": round(now, 3),
+            "elapsed": round(now - self._start_monotonic, 3),
+            "faults_done": self._faults_done,
+            "faults_total": len(self._faults),
+            "nodes_allocated": self._worker_nodes,
+            "demotions": self._shard_demotions,
+            "worker_rss": {
+                str(worker_id): handle.last_rss
+                for worker_id, handle in sorted(self._handles.items())
+                if getattr(handle, "last_rss", None)
+            },
+            "peak_worker_rss": self.accounting.peak_worker_rss,
         }
         if self._beat_registry is not None:
             payload["metrics"] = self._beat_registry.flat()

@@ -33,6 +33,7 @@ The chaos suites run fsck after every injected failure: a failpoint
 may cost work, but it must never leave a file fsck rejects.
 """
 
+import json
 import os
 
 from repro.runtime.checkpoint import read_jsonl_records
@@ -277,6 +278,32 @@ class FsckReport:
             yield f"  warning{where} {entry['reason']}"
 
 
+def _try_bench(path, report):
+    """Recognize and validate a whole-file bench JSON document.
+
+    Bench exports (``repro bench`` -> ``BENCH_<label>.json``) are the
+    one non-JSONL artifact fsck knows: a single JSON object carrying
+    ``bench_version``.  Returns True when the file is one (valid or
+    not — schema violations land in ``report.problems``).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return False
+    if not isinstance(doc, dict) or "bench_version" not in doc:
+        return False
+    report.kind = "bench"
+    report.records = 1
+    from repro.obs.bench import BenchSchemaError, validate_bench_json
+
+    try:
+        validate_bench_json(doc)
+    except BenchSchemaError as exc:
+        report.problem(None, str(exc))
+    return True
+
+
 def fsck_file(path):
     """Validate one artifact; returns an :class:`FsckReport`.
 
@@ -285,6 +312,8 @@ def fsck_file(path):
     recognizable as any known artifact).
     """
     report = FsckReport(path)
+    if _try_bench(path, report):
+        return report
     report.torn_tail = _has_torn_tail(path)
     intact = []
     raw_lines = {}

@@ -1,0 +1,99 @@
+"""Bounded per-job event buffers feeding ``GET /jobs/<id>/events``.
+
+The executor thread pushes two kinds of records into a job's buffer —
+journal state transitions and campaign/fabric progress payloads — and
+HTTP handler threads read them out as a long-poll batch or an SSE
+stream.  The design constraint that shapes everything here:
+
+    **a slow (or absent) consumer must never stall the executor.**
+
+So :meth:`JobEventBuffer.push` never blocks and never grows the buffer
+past its capacity: when full, the oldest record is evicted and a
+``dropped`` counter bumped.  Consumers see the drop count in every
+batch, so a dashboard that fell behind *knows* it has a gap instead of
+silently rendering stale history.  Sequence numbers are per-job and
+monotonically increasing; a consumer resumes with ``?after=<seq>`` and
+detects gaps by comparing the first delivered seq against ``after+1``.
+"""
+
+import threading
+import time
+
+DEFAULT_CAPACITY = 256
+
+
+class JobEventBuffer:
+    """A bounded, seq-numbered event log with blocking reads."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._events = []
+        self._next_seq = 1
+        self.dropped = 0
+        self.closed = False
+        self._cond = threading.Condition()
+
+    def push(self, kind, payload=None):
+        """Append one event; never blocks, evicts oldest when full.
+
+        Returns the event's seq (or ``None`` after :meth:`close` —
+        late pushes from a racing progress hook are dropped silently,
+        the terminal state event is already the last word).
+        """
+        with self._cond:
+            if self.closed:
+                return None
+            event = {"seq": self._next_seq, "kind": kind,
+                     "ts": round(time.time(), 3)}
+            if payload:
+                event.update(
+                    (k, v) for k, v in payload.items()
+                    if k not in ("seq", "kind", "ts")
+                )
+            self._next_seq += 1
+            self._events.append(event)
+            if len(self._events) > self._capacity:
+                evict = len(self._events) - self._capacity
+                del self._events[:evict]
+                self.dropped += evict
+            self._cond.notify_all()
+            return event["seq"]
+
+    def close(self):
+        """Mark the stream complete; wakes all blocked readers."""
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    def after(self, seq=0, timeout=None):
+        """Events with seq > *seq*, blocking up to *timeout* for news.
+
+        Returns ``(events, dropped_total, closed)``.  An empty event
+        list with ``closed=True`` means the stream is over; empty with
+        ``closed=False`` means the timeout elapsed (long-poll clients
+        simply re-request).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                batch = [e for e in self._events if e["seq"] > seq]
+                if batch or self.closed:
+                    return list(batch), self.dropped, self.closed
+                if deadline is None:
+                    remaining = None
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return [], self.dropped, False
+                self._cond.wait(timeout=remaining)
+
+    def stats(self):
+        with self._cond:
+            return {
+                "buffered": len(self._events),
+                "dropped": self.dropped,
+                "next_seq": self._next_seq,
+                "closed": self.closed,
+            }

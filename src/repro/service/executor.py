@@ -174,6 +174,17 @@ class JobExecutor:
                 stopped=result.stopped,
             )
 
+    def _progress_hook(self, job):
+        """A campaign/fabric progress hook feeding the job's event
+        stream.  The buffer's push never blocks, so a slow or absent
+        ``/jobs/<id>/events`` consumer cannot stall this thread."""
+        service = self.service
+
+        def hook(payload):
+            service.push_progress(job, payload)
+
+        return hook
+
     def _run(self, job, checkpoint_path):
         spec = job.spec
         compiled = _load_compiled(spec.circuit)
@@ -208,6 +219,7 @@ class JobExecutor:
             workers=spec.workers,
             shard_size=spec.shard_size,
             max_retries=spec.max_retries,
+            progress_hook=self._progress_hook(job),
         )
         return result, compiled, sequence, fault_set
 
@@ -240,6 +252,7 @@ class JobExecutor:
                         shard_size=spec.shard_size,
                         max_retries=spec.max_retries or 2,
                     ),
+                    progress_hook=self._progress_hook(job),
                 )
             else:
                 from repro.runtime.campaign import resume_campaign
@@ -254,6 +267,7 @@ class JobExecutor:
                     governor=governor,
                     checkpoint_every=spec.checkpoint_every,
                     signal_guard=job.guard,
+                    progress_hook=self._progress_hook(job),
                 )
         except CheckpointError:
             return None

@@ -142,9 +142,11 @@ class Job:
 
     __slots__ = ("id", "spec", "state", "attempts", "error",
                  "stop_reason", "result_file", "guard",
-                 "cancel_requested", "submitted_at")
+                 "cancel_requested", "submitted_at", "events")
 
     def __init__(self, job_id, spec, state, submitted_at=None):
+        from repro.service.events import JobEventBuffer
+
         self.id = job_id
         self.spec = spec
         self.state = state
@@ -155,6 +157,7 @@ class Job:
         self.guard = JobGuard()
         self.cancel_requested = False
         self.submitted_at = submitted_at
+        self.events = JobEventBuffer()
 
     def summary(self):
         payload = {

@@ -30,7 +30,13 @@ import threading
 import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, JsonlSink, Tracer
 from repro.runtime.checkpoint import write_json_atomic
@@ -109,6 +115,12 @@ class CampaignService:
         self._next_id += 1
         return job_id
 
+    def _push_event(self, job, kind, payload=None, close=False):
+        """Feed the job's event stream; drops, never blocks."""
+        job.events.push(kind, payload)
+        if close:
+            job.events.close()
+
     def _refresh_gauges(self):
         self.metrics.gauge("service.queue_depth", len(self._queue))
         running = sum(
@@ -162,6 +174,11 @@ class CampaignService:
                 job.result_file = view.get("result_file")
                 job.attempts = view.get("attempt", 0)
                 self._jobs[job_id] = job
+                if state in states.TERMINAL:
+                    self._push_event(
+                        job, "state",
+                        {"state": state, "recovered": True}, close=True,
+                    )
                 self.journal.note_replayed_state(job_id, state)
                 try:
                     numeric = int(job_id.rsplit("-", 1)[-1])
@@ -174,6 +191,10 @@ class CampaignService:
                         previous=state,
                     )
                     job.state = states.SUBMITTED
+                    self._push_event(job, "state", {
+                        "state": states.SUBMITTED, "recovered": True,
+                        "previous": state,
+                    })
                     self._queue.append(job)
                     requeued += 1
             self.metrics.set_total("service.recovered", requeued)
@@ -224,6 +245,7 @@ class CampaignService:
                 submitted_at=job.submitted_at,
             )
             self._jobs[job.id] = job
+            self._push_event(job, "state", {"state": states.SUBMITTED})
             self._queue.append(job)
             self.metrics.inc("service.submitted")
             self._refresh_gauges()
@@ -272,6 +294,11 @@ class CampaignService:
                 self.journal.job_event(job_id, states.CANCELLED,
                                        where="queue")
                 job.state = states.CANCELLED
+                self._push_event(
+                    job, "state",
+                    {"state": states.CANCELLED, "where": "queue"},
+                    close=True,
+                )
                 self.metrics.inc("service.cancelled")
                 self._refresh_gauges()
                 return 200, {}, job.summary()
@@ -295,6 +322,24 @@ class CampaignService:
     def metrics_body(self):
         return 200, {}, self.metrics.flat()
 
+    def metrics_exposition(self):
+        """Prometheus text exposition of the service registry."""
+        return render_prometheus(self.metrics, prefix="repro")
+
+    def push_progress(self, job, payload):
+        """Executor-side hook: one campaign/fabric progress payload.
+
+        Runs on the executor thread between frames/shards — it must
+        never block, which :meth:`JobEventBuffer.push` guarantees.
+        """
+        self._push_event(job, "progress", payload)
+
+    def job_events(self, job_id):
+        """The event buffer for *job_id*, or ``None`` if unknown."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job.events if job is not None else None
+
     # -- executor side -------------------------------------------------
 
     def next_job(self):
@@ -317,6 +362,9 @@ class CampaignService:
             job.state = states.RUNNING
             self.journal.job_event(job.id, states.RUNNING,
                                    attempt=job.attempts)
+            self._push_event(job, "state", {
+                "state": states.RUNNING, "attempt": job.attempts,
+            })
             self._refresh_gauges()
 
     def note_done(self, job, result_file, digest, payload):
@@ -327,6 +375,9 @@ class CampaignService:
                 job.id, states.DONE, result_file=result_file,
                 digest=digest, counts=payload.get("counts"),
             )
+            self._push_event(job, "state", {
+                "state": states.DONE, "counts": payload.get("counts"),
+            }, close=True)
             self.metrics.inc("service.done")
             self._refresh_gauges()
 
@@ -344,6 +395,9 @@ class CampaignService:
             if stopped is not None:
                 fields["stopped"] = stopped
             self.journal.job_event(job.id, states.FAILED, **fields)
+            self._push_event(job, "state", {
+                "state": states.FAILED, "error": error,
+            }, close=True)
             self.metrics.inc("service.failed")
             self._refresh_gauges()
 
@@ -356,6 +410,9 @@ class CampaignService:
                 fields["result_file"] = result_file
                 fields["digest"] = digest
             self.journal.job_event(job.id, states.CANCELLED, **fields)
+            self._push_event(job, "state", {
+                "state": states.CANCELLED, "where": "running",
+            }, close=True)
             self.metrics.inc("service.cancelled")
             self._refresh_gauges()
 
@@ -369,6 +426,9 @@ class CampaignService:
                 fields["result_file"] = result_file
                 fields["digest"] = digest
             self.journal.job_event(job.id, states.INTERRUPTED, **fields)
+            self._push_event(job, "state", {
+                "state": states.INTERRUPTED,
+            }, close=True)
             self.metrics.inc("service.interrupted")
             self._refresh_gauges()
 
@@ -452,6 +512,14 @@ def _make_handler(service):
             self.end_headers()
             self.wfile.write(payload)
 
+        def _respond_text(self, status, content_type, text):
+            payload = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
         def _read_json(self):
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b""
@@ -459,17 +527,91 @@ def _make_handler(service):
                 raise ValueError("empty request body")
             return json.loads(raw)
 
-        def do_GET(self):
-            if self.path == "/healthz":
-                self._respond(*service.health())
-            elif self.path == "/readyz":
-                self._respond(*service.ready())
-            elif self.path == "/metrics":
+        def _serve_metrics(self):
+            # content negotiation: the JSON body stays the default so
+            # existing clients keep their contract; a Prometheus
+            # scraper's Accept header switches to text exposition
+            if wants_prometheus(self.headers.get("Accept")):
+                self._respond_text(
+                    200, PROMETHEUS_CONTENT_TYPE,
+                    service.metrics_exposition(),
+                )
+            else:
                 self._respond(*service.metrics_body())
-            elif self.path == "/jobs":
+
+        def _serve_events(self, job_id, query):
+            buffer = service.job_events(job_id)
+            if buffer is None:
+                self._respond(404, {}, {"error": f"no such job {job_id!r}"})
+                return
+            try:
+                after = int(query.get("after", ["0"])[0])
+                timeout = float(query.get("timeout", ["0"])[0])
+            except ValueError:
+                self._respond(400, {}, {
+                    "error": "after/timeout must be numeric",
+                })
+                return
+            timeout = min(max(timeout, 0.0), 30.0)
+            if "text/event-stream" in (self.headers.get("Accept") or ""):
+                self._serve_events_sse(job_id, buffer, after)
+                return
+            events, dropped, closed = buffer.after(after, timeout=timeout)
+            self._respond(200, {}, {
+                "job": job_id,
+                "events": events,
+                "dropped": dropped,
+                "closed": closed,
+            })
+
+        def _serve_events_sse(self, job_id, buffer, after):
+            # SSE: chunk events until the stream closes or the client
+            # goes away; Connection: close because the stream has no
+            # Content-Length and HTTP/1.1 keep-alive would hang
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.close_connection = True
+            seq = after
+            try:
+                while True:
+                    events, dropped, closed = buffer.after(
+                        seq, timeout=15.0
+                    )
+                    for event in events:
+                        seq = event["seq"]
+                        data = json.dumps(dict(event, dropped=dropped))
+                        self.wfile.write(
+                            f"id: {seq}\nevent: {event['kind']}\n"
+                            f"data: {data}\n\n".encode("utf-8")
+                        )
+                    if not events:
+                        # keep-alive comment so dead clients surface
+                        self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    if closed:
+                        return
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                return  # consumer went away; executor unaffected
+
+        def do_GET(self):
+            parsed = urlsplit(self.path)
+            path = parsed.path
+            if path == "/healthz":
+                self._respond(*service.health())
+            elif path == "/readyz":
+                self._respond(*service.ready())
+            elif path == "/metrics":
+                self._serve_metrics()
+            elif path == "/jobs":
                 self._respond(*service.list_jobs())
-            elif self.path.startswith("/jobs/"):
-                job_id = self.path[len("/jobs/"):]
+            elif path.startswith("/jobs/") and path.endswith("/events"):
+                job_id = path[len("/jobs/"):-len("/events")]
+                self._serve_events(job_id, parse_qs(parsed.query))
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
                 self._respond(*service.get_job(job_id))
             else:
                 self._respond(404, {}, {"error": f"no route {self.path}"})

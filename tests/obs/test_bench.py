@@ -1,0 +1,312 @@
+"""Bench sentinel: schema strictness, guarded comparison, fsck hookup.
+
+These tests never run the real suite (that is what ``repro bench``
+and the CI job do); they exercise the machinery around it with
+hand-built documents so the guardband/floor logic is tested exactly,
+not statistically.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_VERSION,
+    BenchSchemaError,
+    calibrate,
+    compare_bench,
+    load_bench_json,
+    render_compare,
+    trajectory_baseline,
+    validate_bench_json,
+)
+
+
+def make_doc(results=None, unit=0.01, label="test"):
+    return {
+        "bench_version": BENCH_VERSION,
+        "label": label,
+        "suite": "quick",
+        "machine": {
+            "python": "3.11.7",
+            "platform": "linux",
+            "unit_seconds": unit,
+        },
+        "generated_at": 1000.0,
+        "results": results if results is not None else {
+            "bdd_parity32": {
+                "seconds": 0.03, "normalized": 3.0, "repeats": 5,
+            },
+        },
+    }
+
+
+# -- schema ------------------------------------------------------------
+
+
+def test_valid_doc_passes():
+    doc = make_doc()
+    assert validate_bench_json(doc) is doc
+
+
+@pytest.mark.parametrize(
+    "mutate,fragment",
+    [
+        (lambda d: d.pop("bench_version"), "bench_version"),
+        (lambda d: d.update(bench_version=99), "bench_version"),
+        (lambda d: d.update(label=""), "label"),
+        (lambda d: d.update(suite="nightly"), "suite"),
+        (lambda d: d.update(machine=None), "machine"),
+        (lambda d: d["machine"].update(unit_seconds=0), "unit_seconds"),
+        (lambda d: d["machine"].update(unit_seconds=True), "unit_seconds"),
+        (lambda d: d.update(results={}), "results"),
+        (
+            lambda d: d["results"].update(bad={"seconds": 0.1}),
+            "normalized",
+        ),
+        (
+            lambda d: d["results"]["bdd_parity32"].update(seconds=-1),
+            "seconds",
+        ),
+        (
+            lambda d: d["results"]["bdd_parity32"].update(normalized=True),
+            "normalized",
+        ),
+        (
+            lambda d: d["results"]["bdd_parity32"].update(repeats=0),
+            "repeats",
+        ),
+        (
+            lambda d: d["results"]["bdd_parity32"].update(repeats=2.5),
+            "repeats",
+        ),
+    ],
+)
+def test_schema_rejections(mutate, fragment):
+    doc = make_doc()
+    mutate(doc)
+    with pytest.raises(BenchSchemaError, match=fragment):
+        validate_bench_json(doc)
+
+
+def test_non_dict_rejected():
+    with pytest.raises(BenchSchemaError):
+        validate_bench_json([1, 2, 3])
+
+
+def test_load_bench_json_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    path.write_text(json.dumps(make_doc()))
+    assert load_bench_json(str(path))["label"] == "test"
+
+
+def test_load_bench_json_reports_path(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchSchemaError, match="broken.json"):
+        load_bench_json(str(path))
+    path.write_text(json.dumps({"bench_version": 99}))
+    with pytest.raises(BenchSchemaError, match="broken.json"):
+        load_bench_json(str(path))
+
+
+# -- comparison --------------------------------------------------------
+
+
+def _docs(base_norm, cur_norm, unit=0.01):
+    baseline = make_doc(
+        {"w": {"seconds": base_norm * unit, "normalized": base_norm,
+               "repeats": 5}},
+        unit=unit, label="baseline",
+    )
+    current = make_doc(
+        {"w": {"seconds": cur_norm * unit, "normalized": cur_norm,
+               "repeats": 5}},
+        unit=unit, label="current",
+    )
+    return baseline, current
+
+
+def test_clean_run_passes():
+    report = compare_bench(*_docs(3.0, 3.1), guardband=0.5)
+    assert report["ok"]
+    assert not report["regressions"]
+    assert report["compared"][0]["ratio"] == pytest.approx(1.033, abs=1e-3)
+
+
+def test_regression_beyond_guardband_fails():
+    report = compare_bench(*_docs(3.0, 6.0), guardband=0.5, floor=0.005)
+    assert not report["ok"]
+    assert report["regressions"][0]["workload"] == "w"
+    assert "2.00x" in report["regressions"][0]["reason"]
+
+
+def test_growth_inside_guardband_passes():
+    report = compare_bench(*_docs(3.0, 4.4), guardband=0.5)
+    assert report["ok"]
+
+
+def test_floor_shields_microscopic_excess():
+    # 2x regression, but the workload is sub-millisecond: with a tiny
+    # unit the wall-clock excess never clears the floor
+    report = compare_bench(
+        *_docs(3.0, 6.0, unit=1e-6), guardband=0.5, floor=0.005
+    )
+    assert report["ok"]
+
+
+def test_missing_workload_is_a_regression():
+    baseline, current = _docs(3.0, 3.0)
+    current["results"] = {
+        "other": {"seconds": 0.03, "normalized": 3.0, "repeats": 5},
+    }
+    report = compare_bench(baseline, current)
+    assert not report["ok"]
+    assert report["regressions"][0]["reason"] == "missing from current run"
+
+
+def test_extra_workload_in_current_is_ignored():
+    baseline, current = _docs(3.0, 3.0)
+    current["results"]["new_one"] = {
+        "seconds": 0.5, "normalized": 50.0, "repeats": 1,
+    }
+    assert compare_bench(baseline, current)["ok"]
+
+
+def test_render_compare_mentions_verdict():
+    ok = render_compare(compare_bench(*_docs(3.0, 3.0)))
+    assert "bench: ok" in ok
+    bad = render_compare(
+        compare_bench(*_docs(3.0, 9.0), guardband=0.5, floor=0.001)
+    )
+    assert "REGRESSION" in bad and "w" in bad
+
+
+# -- trajectory --------------------------------------------------------
+
+
+def test_trajectory_takes_per_workload_best():
+    runs = [
+        make_doc({
+            "a": {"seconds": 0.04, "normalized": 4.0, "repeats": 5},
+            "b": {"seconds": 0.02, "normalized": 2.0, "repeats": 5},
+        }),
+        make_doc({
+            "a": {"seconds": 0.03, "normalized": 3.0, "repeats": 5},
+            "b": {"seconds": 0.05, "normalized": 5.0, "repeats": 5},
+        }),
+    ]
+    folded = trajectory_baseline(runs)
+    assert folded["label"] == "trajectory"
+    assert folded["results"]["a"]["normalized"] == 3.0
+    assert folded["results"]["b"]["normalized"] == 2.0
+    validate_bench_json(folded)
+
+
+def test_trajectory_resists_slow_ratchet():
+    # each run is 1.4x its predecessor — inside a 0.5 guardband pairwise,
+    # but the trajectory baseline catches the compounding drift
+    runs = [make_doc({
+        "w": {"seconds": 0.03 * 1.4 ** i,
+              "normalized": 3.0 * 1.4 ** i, "repeats": 5},
+    }) for i in range(4)]
+    latest = runs[-1]
+    pairwise = compare_bench(runs[-2], latest, guardband=0.5)
+    assert pairwise["ok"]
+    against_trajectory = compare_bench(
+        trajectory_baseline(runs[:-1]), latest, guardband=0.5
+    )
+    assert not against_trajectory["ok"]
+
+
+def test_empty_trajectory_rejected():
+    with pytest.raises(BenchSchemaError, match="empty"):
+        trajectory_baseline([])
+
+
+# -- calibration -------------------------------------------------------
+
+
+def test_calibrate_returns_positive_seconds():
+    unit = calibrate(rounds=1)
+    assert 0 < unit < 5.0
+
+
+# -- fsck integration --------------------------------------------------
+
+
+def test_fsck_recognizes_clean_bench_json(tmp_path):
+    from repro.runtime.fsck import fsck_file
+
+    path = tmp_path / "BENCH_ci.json"
+    path.write_text(json.dumps(make_doc()))
+    report = fsck_file(str(path))
+    assert report.kind == "bench"
+    assert report.ok
+
+
+def test_fsck_flags_schema_violations(tmp_path):
+    from repro.runtime.fsck import fsck_file
+
+    doc = make_doc()
+    doc["results"]["bdd_parity32"]["normalized"] = -1
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps(doc))
+    report = fsck_file(str(path))
+    assert report.kind == "bench"
+    assert not report.ok
+    assert "normalized" in report.problems[0]["reason"]
+
+
+def test_fsck_still_handles_jsonl_checkpoints(tmp_path):
+    # a single-record JSONL file must not be misread as bench JSON
+    from repro.runtime.checkpoint import CHECKPOINT_VERSION
+    from repro.runtime.fsck import fsck_file
+
+    path = tmp_path / "ckpt.jsonl"
+    path.write_text(json.dumps({
+        "type": "header", "version": CHECKPOINT_VERSION,
+        "fault_keys": [], "fingerprint": "f",
+    }) + "\n")
+    report = fsck_file(str(path))
+    assert report.kind == "campaign"
+
+
+# -- CLI wiring --------------------------------------------------------
+
+
+def test_cli_bench_compare_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    baseline, current = _docs(3.0, 3.0)
+    base_path = tmp_path / "BENCH_base.json"
+    base_path.write_text(json.dumps(baseline))
+    cur_path = tmp_path / "BENCH_cur.json"
+    cur_path.write_text(json.dumps(current))
+    rc = main([
+        "bench", "--compare", str(base_path), "--current", str(cur_path),
+    ])
+    assert rc == 0
+    assert "bench: ok" in capsys.readouterr().out
+
+    current["results"]["w"]["normalized"] = 30.0
+    current["results"]["w"]["seconds"] = 0.3
+    cur_path.write_text(json.dumps(current))
+    rc = main([
+        "bench", "--compare", str(base_path), "--current", str(cur_path),
+    ])
+    assert rc == 5
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_bench_compare_rejects_bad_json(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{")
+    good = tmp_path / "BENCH_good.json"
+    good.write_text(json.dumps(make_doc()))
+    rc = main([
+        "bench", "--compare", str(bad), "--current", str(good),
+    ])
+    assert rc == 2

@@ -1,0 +1,331 @@
+"""Exporter contracts: Prometheus exposition, Chrome traces, flames.
+
+The exposition tests include a small parser for the text format —
+asserting on substrings alone would happily accept output Prometheus
+rejects.  The Chrome tests validate the structural contract Perfetto's
+loader enforces (traceEvents list, ph/ts/pid/tid fields, µs ints);
+the flamegraph tests check the invariant every renderer assumes: path
+weights sum to the root span's total.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+    trace_to_chrome,
+    trace_to_collapsed,
+    wants_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+# -- name/label sanitization -------------------------------------------
+
+
+def test_sanitize_dots_and_dashes():
+    assert sanitize_metric_name("bdd.cache_hits") == "bdd_cache_hits"
+    assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+
+
+def test_sanitize_leading_digit_and_empty():
+    assert sanitize_metric_name("3v.steps") == "_3v_steps"
+    assert sanitize_metric_name("") == "_"
+
+
+def test_sanitize_preserves_legal_names():
+    assert sanitize_metric_name("valid_name:sub") == "valid_name:sub"
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_wants_prometheus():
+    assert wants_prometheus("text/plain")
+    assert wants_prometheus("text/plain; version=0.0.4")
+    assert wants_prometheus("application/openmetrics-text")
+    assert not wants_prometheus("application/json")
+    assert not wants_prometheus(None)
+    assert not wants_prometheus("")
+    assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+# -- exposition format -------------------------------------------------
+
+
+def _parse_exposition(text):
+    """Strict-ish parser: returns (samples, types, helps) or fails."""
+    samples = {}
+    types = {}
+    helps = {}
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            name, rest = line[len("# HELP "):].split(" ", 1)
+            helps[name] = rest
+            continue
+        if line.startswith("# TYPE "):
+            name, kind = line[len("# TYPE "):].split(" ", 1)
+            assert kind in ("counter", "gauge", "histogram", "untyped")
+            types[name] = kind
+            continue
+        assert " " in line, f"malformed sample line {line!r}"
+        key, value = line.rsplit(" ", 1)
+        float(value)  # must parse as a number
+        name = key.split("{", 1)[0]
+        # metric names must be legal
+        assert all(
+            c.isalnum() or c in "_:" for c in name
+        ), f"illegal metric name {name!r}"
+        samples[key] = float(value)
+    return samples, types, helps
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("bdd.cache_hits", 7)
+    reg.inc("service.done", 2)
+    reg.gauge("service.queue_depth", 3)
+    for value in (1, 2, 3, 900):
+        reg.observe("fault.bdd_size", value)
+    return reg
+
+
+def test_counters_get_total_suffix_and_type(registry):
+    samples, types, helps = _parse_exposition(
+        render_prometheus(registry)
+    )
+    assert samples["repro_bdd_cache_hits_total"] == 7
+    assert types["repro_bdd_cache_hits_total"] == "counter"
+    assert "repro_bdd_cache_hits_total" in helps
+
+
+def test_gauges_render(registry):
+    samples, types, _ = _parse_exposition(render_prometheus(registry))
+    assert samples["repro_service_queue_depth"] == 3
+    assert types["repro_service_queue_depth"] == "gauge"
+
+
+def test_histogram_buckets_are_cumulative(registry):
+    samples, types, _ = _parse_exposition(render_prometheus(registry))
+    name = "repro_fault_bdd_size"
+    assert types[name] == "histogram"
+    # power-of-two buckets 1,2,4,1024 with cumulative counts
+    assert samples[f'{name}_bucket{{le="1"}}'] == 1
+    assert samples[f'{name}_bucket{{le="2"}}'] == 2
+    assert samples[f'{name}_bucket{{le="4"}}'] == 3
+    assert samples[f'{name}_bucket{{le="1024"}}'] == 4
+    assert samples[f'{name}_bucket{{le="+Inf"}}'] == 4
+    assert samples[f"{name}_sum"] == 906
+    assert samples[f"{name}_count"] == 4
+
+
+def test_histogram_stats_registry_view(registry):
+    stats = registry.histogram_stats("fault.bdd_size")
+    assert stats["buckets"] == [(1, 1), (2, 2), (4, 3), (1024, 4)]
+    assert stats["sum"] == 906
+    assert stats["count"] == 4
+    assert registry.histogram_stats("nope") is None
+
+
+def test_histogram_sums_survive_fold():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.observe("h", 10)
+    b.observe("h", 5)
+    b.fold_snapshot(a.snapshot())
+    assert b.histogram_stats("h")["sum"] == 15
+    assert b.histogram_stats("h")["count"] == 2
+
+
+def test_render_accepts_snapshot_and_flat_mapping(registry):
+    from_snapshot = render_prometheus(registry.snapshot())
+    assert from_snapshot == render_prometheus(registry)
+    flat, types, _ = _parse_exposition(
+        render_prometheus({"service.sheds": 4})
+    )
+    assert flat["repro_service_sheds"] == 4
+    assert types["repro_service_sheds"] == "gauge"
+
+
+def test_render_is_deterministic(registry):
+    assert render_prometheus(registry) == render_prometheus(registry)
+
+
+def test_labels_stamped_and_escaped():
+    text = render_prometheus(
+        {"counters": {"runs": 1}, "gauges": {}},
+        labels={"job": 'camp"1'},
+    )
+    assert 'repro_runs_total{job="camp\\"1"} 1' in text
+
+
+# -- Chrome trace_event export -----------------------------------------
+
+
+WALL_TRACE = [
+    {"kind": "trace-header", "v": 1, "source": "campaign"},
+    {"kind": "span", "name": "campaign", "seq": 0, "parent": None,
+     "ts": 10.0, "dur": 2.0},
+    {"kind": "span", "name": "step", "seq": 1, "parent": 0,
+     "ts": 10.2, "dur": 0.5, "frame": 1},
+    {"kind": "event", "name": "detect", "seq": 2, "parent": 1,
+     "ts": 10.3, "fault": "g1/SA0"},
+    {"kind": "metrics", "name": "sample", "seq": 3, "parent": 0,
+     "ts": 11.0, "values": {"bdd.nodes": 42}},
+]
+
+CANONICAL_TRACE = [
+    {"kind": "trace-header", "v": 1, "source": "fabric"},
+    {"kind": "span", "name": "campaign", "seq": 0, "parent": None,
+     "shard": "0", "worker": 1},
+    {"kind": "span", "name": "step", "seq": 1, "parent": 0,
+     "shard": "0", "worker": 1},
+    {"kind": "event", "name": "detect", "seq": 2, "parent": 1,
+     "shard": "0", "worker": 1},
+    {"kind": "span", "name": "step", "seq": 3, "parent": 0,
+     "shard": "1", "worker": 2},
+]
+
+
+def test_chrome_wall_trace_has_real_microseconds():
+    doc = trace_to_chrome(WALL_TRACE)
+    events = {e["name"]: e for e in doc["traceEvents"]
+              if e["ph"] == "X"}
+    assert events["campaign"]["ts"] == 10_000_000
+    assert events["campaign"]["dur"] == 2_000_000
+    assert events["step"]["ts"] == 10_200_000
+    assert events["step"]["dur"] == 500_000
+
+
+def test_chrome_structure_is_perfetto_loadable():
+    doc = trace_to_chrome(WALL_TRACE)
+    blob = json.dumps(doc)  # must be JSON-serializable
+    parsed = json.loads(blob)
+    assert isinstance(parsed["traceEvents"], list)
+    for event in parsed["traceEvents"]:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+        assert event["ph"] in ("X", "i", "C")
+        assert isinstance(event["ts"], int)
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+
+
+def test_chrome_canonical_trace_synthesizes_nested_timeline():
+    doc = trace_to_chrome(CANONICAL_TRACE)
+    spans = {}
+    for event in doc["traceEvents"]:
+        if event["ph"] == "X":
+            spans[event["args"]["seq"]] = event
+    root, child = spans[0], spans[1]
+    # the child's synthetic interval nests inside its parent's
+    assert root["ts"] <= child["ts"]
+    assert child["ts"] + child["dur"] <= root["ts"] + root["dur"]
+
+
+def test_chrome_event_kinds_map_to_phases():
+    doc = trace_to_chrome(WALL_TRACE)
+    phases = {e["name"]: e["ph"] for e in doc["traceEvents"]}
+    assert phases["campaign"] == "X"
+    assert phases["detect"] == "i"
+    assert phases["sample"] == "C"
+    counter = next(e for e in doc["traceEvents"] if e["ph"] == "C")
+    assert counter["args"] == {"bdd.nodes": 42}
+
+
+def test_chrome_shard_and_worker_attribution():
+    doc = trace_to_chrome(CANONICAL_TRACE)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    pids = {e["args"]["seq"]: e["pid"] for e in spans}
+    tids = {e["args"]["seq"]: e["tid"] for e in spans}
+    assert pids[1] == 1 and pids[3] == 2  # worker id -> pid
+    assert tids[1] != tids[3]  # different shards, different lanes
+
+
+def test_chrome_export_is_deterministic():
+    assert trace_to_chrome(CANONICAL_TRACE) == trace_to_chrome(
+        CANONICAL_TRACE
+    )
+
+
+# -- collapsed-stack flamegraph ----------------------------------------
+
+
+def test_flame_paths_and_weights_wall():
+    lines = dict(
+        line.rsplit(" ", 1)
+        for line in trace_to_collapsed(WALL_TRACE).splitlines()
+    )
+    # self time: campaign 2.0s minus child 0.5s = 1.5s; step 0.5s
+    assert int(lines["campaign"]) == 1_500_000
+    assert int(lines["campaign;step"]) == 500_000
+
+
+def test_flame_weights_sum_to_root_total():
+    text = trace_to_collapsed(WALL_TRACE)
+    total = sum(int(line.rsplit(" ", 1)[1])
+                for line in text.splitlines())
+    assert total == 2_000_000  # the root span's full duration
+
+
+def test_flame_canonical_uses_seq_widths():
+    text = trace_to_collapsed(CANONICAL_TRACE)
+    lines = dict(
+        line.rsplit(" ", 1) for line in text.splitlines()
+    )
+    # shard names are stamped into frames
+    assert any("[0]" in path for path in lines)
+    total = sum(int(w) for w in lines.values())
+    # root synthetic width: seqs 0..3 -> 4 units
+    assert total == 4
+
+
+def test_flame_output_is_sorted_and_deterministic():
+    text = trace_to_collapsed(CANONICAL_TRACE)
+    assert text == trace_to_collapsed(CANONICAL_TRACE)
+    paths = [line.rsplit(" ", 1)[0] for line in text.splitlines()]
+    assert paths == sorted(paths)
+
+
+def test_flame_empty_trace():
+    assert trace_to_collapsed([WALL_TRACE[0]]) == ""
+
+
+# -- end-to-end over a real campaign trace -----------------------------
+
+
+def test_exports_work_on_a_real_trace(tmp_path):
+    from repro.circuit.compile import compile_circuit
+    from repro.circuits.registry import get_circuit
+    from repro.faults.collapse import collapse_faults
+    from repro.faults.status import FaultSet
+    from repro.obs.profile import read_trace
+    from repro.obs.tracer import JsonlSink, Tracer
+    from repro.runtime.campaign import run_campaign
+    from repro.sequences.random_seq import random_sequence_for
+
+    compiled = compile_circuit(get_circuit("ctr8"))
+    faults, _ = collapse_faults(compiled)
+    sequence = random_sequence_for(compiled, 6, seed=3)
+    trace_path = tmp_path / "trace.jsonl"
+    tracer = Tracer(JsonlSink(str(trace_path)), wall=False)
+    tracer.write_header("campaign", circuit="ctr8")
+    run_campaign(compiled, sequence, FaultSet(faults), tracer=tracer)
+    tracer.close()
+    records = read_trace(str(trace_path))
+    doc = trace_to_chrome(records)
+    assert doc["traceEvents"], "chrome export dropped every record"
+    json.dumps(doc)
+    flame = trace_to_collapsed(records)
+    assert flame.splitlines(), "flame export produced no stacks"
+    for line in flame.splitlines():
+        path, weight = line.rsplit(" ", 1)
+        assert path and int(weight) > 0

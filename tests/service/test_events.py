@@ -1,0 +1,337 @@
+"""Event streaming and metrics exposition on the campaign service.
+
+Two layers under test.  The :class:`JobEventBuffer` unit tests pin the
+bounded-buffer contract the executor depends on: ``push`` never
+blocks, a slow consumer costs dropped events (accounted), never a
+stalled campaign.  The HTTP tests run a real service end-to-end and
+check the wire formats: ``/metrics`` content negotiation (JSON stays
+the default; ``Accept: text/plain`` switches to Prometheus
+exposition) and ``/jobs/<id>/events`` long-poll and SSE framing.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import CampaignService, ServiceConfig
+from repro.service.events import JobEventBuffer
+
+
+# -- JobEventBuffer ----------------------------------------------------
+
+
+def test_push_assigns_monotonic_seq():
+    buf = JobEventBuffer()
+    assert buf.push("state", {"state": "submitted"}) == 1
+    assert buf.push("progress", {"frame": 1}) == 2
+    events, dropped, closed = buf.after(0)
+    assert [e["seq"] for e in events] == [1, 2]
+    assert events[0]["kind"] == "state"
+    assert events[0]["state"] == "submitted"
+    assert dropped == 0 and not closed
+
+
+def test_after_returns_only_newer_events():
+    buf = JobEventBuffer()
+    for i in range(5):
+        buf.push("progress", {"frame": i})
+    events, _, _ = buf.after(3)
+    assert [e["seq"] for e in events] == [4, 5]
+
+
+def test_bounded_buffer_evicts_oldest_and_accounts_drops():
+    buf = JobEventBuffer(capacity=4)
+    for i in range(10):
+        buf.push("progress", {"frame": i})
+    events, dropped, _ = buf.after(0)
+    assert len(events) == 4
+    assert [e["seq"] for e in events] == [7, 8, 9, 10]
+    assert dropped == 6
+    assert buf.dropped == 6
+
+
+def test_push_never_blocks_with_no_consumer():
+    buf = JobEventBuffer(capacity=2)
+    start = time.monotonic()
+    for i in range(10_000):
+        buf.push("progress", {"frame": i})
+    assert time.monotonic() - start < 5.0
+    assert buf.dropped == 9_998
+
+
+def test_after_blocks_until_push():
+    buf = JobEventBuffer()
+    got = []
+
+    def consumer():
+        got.append(buf.after(0, timeout=10.0))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    time.sleep(0.05)
+    buf.push("state", {"state": "running"})
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    events, _, _ = got[0]
+    assert events and events[0]["state"] == "running"
+
+
+def test_after_timeout_returns_empty():
+    buf = JobEventBuffer()
+    events, dropped, closed = buf.after(0, timeout=0.05)
+    assert events == [] and dropped == 0 and not closed
+
+
+def test_close_wakes_waiters_and_drops_late_pushes():
+    buf = JobEventBuffer()
+    buf.push("state", {"state": "done"})
+    got = []
+
+    def consumer():
+        got.append(buf.after(1, timeout=10.0))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    time.sleep(0.05)
+    buf.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    _, _, closed = got[0]
+    assert closed
+    assert buf.push("progress", {"frame": 9}) is None
+    events, _, _ = buf.after(0)
+    assert len(events) == 1  # the late push vanished
+
+
+# -- HTTP: /metrics content negotiation and /jobs/<id>/events ----------
+
+
+def _request(base, method, path, body=None, headers=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    for key, value in (headers or {}).items():
+        request.add_header(key, value)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                response.read(),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _poll_done(base, job_id, timeout=120):
+    deadline = time.monotonic() + timeout
+    body = {}
+    while time.monotonic() < deadline:
+        _, _, raw = _request(base, "GET", f"/jobs/{job_id}")
+        body = json.loads(raw)
+        if body.get("state") in ("done", "failed"):
+            return body
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished; last: {body}")
+
+
+@pytest.fixture()
+def service(tmp_path):
+    config = ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"),
+        queue_limit=2, executors=1,
+    )
+    svc = CampaignService(config)
+    svc.recover()
+    host, port = svc.start_http()
+    yield svc, f"http://{host}:{port}"
+    if not svc.draining:
+        svc.drain(reason="test-teardown")
+
+
+SPEC = {"circuit": "ctr8", "length": 12, "seed": 3, "shard_size": 8}
+
+
+def test_metrics_default_stays_json(service):
+    _, base = service
+    status, headers, raw = _request(base, "GET", "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+    snapshot = json.loads(raw)
+    assert "service.queue_depth" in snapshot  # the legacy flat body
+
+
+def test_metrics_negotiates_prometheus_exposition(service):
+    _, base = service
+    status, headers, raw = _request(
+        base, "GET", "/metrics", headers={"Accept": "text/plain"}
+    )
+    assert status == 200
+    assert headers["Content-Type"] == (
+        "text/plain; version=0.0.4; charset=utf-8"
+    )
+    text = raw.decode("utf-8")
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+        else:
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name.split("{", 1)[0].replace("_", "").replace(
+                ":", ""
+            ).isalnum()
+    assert "# TYPE repro_service_queue_depth gauge" in text
+
+
+def test_metrics_exposition_reflects_job_counters(service):
+    svc, base = service
+    svc.start_executors()
+    _, _, raw = _request(base, "POST", "/jobs", SPEC)
+    job_id = json.loads(raw)["id"]
+    _poll_done(base, job_id)
+    _, _, raw = _request(
+        base, "GET", "/metrics", headers={"Accept": "text/plain"}
+    )
+    text = raw.decode("utf-8")
+    assert "repro_service_submitted_total 1" in text
+    assert "repro_service_done_total 1" in text
+
+
+def test_events_long_poll_sees_lifecycle_and_progress(service):
+    svc, base = service
+    svc.start_executors()
+    _, _, raw = _request(base, "POST", "/jobs", SPEC)
+    job_id = json.loads(raw)["id"]
+    _poll_done(base, job_id)
+
+    events = []
+    after = 0
+    for _ in range(50):
+        status, headers, raw = _request(
+            base, "GET", f"/jobs/{job_id}/events?after={after}&timeout=5"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        body = json.loads(raw)
+        assert body["job"] == job_id
+        events.extend(body["events"])
+        if body["closed"] and not body["events"]:
+            break
+        if body["events"]:
+            after = body["events"][-1]["seq"]
+    else:
+        raise AssertionError("event stream never closed")
+
+    kinds = [e["kind"] for e in events]
+    states = [e["state"] for e in events if e["kind"] == "state"]
+    assert states[0] == "submitted"
+    assert "running" in states
+    assert states[-1] == "done"
+    assert "progress" in kinds
+    progress = [e for e in events if e["kind"] == "progress"]
+    assert any("faults_done" in e for e in progress)
+    # every event passes the stream-record schema
+    from repro.obs.schema import validate_stream_record
+
+    for i, event in enumerate(events, 1):
+        validate_stream_record(event, line_no=i)
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs)
+
+
+def test_events_unknown_job_404(service):
+    _, base = service
+    status, _, raw = _request(base, "GET", "/jobs/job-999999/events")
+    assert status == 404
+    assert "no such job" in json.loads(raw)["error"]
+
+
+def test_events_bad_after_parameter_400(service):
+    svc, base = service
+    _, _, raw = _request(base, "POST", "/jobs", SPEC)
+    job_id = json.loads(raw)["id"]
+    status, _, _ = _request(
+        base, "GET", f"/jobs/{job_id}/events?after=banana"
+    )
+    assert status == 400
+
+
+def test_events_sse_frames(service):
+    svc, base = service
+    svc.start_executors()
+    _, _, raw = _request(base, "POST", "/jobs", SPEC)
+    job_id = json.loads(raw)["id"]
+    _poll_done(base, job_id)
+
+    request = urllib.request.Request(
+        base + f"/jobs/{job_id}/events",
+        headers={"Accept": "text/event-stream"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith(
+            "text/event-stream"
+        )
+        payload = response.read().decode("utf-8")
+
+    frames = [f for f in payload.split("\n\n") if f.strip()]
+    data_frames = [f for f in frames if "data:" in f]
+    assert data_frames, payload
+    first = data_frames[0]
+    assert "id: 1" in first
+    assert "event: state" in first
+    body = json.loads(
+        next(l for l in first.splitlines() if l.startswith("data:"))
+        [len("data:"):].strip()
+    )
+    assert body["state"] == "submitted"
+    last = json.loads(
+        next(l for l in data_frames[-1].splitlines()
+             if l.startswith("data:"))[len("data:"):].strip()
+    )
+    assert last["state"] == "done"
+
+
+def test_terminal_job_recovers_with_closed_stream(tmp_path):
+    # restart the service over the same state dir: replayed terminal
+    # jobs must expose a closed event stream carrying their fate
+    config = ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"),
+        queue_limit=2, executors=1,
+    )
+    svc = CampaignService(config)
+    svc.recover()
+    host, port = svc.start_http()
+    base = f"http://{host}:{port}"
+    svc.start_executors()
+    _, _, raw = _request(base, "POST", "/jobs", SPEC)
+    job_id = json.loads(raw)["id"]
+    _poll_done(base, job_id)
+    svc.drain(reason="test-restart")
+
+    svc2 = CampaignService(ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"),
+        queue_limit=2, executors=1,
+    ))
+    svc2.recover()
+    host2, port2 = svc2.start_http()
+    base2 = f"http://{host2}:{port2}"
+    try:
+        status, _, raw = _request(
+            base2, "GET", f"/jobs/{job_id}/events?after=0&timeout=1"
+        )
+        assert status == 200
+        body = json.loads(raw)
+        assert body["closed"]
+        states = [e.get("state") for e in body["events"]]
+        assert states == ["done"]
+        assert body["events"][0].get("recovered") is True
+    finally:
+        if not svc2.draining:
+            svc2.drain(reason="test-teardown")
