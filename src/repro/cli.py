@@ -12,6 +12,8 @@
     python -m repro campaign ctr8 --trace run.trace.jsonl --metrics m.json
     python -m repro profile run.trace.jsonl
     python -m repro fsck run.ckpt serve/journal.jsonl
+    python -m repro fsck --repair run.ckpt
+    python -m repro compact run.ckpt
     python -m repro xred ctr8 --length 200
     python -m repro evaluate s27 --sequence t.seq --response r.seq
     python -m repro sync syncc6
@@ -190,6 +192,15 @@ def _pressure_config(args):
     )
 
 
+def _disk_kwargs(args):
+    """Disk-governor keywords for run_campaign (empty = ungoverned)."""
+    budget = getattr(args, "disk_budget", None)
+    free_floor = getattr(args, "disk_free_floor", None)
+    if budget is None and free_floor is None:
+        return {}
+    return {"disk": {"budget": budget, "free_floor": free_floor}}
+
+
 def _fabric_kwargs(args):
     """Shard-fabric keywords for run_campaign (empty = single-process)."""
     if getattr(args, "workers", None) is None:
@@ -336,6 +347,7 @@ def _simulate_campaign(args):
                 circuit_spec=args.circuit,
                 xred=not args.no_xred,
                 pressure=_pressure_config(args),
+                **_disk_kwargs(args),
                 **obs_kwargs,
                 **_fabric_kwargs(args),
                 **_audit_kwargs(args),
@@ -410,6 +422,7 @@ def _resume_any(args, guard, obs):
         checkpoint_every=args.checkpoint_every,
         signal_guard=guard,
         pressure=_pressure_config(args),
+        **_disk_kwargs(args),
         **obs_kwargs,
     )
     return compiled, fault_set, checkpoint.sequence, result
@@ -449,6 +462,7 @@ def cmd_campaign(args):
                     signal_guard=guard,
                     circuit_spec=args.circuit,
                     pressure=_pressure_config(args),
+                    **_disk_kwargs(args),
                     **obs_kwargs,
                     **_fabric_kwargs(args),
                     **_audit_kwargs(args),
@@ -465,6 +479,7 @@ def cmd_simulate(args):
         or args.workers is not None
         or args.audit != "off"
         or _pressure_config(args) is not None
+        or _disk_kwargs(args)
         or _CliObservability(args).active
     ):
         return _simulate_campaign(args)
@@ -638,7 +653,49 @@ def cmd_audit(args):
     return 0 if report.ok else 4
 
 
+def _compact_artifact(args):
+    """``repro compact <file>``: checkpoint/journal compaction.
+
+    Dispatches on the file's first record: service journals collapse
+    to one snapshot record, campaign checkpoints to header + last
+    frame snapshot, fabric checkpoints to header + latest record per
+    shard.  Every rewrite is atomic (temp file + rename) and byte-
+    exact: resume/replay from the compacted file reproduces the
+    verdicts of the original.
+    """
+    import json as _json
+
+    path = args.circuit
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no such checkpoint or journal: {path}")
+    kind = None
+    with open(path, encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        kind = _json.loads(first).get("type")
+    except ValueError:
+        pass
+    if kind in ("service", "job", "job-deleted", "snapshot"):
+        from repro.service.journal import compact_journal
+
+        stats = compact_journal(path)
+        what = "journal"
+    else:
+        from repro.runtime.disk import compact_checkpoint
+
+        stats = compact_checkpoint(path)
+        what = f"{stats['kind']} checkpoint"
+    print(
+        f"compacted {what} {path}: "
+        f"{stats['records_before']} -> {stats['records_after']} records, "
+        f"{stats['bytes_before']} -> {stats['bytes_after']} bytes"
+    )
+    return 0
+
+
 def cmd_compact(args):
+    if args.sequence is None:
+        return _compact_artifact(args)
     compiled, fault_set = _prepare(args.circuit)
     sequence = load_sequence(args.sequence)
     from repro.sequences.compaction import compact_sequence
@@ -738,6 +795,20 @@ def build_parser():
                        help="try a variable-window reorder of the "
                             "session before surrendering to fallback")
 
+    def _add_disk_options(p):
+        p.add_argument("--disk-budget", type=_size, default=None,
+                       metavar="SIZE",
+                       help="checkpoint byte budget (accepts 512M, "
+                            "2G, ...): soft watermark compacts the "
+                            "checkpoint and stretches the interval, "
+                            "hard watermark surrenders cleanly with a "
+                            "resumable compacted checkpoint")
+        p.add_argument("--disk-free-floor", type=_size, default=None,
+                       metavar="SIZE",
+                       help="minimum free space on the checkpoint "
+                            "filesystem; the same relief ladder runs "
+                            "when statvfs free space falls below it")
+
     def _add_audit_options(p):
         p.add_argument("--audit", choices=("off", "sample", "full"),
                        default="off",
@@ -816,6 +887,7 @@ def build_parser():
                    help="write resumable checkpoints to PATH (runs "
                         "the campaign runtime)")
     _add_pressure_options(p)
+    _add_disk_options(p)
     _add_fabric_options(p)
     _add_observability_options(p)
     _add_audit_options(p)
@@ -854,6 +926,7 @@ def build_parser():
                         "fabric flavor, auto-detected)")
     p.add_argument("--json", action="store_true")
     _add_pressure_options(p)
+    _add_disk_options(p)
     _add_fabric_options(p)
     _add_observability_options(p)
     _add_audit_options(p)
@@ -919,10 +992,18 @@ def build_parser():
     p.add_argument("--node-limit", type=int, default=0,
                    help="0 = unlimited")
 
-    p = sub.add_parser("compact",
-                       help="shrink a sequence preserving coverage")
-    p.add_argument("circuit")
-    p.add_argument("--sequence", required=True)
+    p = sub.add_parser(
+        "compact",
+        help="shrink a sequence preserving coverage, or (without "
+             "--sequence) compact a checkpoint/journal file in place",
+    )
+    p.add_argument("circuit",
+                   help="circuit (with --sequence), or a campaign/"
+                        "fabric checkpoint or service journal file to "
+                        "compact atomically in place")
+    p.add_argument("--sequence",
+                   help="sequence file (.seq); omit to compact a "
+                        "checkpoint/journal instead")
     p.add_argument("--strategy", choices=("SOT", "rMOT", "MOT"),
                    default="MOT")
     p.add_argument("-o", "--output")
@@ -959,6 +1040,22 @@ def build_parser():
                         "indefinitely)")
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="write per-job JSONL trace spans to FILE")
+    p.add_argument("--disk-budget", type=_size, default=None,
+                   metavar="SIZE",
+                   help="state-directory byte budget (512M, 2G, ...); "
+                        "at the hard watermark the service GCs old "
+                        "artifacts, snapshots its journal, then sheds "
+                        "submissions with HTTP 507 + Retry-After")
+    p.add_argument("--artifact-quota", type=_size, default=None,
+                   metavar="SIZE",
+                   help="byte quota for per-job artifacts (results, "
+                        "checkpoints, traces); oldest terminal jobs' "
+                        "files are aged out first, their journal "
+                        "metadata survives")
+    p.add_argument("--journal-snapshot-every", type=int, default=512,
+                   metavar="N",
+                   help="compact the journal to one snapshot record "
+                        "after N appended records (default 512)")
     _add_failpoint_option(p)
 
     p = sub.add_parser(
@@ -972,6 +1069,12 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="machine-readable report, one JSON object per "
                         "file")
+    p.add_argument("--repair", action="store_true",
+                   help="repair tail damage in place: truncate a torn "
+                        "final line and move CRC-failing records to a "
+                        "<file>.quarantine sidecar (atomic rewrite); "
+                        "structural damage earlier in the file still "
+                        "refuses")
 
     p = sub.add_parser(
         "metrics-export",
@@ -1054,7 +1157,7 @@ def build_parser():
 def cmd_fsck(args):
     from repro.runtime.fsck import fsck_paths
 
-    reports, code = fsck_paths(args.paths)
+    reports, code = fsck_paths(args.paths, repair=args.repair)
     if args.json:
         import json
 
@@ -1183,6 +1286,9 @@ def cmd_serve(args):
         retry_after=args.retry_after,
         trace=args.trace,
         drain_timeout=args.drain_timeout,
+        disk_budget=args.disk_budget,
+        artifact_quota=args.artifact_quota,
+        journal_snapshot_every=args.journal_snapshot_every,
     )
     return serve(config)
 

@@ -341,6 +341,17 @@ CATALOG = (
          "journal record",
          "restart requeues the job from the journal and reproduces the "
          "verdict digest"),
+    Site("disk.statvfs", "runtime.disk",
+         "the free-space probe lies that the filesystem is full "
+         "(statvfs reports zero available bytes)",
+         "disk relief ladder runs — compact, stretch — then a clean "
+         "checkpointed DiskPressureExceeded surrender, resumable; "
+         "never a crash or a wrong verdict"),
+    Site("disk.compact.crash", "runtime.disk",
+         "failure between the finished compacted temp file and the "
+         "rename over the original checkpoint",
+         "original file untouched, temp file removed; a retried "
+         "compaction (or a plain resume) reproduces baseline verdicts"),
 )
 
 #: CATALOG as {name: Site} for lookups

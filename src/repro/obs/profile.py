@@ -40,6 +40,7 @@ RECONCILE_KEYS = (
 
 _TIMELINE_EVENTS = (
     "pressure", "demote", "quarantine", "budget", "audit-refuted",
+    "disk",
 )
 
 
@@ -85,6 +86,7 @@ def profile_trace(path, top=10):
         "checkpoints_written": 0,
         "pressure_events": 0,
         "failpoints_fired": 0,
+        "disk_events": 0,
     }
 
     for record in records:
@@ -126,6 +128,8 @@ def profile_trace(path, top=10):
                 totals["pressure_events"] += 1
                 if record.get("action") == "gc":
                     totals["gc_runs"] += 1
+            elif name == "disk":
+                totals["disk_events"] += 1
             elif name == "failpoint":
                 totals["failpoints_fired"] += 1
                 site = record["site"]
@@ -202,7 +206,8 @@ def _timeline_entry(record):
     entry = {"event": record["name"]}
     for key in ("frame", "fault", "from", "to", "reason", "action",
                 "rung", "budget_kind", "shard", "freed", "observed",
-                "limit"):
+                "limit", "records_before", "records_after",
+                "checkpoint_every"):
         if key in record:
             entry[key] = record[key]
     if "ts" in record:

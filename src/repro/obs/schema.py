@@ -83,6 +83,11 @@ def validate_record(record, line_no=0):
         # profiler cannot reconcile them against failpoints.* counters
         if not isinstance(record.get("site"), str):
             _fail(line_no, "failpoint event missing site", record)
+    if kind == "event" and record.get("name") == "disk":
+        # disk relief events must say which rung ran (compact,
+        # stretch, compact-failed) or the timeline is unreadable
+        if not isinstance(record.get("action"), str):
+            _fail(line_no, "disk event missing action", record)
     for field in ("ts", "dur"):
         if field in record:
             value = record[field]

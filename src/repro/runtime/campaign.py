@@ -66,6 +66,13 @@ from repro.runtime.checkpoint import (
     load_checkpoint,
     verify_fingerprint,
 )
+from repro.runtime.disk import (
+    LEVEL_HARD,
+    LEVEL_OK,
+    DiskConfig,
+    DiskGovernor,
+    compact_checkpoint,
+)
 from repro.runtime.errors import (
     BudgetExceeded,
     CheckpointError,
@@ -127,6 +134,7 @@ class CampaignResult(HybridFaultSimResult):
         rung_population,
         fabric=None,
         pressure=None,
+        disk=None,
     ):
         super().__init__(
             fault_set,
@@ -161,6 +169,13 @@ class CampaignResult(HybridFaultSimResult):
         #: influences :attr:`exact` — only surrenders do, and those
         #: already show up as fallbacks/demotions.
         self.pressure = pressure
+        #: disk-pressure accounting dict (usage, watermark crossings,
+        #: compactions, reclaimed bytes, interval stretches), None when
+        #: no disk budget was armed.  Like memory pressure, the relief
+        #: rungs are semantics-preserving and never influence
+        #: :attr:`exact` — only a ``stopped="disk"`` surrender stops
+        #: the run early, cleanly checkpointed.
+        self.disk = disk
 
     @property
     def exact(self):
@@ -217,6 +232,8 @@ class CampaignResult(HybridFaultSimResult):
             summary["fabric"] = self.fabric
         if self.pressure is not None:
             summary["pressure"] = self.pressure
+        if self.disk is not None:
+            summary["disk"] = self.disk
         if self.audit is not None:
             summary["audit"] = self.audit.summary()
         return summary
@@ -279,6 +296,7 @@ class Campaign:
         xred=True,
         pre_pass_3v=True,
         pressure=None,
+        disk=None,
         tracer=None,
         metrics=None,
     ):
@@ -341,6 +359,23 @@ class Campaign:
                 cache_budget=self.governor.cache_budget,
             )
         self.pressure = pressure
+        # disk-pressure policy: a DiskConfig (or its JSON dict) arms
+        # the disk governor over this campaign's own artifacts — the
+        # checkpoint file is the one that grows without bound.  The
+        # relief ladder (compact -> stretch the checkpoint interval ->
+        # checkpointed surrender) runs at frame boundaries, the same
+        # safe points the resource governor checks.
+        if isinstance(disk, dict):
+            disk = DiskConfig(
+                budget=disk.get("budget"),
+                free_floor=disk.get("free_floor"),
+                soft=disk.get("soft", 0.8),
+            )
+        self._disk = None
+        if disk is not None and disk.enabled:
+            paths = [checkpoint_path] if checkpoint_path else []
+            self._disk = DiskGovernor(disk, paths=paths)
+        self._base_checkpoint_every = self.checkpoint_every
         self.pressure_events = 0
         self.cache_evictions = 0
         self.pressure_gc_runs = 0
@@ -390,6 +425,7 @@ class Campaign:
         rng=None,
         signal_guard=None,
         pressure=None,
+        disk=None,
         tracer=None,
         metrics=None,
     ):
@@ -431,6 +467,7 @@ class Campaign:
             xred=False,
             pre_pass_3v=False,
             pressure=pressure,
+            disk=disk,
             tracer=tracer,
             metrics=metrics,
         )
@@ -451,6 +488,14 @@ class Campaign:
         campaign.ladder_state.demotions = counters.get("demotions", 0)
         campaign.governor.nodes_allocated = counters.get("nodes_allocated", 0)
         campaign._resume_elapsed = checkpoint.elapsed
+        if campaign._disk is not None:
+            campaign._disk.compactions = counters.get("disk_compactions", 0)
+            campaign._disk.stretches = counters.get("disk_stretches", 0)
+            campaign._disk.soft_events = counters.get("disk_soft_events", 0)
+            campaign._disk.hard_events = counters.get("disk_hard_events", 0)
+            campaign._disk.reclaimed_bytes = counters.get(
+                "disk_reclaimed_bytes", 0
+            )
 
         if rng is not None and checkpoint.rng_state() is not None:
             rng.setstate(checkpoint.rng_state())
@@ -603,6 +648,7 @@ class Campaign:
                 return self._finish("signal")
             try:
                 self.governor.check_frame(self.frame)
+                self._check_disk()
             except BudgetExceeded as exc:
                 self._note_budget_stop(exc)
                 return self._finish(exc.kind)
@@ -900,6 +946,113 @@ class Campaign:
         group.records = records
         group.diffs = diffs
         group.interlude_left = self.fallback_frames
+
+    # ------------------------------------------------------------------
+    # disk-pressure relief ladder
+    # ------------------------------------------------------------------
+    #: ceiling of checkpoint-interval stretching, as a multiple of the
+    #: configured interval; past it the ladder has no rungs left
+    _DISK_STRETCH_MAX = 8
+
+    def _check_disk(self):
+        """One frame-boundary watermark check plus the relief ladder.
+
+        ``soft`` compacts the checkpoint (dropping superseded snapshot
+        records) and, when that is not enough, stretches the
+        checkpoint interval — both semantics-preserving.  ``hard``
+        runs the same rungs and, once they are exhausted, raises
+        :class:`~repro.runtime.errors.DiskPressureExceeded`, which the
+        main loop routes like every budget stop: final checkpoint,
+        partial result, ``stopped="disk"``.
+        """
+        governor = self._disk
+        if governor is None:
+            return
+        level = governor.check()
+        if level == LEVEL_OK:
+            return
+        if self._compact_own_checkpoint(force=level == LEVEL_HARD):
+            level = governor.check(force=True)
+            if level == LEVEL_OK:
+                return
+        stretched = self._disk_stretch()
+        if level == LEVEL_HARD and not stretched:
+            governor.hard_stop(frame=self.frame)
+
+    def _compact_own_checkpoint(self, force=False):
+        """Online compaction at a safe point (no record mid-write).
+
+        Closes the writer, rewrites the file keeping only the records
+        a resume reads, and reopens for append.  A failed compaction
+        (including the ``disk.compact.crash`` failpoint) leaves the
+        original file untouched and reports no relief.
+        """
+        writer = self._writer
+        if writer is None:
+            return False
+        if writer.records_written == 0 and not force:
+            return False  # nothing new since the last compaction
+        checkpoints_written = writer.checkpoints_written
+        path = writer.path
+        writer.close()
+        self._writer = None
+        stats = None
+        try:
+            stats = compact_checkpoint(path)
+        except CheckpointError:
+            pass
+        finally:
+            self._writer = CheckpointWriter(path)
+            self._writer.checkpoints_written = checkpoints_written
+        if stats is None:
+            self.tracer.event(
+                "disk", action="compact-failed", frame=self.frame
+            )
+            return False
+        self._disk.note_compaction(
+            stats["bytes_before"], stats["bytes_after"]
+        )
+        if self.metrics is not None:
+            self.metrics.inc("disk.compactions")
+        self.tracer.event(
+            "disk",
+            action="compact",
+            frame=self.frame,
+            records_before=stats["records_before"],
+            records_after=stats["records_after"],
+        )
+        return True
+
+    def _disk_stretch(self):
+        """Double the checkpoint interval (bounded); True when it moved.
+
+        Fewer snapshot records per frame means slower checkpoint-file
+        growth at the price of more re-run work after a crash — a
+        durability trade, never a verdict trade.
+        """
+        limit = self._base_checkpoint_every * self._DISK_STRETCH_MAX
+        if self.checkpoint_every >= limit:
+            return False
+        self.checkpoint_every = min(self.checkpoint_every * 2, limit)
+        self._disk.note_stretch()
+        if self.metrics is not None:
+            self.metrics.inc("disk.stretches")
+        self.tracer.event(
+            "disk",
+            action="stretch",
+            frame=self.frame,
+            checkpoint_every=self.checkpoint_every,
+        )
+        return True
+
+    def _disk_accounting(self):
+        """The ``disk`` dict of the result; None when no budget armed."""
+        if self._disk is None:
+            return None
+        data = self._disk.accounting()
+        data["config"] = self._disk.config.to_json()
+        data["checkpoint_every"] = self.checkpoint_every
+        return data
 
     # ------------------------------------------------------------------
     # memory-pressure bookkeeping
@@ -1227,7 +1380,7 @@ class Campaign:
         return rungs, diffs
 
     def _counters(self):
-        return {
+        counters = {
             "frames_symbolic": self.frames_symbolic,
             "frames_three_valued": self.frames_three_valued,
             "fallbacks": self.fallbacks,
@@ -1241,6 +1394,15 @@ class Campaign:
             "reorder_rescues": self.reorder_rescues,
             "rss_surrenders": self.rss_surrenders,
         }
+        if self._disk is not None:
+            # only the deterministic relief counters: usage/free bytes
+            # vary run to run and would break byte-stable comparisons
+            counters["disk_compactions"] = self._disk.compactions
+            counters["disk_stretches"] = self._disk.stretches
+            counters["disk_soft_events"] = self._disk.soft_events
+            counters["disk_hard_events"] = self._disk.hard_events
+            counters["disk_reclaimed_bytes"] = self._disk.reclaimed_bytes
+        return counters
 
     def _write_checkpoint(self):
         if self._writer is None:
@@ -1327,6 +1489,7 @@ class Campaign:
             ladder_names=self.ladder.names(),
             rung_population=self.ladder_state.population(),
             pressure=self._pressure_accounting(),
+            disk=self._disk_accounting(),
         )
 
 
@@ -1393,6 +1556,16 @@ def run_campaign(compiled, sequence, fault_set, **kwargs):
     if any(key in kwargs for key in _FABRIC_KWARGS):
         from repro.runtime.fabric import run_sharded_campaign
 
+        # disk governance is a single-process campaign (and service)
+        # concern: the fabric checkpoints per shard, compacted offline
+        # via `repro compact` (the service does it on recovery)
+        if kwargs.pop("disk", None) is not None:
+            warnings.warn(
+                "disk budget ignored for sharded runs: compact the "
+                "fabric checkpoint offline with `repro compact`",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         config = kwargs.pop("fabric_config", None)
         if config is not None:
             kwargs["config"] = config
@@ -1457,6 +1630,7 @@ def resume_campaign(
     rng=None,
     signal_guard=None,
     pressure=None,
+    disk=None,
     tracer=None,
     metrics=None,
     on_corrupt=None,
@@ -1506,6 +1680,7 @@ def resume_campaign(
         rng=rng,
         signal_guard=signal_guard,
         pressure=pressure,
+        disk=disk,
         tracer=tracer,
         metrics=metrics,
     )

@@ -65,6 +65,28 @@ class BudgetExceeded(ReproError):
         }
 
 
+class DiskPressureExceeded(BudgetExceeded):
+    """Free disk space (or an artifact quota) fell below the hard
+    watermark after every relief rung ran.
+
+    Routed exactly like the other budget kinds: the campaign catches
+    it at a frame boundary, writes a final (compacted) checkpoint and
+    returns a partial result with ``stopped="disk"`` — a clean,
+    resumable surrender, never a crash.  Raised only after the relief
+    ladder (compaction, checkpoint-interval stretch) failed to bring
+    usage back under the watermark.
+    """
+
+    def __init__(self, limit, observed, path=None, frame=None):
+        super().__init__("disk", limit, observed, frame=frame)
+        self.path = None if path is None else str(path)
+
+    def context(self):
+        data = super().context()
+        data["path"] = self.path
+        return data
+
+
 class CheckpointError(ReproError):
     """A checkpoint file could not be written, read or validated."""
 

@@ -50,6 +50,8 @@ _KIND_OF_TYPE = {
     "audit-finding": "audit",
     "service": "journal",
     "job": "journal",
+    "job-deleted": "journal",
+    "snapshot": "journal",
 }
 
 
@@ -175,6 +177,31 @@ def _check_journal(records, report):
         kind = record.get("type")
         if kind == "service":
             continue
+        if kind == "snapshot":
+            # a compaction point: replay replaces its state with the
+            # snapshot, so the transition checker resets to its views
+            jobs = record.get("jobs")
+            if not isinstance(jobs, dict):
+                report.problem(index, "snapshot record without jobs map")
+                continue
+            last_state = {}
+            for job_id, view in jobs.items():
+                state = (view or {}).get("state")
+                if state not in STATES:
+                    report.problem(
+                        index,
+                        f"snapshot job {job_id}: unknown state {state!r}",
+                    )
+                    continue
+                last_state[job_id] = state
+            continue
+        if kind == "job-deleted":
+            job_id = record.get("id")
+            if not isinstance(job_id, str) or not job_id:
+                report.problem(index, "job-deleted record without an id")
+                continue
+            last_state.pop(job_id, None)
+            continue
         if kind != "job":
             report.problem(index, f"unknown record type {kind!r}")
             continue
@@ -222,6 +249,7 @@ class FsckReport:
         self.corrupt = []  # {"line", "reason"} from the CRC/JSON layer
         self.problems = []  # structural findings a resume would hit
         self.warnings = []  # legacy/benign observations
+        self.repaired = []  # actions --repair performed on this file
 
     def problem(self, index, reason):
         self.problems.append(
@@ -249,6 +277,7 @@ class FsckReport:
             "corrupt": list(self.corrupt),
             "problems": list(self.problems),
             "warnings": list(self.warnings),
+            "repaired": list(self.repaired),
         }
 
     def lines(self):
@@ -276,6 +305,8 @@ class FsckReport:
         for entry in self.warnings:
             where = "" if entry["line"] is None else f" line {entry['line']}:"
             yield f"  warning{where} {entry['reason']}"
+        for action in self.repaired:
+            yield f"  repaired: {action}"
 
 
 def _try_bench(path, report):
@@ -358,7 +389,99 @@ def fsck_file(path):
     return report
 
 
-def fsck_paths(paths):
-    """fsck every path; returns (reports, exit_code) — 0 clean, 4 not."""
-    reports = [fsck_file(path) for path in paths]
+def repair_file(path):
+    """Repair tail damage in place; returns the post-repair report.
+
+    Handles exactly the two damage classes a crash legitimately
+    produces: a torn final line (truncated) and CRC-failing records
+    (dropped).  Every removed line is appended byte-for-byte to a
+    ``<path>.quarantine`` sidecar *before* the file is atomically
+    rewritten, so no bytes are ever destroyed — a crash between the
+    two steps leaves the damaged original plus a sidecar copy.
+
+    Structural damage — a missing header, an illegal transition, a
+    fault list that does not match its header — cannot be repaired by
+    dropping lines; attempting it would launder a deeper problem into
+    a file resume then trusts.  Such files raise
+    :class:`~repro.runtime.errors.CheckpointError` untouched.
+    """
+    report = fsck_file(path)
+    if report.kind == "bench":
+        raise CheckpointError(
+            path, "bench JSON is not line-structured; --repair "
+                  "cannot help (re-run the bench instead)"
+        )
+    if report.problems:
+        reasons = "; ".join(
+            entry["reason"] for entry in report.problems[:3]
+        )
+        raise CheckpointError(
+            path,
+            f"structural damage ({reasons}); --repair only removes "
+            "CRC-corrupt records and torn tails — restore from a "
+            "backup or resume an earlier checkpoint",
+        )
+    if not report.corrupt and not report.torn_tail:
+        return report
+    with open(path, "rb") as handle:
+        raw = handle.readlines()
+    bad = {entry["line"] for entry in report.corrupt}
+    torn = bool(raw) and not raw[-1].endswith(b"\n")
+    kept, quarantined = [], []
+    for line_no, line in enumerate(raw, 1):
+        if line_no in bad or (torn and line_no == len(raw)):
+            quarantined.append((line_no, line))
+        else:
+            kept.append(line)
+    sidecar = path + ".quarantine"
+    with open(sidecar, "ab") as handle:
+        for _line_no, line in quarantined:
+            handle.write(line if line.endswith(b"\n") else line + b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.writelines(kept)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    actions = []
+    if torn:
+        actions.append(
+            f"truncated torn final line {len(raw)} "
+            f"(saved to {os.path.basename(sidecar)})"
+        )
+    if bad:
+        lines = ", ".join(str(n) for n in sorted(bad))
+        actions.append(
+            f"dropped CRC-corrupt line(s) {lines} "
+            f"(saved to {os.path.basename(sidecar)})"
+        )
+    fresh = fsck_file(path)
+    fresh.repaired = actions
+    return fresh
+
+
+def fsck_paths(paths, repair=False):
+    """fsck every path; returns (reports, exit_code) — 0 clean, 4 not.
+
+    With ``repair=True`` each path goes through :func:`repair_file`
+    first; the returned reports describe the post-repair state.
+    """
+    reports = [
+        repair_file(path) if repair else fsck_file(path)
+        for path in paths
+    ]
     return reports, (0 if all(r.ok for r in reports) else 4)

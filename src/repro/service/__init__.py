@@ -28,8 +28,11 @@ from repro.service.journal import (
     SUBMITTED,
     TERMINAL,
     JobJournal,
+    JournalState,
     JournalStateError,
+    compact_journal,
     replay_journal,
+    replay_journal_state,
 )
 from repro.service.server import CampaignService, ServiceConfig, serve
 
@@ -42,8 +45,11 @@ __all__ = [
     "JobSpec",
     "JobSpecError",
     "JobJournal",
+    "JournalState",
     "JournalStateError",
+    "compact_journal",
     "replay_journal",
+    "replay_journal_state",
     "SUBMITTED",
     "RUNNING",
     "INTERRUPTED",

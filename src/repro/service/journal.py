@@ -16,7 +16,16 @@ Record types:
   embeds the full job spec (the journal is the source of truth; no
   separate spec file exists), later records carry only the transition
   and its context (attempt count, stop reason, error, result file,
-  result digest).
+  result digest),
+* ``job-deleted`` — the operator deleted a terminal job
+  (``DELETE /jobs/<id>``); replay drops the job, and the next
+  snapshot compacts every trace of it away,
+* ``snapshot`` — a compaction point: the folded per-job views as of
+  that record, plus the service-event count and the job-id high-water
+  mark.  Replay *replaces* its accumulated state with the snapshot,
+  so file size and replay cost are bounded by the live job population
+  rather than lifetime history (:func:`compact_journal`,
+  :meth:`JobJournal.snapshot`).
 
 The job state machine::
 
@@ -32,6 +41,8 @@ every job whose last journaled state is non-terminal: ``submitted``
 and ``running`` (the daemon died mid-run — the job's campaign
 checkpoint, if any survived, short-cuts the re-run).
 """
+
+import os
 
 from repro.runtime.checkpoint import JsonlWriter, read_jsonl_records
 
@@ -76,10 +87,20 @@ class JournalStateError(ValueError):
 
 
 class JobJournal:
-    """Appends service/job records; every record is fsync'd durable."""
+    """Appends service/job records; every record is fsync'd durable.
 
-    def __init__(self, path):
+    With *snapshot_every* set, :meth:`maybe_snapshot` compacts the
+    file once that many records have been appended since the journal
+    was opened (or last snapshotted), bounding file size and replay
+    cost by the live job population instead of lifetime history.
+    """
+
+    def __init__(self, path, snapshot_every=None):
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
         self.path = str(path)
+        self.snapshot_every = snapshot_every
+        self.snapshots_taken = 0
         self._writer = JsonlWriter(self.path, site_prefix="journal")
         #: job id -> last journaled state, to reject illegal transitions
         self._states = {}
@@ -98,23 +119,86 @@ class JobJournal:
         self._writer._write(record)
         self._states[job_id] = state
 
+    def job_deleted(self, job_id):
+        """Journal an operator deletion; replay drops the job."""
+        self._writer._write({"type": "job-deleted", "id": job_id})
+        self._states.pop(job_id, None)
+
     def note_replayed_state(self, job_id, state):
         """Seed the transition checker from a replayed journal."""
         self._states[job_id] = state
+
+    def snapshot(self):
+        """Compact the journal file down to one ``snapshot`` record.
+
+        Closes the writer, rewrites the file atomically
+        (:func:`compact_journal`), reopens for append and re-seeds the
+        transition checker from the snapshot.  Raises
+        :class:`~repro.runtime.errors.CheckpointError` when the file
+        cannot be compacted (corruption is quarantined into the
+        snapshot's accounting, never laundered silently) — the
+        original file is untouched in that case.  Returns the
+        compaction stats dict.
+        """
+        self._writer.close()
+        try:
+            stats = compact_journal(self.path)
+        finally:
+            self._writer = JsonlWriter(self.path, site_prefix="journal")
+        self._states = {
+            job_id: view.get("state")
+            for job_id, view in stats["state"].jobs.items()
+        }
+        self.snapshots_taken += 1
+        return stats
+
+    def maybe_snapshot(self):
+        """Snapshot when the record threshold is reached; stats or None.
+
+        The trigger counts records appended by *this* writer since
+        open/last snapshot, so one snapshot resets the clock.
+        """
+        if self.snapshot_every is None:
+            return None
+        if self._writer.records_written < self.snapshot_every:
+            return None
+        return self.snapshot()
 
     def close(self):
         self._writer.close()
 
 
-def replay_journal(path, on_corrupt=None):
-    """Fold the journal into per-job views, preserving submit order.
+class JournalState:
+    """The folded outcome of one journal replay."""
 
-    Returns ``(jobs, events)`` where *jobs* is an ordered ``{job_id:
-    view}`` dict — each view is the union of every record the job ever
-    journaled, with ``state`` holding the last transition and ``spec``
-    the submitted spec — and *events* counts the service records seen.
-    A torn final line (the daemon died mid-append) is skipped by the
-    underlying reader; everything before it is recovered.
+    def __init__(self):
+        self.jobs = {}  # ordered {job_id: view}
+        self.events = 0  # service records seen
+        self.next_id = None  # job-id high-water mark
+        self.records = 0  # intact records read
+
+    def note_job_id(self, job_id):
+        """Bump the id high-water mark past *job_id* (if numeric).
+
+        Tracked for every ``job`` record — not just surviving views —
+        so deleting the last job never lets a restart reuse its id.
+        """
+        try:
+            numeric = int(str(job_id).rsplit("-", 1)[-1]) + 1
+        except ValueError:
+            return
+        if self.next_id is None or numeric > self.next_id:
+            self.next_id = numeric
+
+
+def replay_journal_state(path, on_corrupt=None):
+    """Fold the journal into a :class:`JournalState`.
+
+    ``snapshot`` records *replace* the accumulated state (they are the
+    compaction of everything before them); ``job`` records fold into
+    per-job views; ``job-deleted`` records drop the job.  A torn final
+    line (the daemon died mid-append) is skipped by the underlying
+    reader; everything before it is recovered.
 
     With *on_corrupt* (see :func:`~repro.runtime.checkpoint.
     read_jsonl_records`) a record failing its CRC is quarantined
@@ -123,18 +207,88 @@ def replay_journal(path, on_corrupt=None):
     recovery cancels such a job with a typed error rather than
     requeueing work it can no longer describe.
     """
-    jobs = {}
-    events = 0
+    state = JournalState()
     for record in read_jsonl_records(path, on_corrupt=on_corrupt):
+        state.records += 1
         kind = record.get("type")
+        if kind == "snapshot":
+            state.jobs = {
+                job_id: dict(view)
+                for job_id, view in (record.get("jobs") or {}).items()
+            }
+            state.events = record.get("events", 0)
+            if record.get("next_id") is not None:
+                state.next_id = record["next_id"]
+            continue
         if kind == "service":
-            events += 1
+            state.events += 1
+            continue
+        if kind == "job-deleted":
+            state.jobs.pop(record.get("id"), None)
             continue
         if kind != "job":
             continue
-        view = jobs.setdefault(record["id"], {})
+        state.note_job_id(record["id"])
+        view = state.jobs.setdefault(record["id"], {})
         for key, value in record.items():
             if key in ("type", "version"):
                 continue
             view[key] = value
-    return jobs, events
+    return state
+
+
+def replay_journal(path, on_corrupt=None):
+    """Fold the journal into per-job views, preserving submit order.
+
+    Returns ``(jobs, events)``; see :func:`replay_journal_state` for
+    the full semantics (snapshot and deletion records included).
+    """
+    state = replay_journal_state(path, on_corrupt=on_corrupt)
+    return state.jobs, state.events
+
+
+def compact_journal(path, next_id=None):
+    """Rewrite the journal as a single ``snapshot`` record, atomically.
+
+    The snapshot embeds the folded per-job views (terminal jobs keep
+    their result metadata — digest, counts, result file name — so
+    history survives even after artifact GC removed the bytes), the
+    service-event count, and the job-id high-water mark so a restart
+    never reuses an id after every job was deleted.  Corruption fails
+    the compaction (typed ``CheckpointError`` from the reader) with
+    the original file untouched.  Returns ``{"state", "records_before",
+    "records_after", "bytes_before", "bytes_after"}``.
+    """
+    # local import: repro.runtime.disk is the compaction primitive
+    # layer and must stay importable without the service package
+    from repro.runtime.disk import rewrite_jsonl_atomic
+
+    path = str(path)
+    state = replay_journal_state(path)
+    if next_id is None:
+        next_id = state.next_id
+    elif state.next_id is not None:
+        next_id = max(next_id, state.next_id)
+    record = {
+        "type": "snapshot",
+        "jobs": state.jobs,
+        "events": state.events,
+    }
+    if next_id is not None:
+        record["next_id"] = next_id
+    try:
+        bytes_before = os.path.getsize(path)
+    except OSError:  # pragma: no cover - raced deletion
+        bytes_before = 0
+    rewrite_jsonl_atomic(path, [record], site_prefix="journal")
+    try:
+        bytes_after = os.path.getsize(path)
+    except OSError:  # pragma: no cover - raced deletion
+        bytes_after = bytes_before
+    return {
+        "state": state,
+        "records_before": state.records,
+        "records_after": 1,
+        "bytes_before": bytes_before,
+        "bytes_after": bytes_after,
+    }

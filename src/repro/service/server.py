@@ -25,6 +25,7 @@ invariants, in the order they matter:
 
 import json
 import os
+import shutil
 import signal
 import threading
 import time
@@ -40,10 +41,17 @@ from repro.obs.export import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, JsonlSink, Tracer
 from repro.runtime.checkpoint import write_json_atomic
+from repro.runtime.disk import (
+    LEVEL_HARD,
+    DiskConfig,
+    DiskGovernor,
+    artifact_usage_bytes,
+)
+from repro.runtime.errors import CheckpointError
 from repro.service import journal as states
 from repro.service.executor import RESULT_NAME, JobExecutor
 from repro.service.jobs import Job, JobSpec, JobSpecError
-from repro.service.journal import JobJournal, replay_journal
+from repro.service.journal import JobJournal
 
 JOURNAL_NAME = "journal.jsonl"
 ENDPOINT_NAME = "endpoint.json"
@@ -62,11 +70,16 @@ class ServiceConfig:
         retry_after=5,
         trace=None,
         drain_timeout=None,
+        disk_budget=None,
+        artifact_quota=None,
+        journal_snapshot_every=512,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if executors < 1:
             raise ValueError("executors must be >= 1")
+        if artifact_quota is not None and artifact_quota < 1:
+            raise ValueError("artifact_quota must be >= 1 byte")
         self.host = host
         self.port = port
         self.state_dir = state_dir
@@ -75,6 +88,9 @@ class ServiceConfig:
         self.retry_after = retry_after
         self.trace = trace
         self.drain_timeout = drain_timeout
+        self.disk_budget = disk_budget
+        self.artifact_quota = artifact_quota
+        self.journal_snapshot_every = journal_snapshot_every
 
 
 class CampaignService:
@@ -84,8 +100,15 @@ class CampaignService:
         self.config = config
         os.makedirs(config.state_dir, exist_ok=True)
         self.journal = JobJournal(
-            os.path.join(config.state_dir, JOURNAL_NAME)
+            os.path.join(config.state_dir, JOURNAL_NAME),
+            snapshot_every=config.journal_snapshot_every,
         )
+        self._disk = None
+        if config.disk_budget is not None:
+            self._disk = DiskGovernor(
+                DiskConfig(budget=config.disk_budget),
+                paths=[config.state_dir],
+            )
         self.metrics = MetricsRegistry()
         if config.trace:
             self.tracer = Tracer(JsonlSink(config.trace))
@@ -129,6 +152,113 @@ class CampaignService:
         )
         self.metrics.gauge("service.running", running)
 
+    # -- disk retention ------------------------------------------------
+
+    def _delete_artifacts(self, job_id):
+        """Remove a job's on-disk artifacts; returns bytes reclaimed."""
+        path = self.job_dir(job_id)
+        reclaimed = artifact_usage_bytes([path])
+        shutil.rmtree(path, ignore_errors=True)
+        return reclaimed
+
+    def _gc_artifacts(self):
+        """Enforce the artifact quota over the job directories.
+
+        Ages out the on-disk artifacts (campaign checkpoint, trace,
+        result file) of the *oldest terminal* jobs until total usage
+        fits the quota again.  The journal keeps each job's terminal
+        metadata — state, result digest, verdict counts — so history
+        survives the bytes; ``GET /jobs/<id>`` then reports
+        ``result: null``.  Jobs still queued or running are never
+        touched.  Caller holds the lock.  Returns bytes reclaimed.
+        """
+        quota = self.config.artifact_quota
+        if quota is None:
+            return 0
+        jobs_root = os.path.join(self.config.state_dir, "jobs")
+        usage = artifact_usage_bytes([jobs_root])
+        if usage <= quota:
+            return 0
+        terminal = sorted(
+            (
+                job for job in self._jobs.values()
+                if job.state in states.TERMINAL
+            ),
+            key=lambda job: (job.submitted_at or 0, job.id),
+        )
+        reclaimed = 0
+        for job in terminal:
+            if usage - reclaimed <= quota:
+                break
+            if not os.path.isdir(self.job_dir(job.id)):
+                continue
+            reclaimed += self._delete_artifacts(job.id)
+            self.metrics.inc("service.artifacts_gced")
+        if reclaimed and self._disk is not None:
+            self._disk.note_compaction(usage, usage - reclaimed)
+        return reclaimed
+
+    def _journal_record_count(self):
+        """Lines (== records) currently in the journal file."""
+        try:
+            with open(self.journal.path, "rb") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
+
+    def _maybe_snapshot_journal(self):
+        """Threshold-triggered journal compaction; caller holds the lock."""
+        try:
+            if self.journal.maybe_snapshot() is not None:
+                self.metrics.inc("service.journal_snapshots")
+        except CheckpointError:
+            # corrupt journal: keep appending, recovery will quarantine
+            self.metrics.inc("service.journal_snapshot_failures")
+
+    def _relieve_disk(self):
+        """The service's relief ladder: GC artifacts, snapshot journal."""
+        self._gc_artifacts()
+        try:
+            if os.path.getsize(self.journal.path) > 0:
+                self.journal.snapshot()
+                self.metrics.inc("service.journal_snapshots")
+        except (OSError, CheckpointError):
+            self.metrics.inc("service.journal_snapshot_failures")
+
+    def _disk_shed(self):
+        """``(status, headers, body)`` when disk pressure sheds, or None.
+
+        Probes the governor (throttled); at the hard watermark runs the
+        relief ladder and re-probes.  Still hard afterwards means the
+        state directory genuinely cannot absorb another job: the submit
+        is shed with ``507 Insufficient Storage`` and a ``Retry-After``
+        hint.  Admitted jobs are never touched — like the queue-full
+        ``429``, overload is handled entirely at the admission edge.
+        """
+        if self._disk is None:
+            return None
+        # Submissions are rare next to campaign frames, so the edge
+        # always pays for a fresh probe — a stale throttled sample
+        # must not admit a job the disk cannot absorb.
+        if self._disk.check(force=True) != LEVEL_HARD:
+            return None
+        self._relieve_disk()
+        if self._disk.check(force=True) != LEVEL_HARD:
+            return None
+        self.metrics.inc("service.disk_sheds")
+        self.metrics.gauge(
+            "service.disk_usage", self._disk.last_usage or 0
+        )
+        return (
+            507,
+            {"Retry-After": str(self.config.retry_after)},
+            {
+                "error": "disk budget exhausted",
+                "disk_budget": self.config.disk_budget,
+                "retry_after": self.config.retry_after,
+            },
+        )
+
     # -- recovery ------------------------------------------------------
 
     def recover(self):
@@ -145,13 +275,36 @@ class CampaignService:
         no spec left to re-run: it is journaled ``cancelled`` with a
         typed reason instead of being requeued blind or dropped
         silently.
+
+        Recovery is also the cheapest compaction point: a journal that
+        has outgrown the snapshot threshold is compacted down to one
+        record before the replay (skipped when the file is corrupt —
+        quarantined records must surface in the replay, never be
+        laundered into a snapshot).  Short journals are left alone so
+        a restart does not erase per-job lifecycle history that post
+        mortems (and the drain-contract tests) read straight from the
+        file.  After the replay the artifact quota is enforced over
+        the job directories.
         """
+        try:
+            threshold = self.journal.snapshot_every
+            if (
+                threshold is not None
+                and self._journal_record_count() >= threshold
+            ):
+                self.journal.snapshot()
+                self.metrics.inc("service.journal_snapshots")
+        except (OSError, CheckpointError):
+            pass  # corrupt or unreadable: fall through to lenient replay
         corrupt = []
-        jobs, _events = replay_journal(
+        replayed = states.replay_journal_state(
             self.journal.path, on_corrupt=corrupt.append
         )
+        jobs = replayed.jobs
         requeued = 0
         with self._lock:
+            if replayed.next_id is not None:
+                self._next_id = max(self._next_id, replayed.next_id)
             for job_id, view in jobs.items():
                 state = view.get("state")
                 if state not in states.STATES:
@@ -214,6 +367,8 @@ class CampaignService:
                 if corrupt else {}
             ),
         )
+        with self._lock:
+            self._gc_artifacts()
         return requeued
 
     # -- the job API (called from HTTP handler threads) ----------------
@@ -238,6 +393,9 @@ class CampaignService:
                         "retry_after": self.config.retry_after,
                     },
                 )
+            shed = self._disk_shed()
+            if shed is not None:
+                return shed
             job = Job(self._new_job_id(), spec, states.SUBMITTED,
                       submitted_at=time.time())
             self.journal.job_event(
@@ -284,9 +442,22 @@ class CampaignService:
             if job is None:
                 return 404, {}, {"error": f"no such job {job_id!r}"}
             if job.state in states.TERMINAL:
-                return 409, {}, {
-                    "error": f"job {job_id} already {job.state}",
+                # terminal DELETE is deletion, not cancellation: the
+                # job's artifacts (checkpoint, trace, result) go now,
+                # the journal's next snapshot compacts its history away
+                reclaimed = self._delete_artifacts(job_id)
+                self.journal.job_deleted(job_id)
+                self._push_event(job, "state", {"deleted": True},
+                                 close=True)
+                del self._jobs[job_id]
+                self.metrics.inc("service.deleted")
+                self._maybe_snapshot_journal()
+                self._refresh_gauges()
+                return 200, {}, {
+                    "job": job_id,
+                    "deleted": True,
                     "state": job.state,
+                    "reclaimed_bytes": reclaimed,
                 }
             job.cancel_requested = True
             if job.state == states.SUBMITTED:
@@ -379,6 +550,8 @@ class CampaignService:
                 "state": states.DONE, "counts": payload.get("counts"),
             }, close=True)
             self.metrics.inc("service.done")
+            self._gc_artifacts()
+            self._maybe_snapshot_journal()
             self._refresh_gauges()
 
     def note_failed(self, job, error, result_file=None, digest=None,
@@ -399,6 +572,8 @@ class CampaignService:
                 "state": states.FAILED, "error": error,
             }, close=True)
             self.metrics.inc("service.failed")
+            self._gc_artifacts()
+            self._maybe_snapshot_journal()
             self._refresh_gauges()
 
     def note_cancelled(self, job, result_file=None, digest=None):
@@ -414,6 +589,8 @@ class CampaignService:
                 "state": states.CANCELLED, "where": "running",
             }, close=True)
             self.metrics.inc("service.cancelled")
+            self._gc_artifacts()
+            self._maybe_snapshot_journal()
             self._refresh_gauges()
 
     def note_interrupted(self, job, result_file=None, digest=None):

@@ -273,6 +273,60 @@ def _scenario_service_crash(site, s27_setup, tmp_path):
     run_service_crash_drill(tmp_path)
 
 
+def _scenario_disk_statvfs(site, s27_setup, tmp_path):
+    """The kernel lying that the disk is full: the relief ladder runs,
+    then a clean checkpointed surrender (``stopped == "disk"``) —
+    never a crash, never a corrupt file."""
+    compiled, sequence, expected = s27_setup
+    path = str(tmp_path / "lied.ckpt")
+    failpoints.set_failpoint(site, "every:1")
+    fault_set = fresh_faults(compiled)
+    result = run_campaign(
+        compiled, sequence, fault_set,
+        checkpoint_path=path, checkpoint_every=1,
+        disk={"free_floor": 1024 * 1024},
+    )
+    assert result.stopped == "disk"
+    failpoints.clear()
+    assert fsck_file(path).ok
+    resumed = fresh_faults(compiled)
+    result = resume_campaign(path, compiled=compiled, fault_set=resumed)
+    assert result.stopped == "completed"
+    assert_conservative(resumed, expected)
+
+
+def _scenario_disk_compact_crash(site, s27_setup, tmp_path):
+    """A crash mid-compaction, before the atomic rename: typed error,
+    original checkpoint byte-identical, no temp orphans; the retry
+    succeeds and resume reproduces the baseline."""
+    from repro.runtime.disk import compact_checkpoint
+
+    compiled, sequence, expected = s27_setup
+    path = tmp_path / "run.ckpt"
+    fault_set = fresh_faults(compiled)
+    run_campaign(
+        compiled, sequence, fault_set,
+        checkpoint_path=str(path), checkpoint_every=2,
+    )
+    original = path.read_bytes()
+    failpoints.set_failpoint(site, "once")
+    with pytest.raises(CheckpointError):
+        compact_checkpoint(str(path))
+    failpoints.clear()
+    assert path.read_bytes() == original
+    assert not [
+        name for name in os.listdir(tmp_path) if name.endswith(".tmp")
+    ]
+    compact_checkpoint(str(path))
+    assert fsck_file(str(path)).ok
+    resumed = fresh_faults(compiled)
+    result = resume_campaign(
+        str(path), compiled=compiled, fault_set=resumed
+    )
+    assert result.stopped == "completed"
+    assert signature(resumed) == expected
+
+
 SCENARIOS = {
     "checkpoint.write.enospc": _scenario_campaign_writer,
     "checkpoint.write.torn": _scenario_campaign_writer,
@@ -294,6 +348,8 @@ SCENARIOS = {
     "fabric.pipe.truncate": _scenario_pipe_truncate,
     "fabric.respawn.fail": _scenario_respawn_fail,
     "service.result.crash": _scenario_service_crash,
+    "disk.statvfs": _scenario_disk_statvfs,
+    "disk.compact.crash": _scenario_disk_compact_crash,
 }
 
 

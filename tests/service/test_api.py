@@ -111,12 +111,14 @@ def test_cancel_queued_job(service):
     status, _, body = _request(base, "DELETE", f"/jobs/{job_id}")
     assert status == 200
     assert body["state"] == "cancelled"
-    # terminal: a second cancel conflicts, and executors skip it
-    assert _request(base, "DELETE", f"/jobs/{job_id}")[0] == 409
+    # terminal: a second DELETE is deletion — artifacts and the job
+    # table entry go, later GETs 404
+    status, _, body = _request(base, "DELETE", f"/jobs/{job_id}")
+    assert status == 200
+    assert body["deleted"] is True
     svc.start_executors()
     time.sleep(0.3)
-    _, _, body = _request(base, "GET", f"/jobs/{job_id}")
-    assert body["state"] == "cancelled"
+    assert _request(base, "GET", f"/jobs/{job_id}")[0] == 404
 
 
 def test_cancel_running_job_stops_cooperatively(service):

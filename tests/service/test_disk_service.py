@@ -1,0 +1,333 @@
+"""Bounded-disk service behavior: journal snapshots, artifact GC,
+terminal-job deletion and the 507 disk-pressure shed.
+
+The retention contract: artifacts (bytes on disk) are expendable,
+metadata (journal history, digests, counts) is not.  GC and deletion
+remove files; the journal — and after compaction, its single snapshot
+record — keeps the story.
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import CampaignService, ServiceConfig
+from repro.service import journal as states
+from repro.service.journal import (
+    JobJournal,
+    compact_journal,
+    replay_journal,
+    replay_journal_state,
+)
+
+SPEC = {"circuit": "ctr8", "length": 20, "seed": 3, "shard_size": 8}
+
+
+def _request(base, method, path, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), json.loads(
+                response.read()
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def _poll(base, job_id, until, timeout=120):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, body = _request(base, "GET", f"/jobs/{job_id}")
+        if body.get("state") in until:
+            return body
+        time.sleep(0.05)
+    raise AssertionError(
+        f"job {job_id} never reached {until}; last: {body}"
+    )
+
+
+def _records(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# journal snapshots and deletion records
+# ----------------------------------------------------------------------
+def test_snapshot_replaces_history_and_preserves_replay(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    journal.service_event("start", pid=1)
+    journal.job_event("job-000001", states.SUBMITTED,
+                      spec={"circuit": "ctr8"})
+    journal.job_event("job-000001", states.RUNNING, attempt=1)
+    journal.job_event("job-000001", states.DONE, result_file="result.json",
+                      digest="abc")
+    journal.job_event("job-000002", states.SUBMITTED,
+                      spec={"circuit": "ctr8", "seed": 2})
+    journal.close()
+    before_jobs, before_events = replay_journal(path)
+
+    stats = compact_journal(path)
+    assert stats["records_before"] == 5
+    assert stats["records_after"] == 1
+    after_jobs, after_events = replay_journal(path)
+    assert after_jobs == before_jobs
+    assert after_events == before_events
+    # the surviving record is a single snapshot carrying the id
+    # high-water mark, so a restart never reuses job-000002
+    records = _records(path)
+    assert [r["type"] for r in records] == ["snapshot"]
+    assert records[0]["next_id"] == 3
+    assert replay_journal_state(path).next_id == 3
+
+
+def test_snapshot_keeps_appending_after_compaction(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    journal.job_event("j1", states.SUBMITTED, spec={})
+    journal.snapshot()
+    # the reopened writer still enforces transitions vs snapshot state
+    journal.job_event("j1", states.RUNNING)
+    journal.job_event("j1", states.DONE)
+    journal.close()
+    jobs, _ = replay_journal(path)
+    assert jobs["j1"]["state"] == states.DONE
+
+
+def test_job_deleted_drops_job_and_snapshot_forgets_it(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    journal.job_event("job-000001", states.SUBMITTED, spec={})
+    journal.job_event("job-000001", states.RUNNING)
+    journal.job_event("job-000001", states.DONE)
+    journal.job_event("job-000002", states.SUBMITTED, spec={})
+    journal.job_deleted("job-000001")
+    journal.close()
+    jobs, _ = replay_journal(path)
+    assert "job-000001" not in jobs and "job-000002" in jobs
+    compact_journal(path)
+    record = _records(path)[0]
+    assert "job-000001" not in record["jobs"]
+    # ...but the high-water mark survives the deletion
+    assert record["next_id"] == 3
+
+
+def test_maybe_snapshot_threshold_bounds_file(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path, snapshot_every=10)
+    for i in range(1, 40):
+        journal.job_event(f"j{i}", states.SUBMITTED, spec={})
+        journal.job_event(f"j{i}", states.RUNNING)
+        journal.job_event(f"j{i}", states.DONE)
+        journal.maybe_snapshot()
+    journal.close()
+    assert journal.snapshots_taken >= 3
+    # the file never holds more than live-jobs + threshold records
+    assert len(_records(path)) <= 11
+
+
+def test_snapshot_refuses_corrupt_journal(tmp_path):
+    from repro.runtime.errors import CheckpointError
+
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    journal.job_event("j1", states.SUBMITTED, spec={})
+    journal.job_event("j2", states.SUBMITTED, spec={})
+    journal.close()
+    lines = open(path).read().splitlines(keepends=True)
+    damaged = lines[0].replace('"j1"', '"jX"')
+    with open(path, "w") as handle:
+        handle.writelines([damaged] + lines[1:])
+    original = open(path).read()
+    journal = JobJournal(path)
+    with pytest.raises(CheckpointError):
+        journal.snapshot()
+    journal.close()
+    # the damaged file is untouched: fsck/repair gets first look
+    assert open(path).read() == original
+
+
+# ----------------------------------------------------------------------
+# service integration: DELETE, GC, 507 shed, bounded restarts
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def service(tmp_path):
+    config = ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"),
+        queue_limit=4, executors=1,
+    )
+    svc = CampaignService(config)
+    svc.recover()
+    host, port = svc.start_http()
+    yield svc, f"http://{host}:{port}"
+    if not svc.draining:
+        svc.drain(reason="test-teardown")
+
+
+def test_delete_terminal_job_removes_artifacts(service):
+    svc, base = service
+    svc.start_executors()
+    _, _, body = _request(base, "POST", "/jobs", SPEC)
+    job_id = body["id"]
+    _poll(base, job_id, until=("done",))
+    job_dir = svc.job_dir(job_id)
+    assert os.path.isdir(job_dir) and os.listdir(job_dir)
+
+    status, _, body = _request(base, "DELETE", f"/jobs/{job_id}")
+    assert status == 200
+    assert body["deleted"] is True
+    assert body["reclaimed_bytes"] > 0
+    assert not os.path.exists(job_dir)
+    assert _request(base, "GET", f"/jobs/{job_id}")[0] == 404
+    # the journal recorded the deletion: replay drops the job
+    jobs, _ = replay_journal(svc.journal.path)
+    assert job_id not in jobs
+
+
+def test_deleted_job_stays_gone_after_restart(tmp_path):
+    state_dir = str(tmp_path / "state")
+    config = ServiceConfig(port=0, state_dir=state_dir, executors=1)
+    svc = CampaignService(config)
+    svc.recover()
+    host, port = svc.start_http()
+    base = f"http://{host}:{port}"
+    svc.start_executors()
+    _, _, body = _request(base, "POST", "/jobs", SPEC)
+    job_id = body["id"]
+    _poll(base, job_id, until=("done",))
+    assert _request(base, "DELETE", f"/jobs/{job_id}")[0] == 200
+    svc.drain(reason="restart")
+
+    svc2 = CampaignService(ServiceConfig(port=0, state_dir=state_dir))
+    svc2.recover()
+    host, port = svc2.start_http()
+    base = f"http://{host}:{port}"
+    assert _request(base, "GET", f"/jobs/{job_id}")[0] == 404
+    # recovery compacted the journal; the id is still never reused
+    _, _, body = _request(base, "POST", "/jobs", SPEC)
+    assert body["id"] != job_id
+    svc2.drain(reason="test-teardown")
+
+
+def test_artifact_quota_gc_ages_out_oldest_terminal(tmp_path):
+    config = ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"),
+        artifact_quota=8 * 1024,
+    )
+    svc = CampaignService(config)
+    svc.recover()
+    # fabricate three terminal jobs with on-disk artifacts, oldest first
+    from repro.service.jobs import Job, JobSpec
+
+    for index, job_id in enumerate(
+        ("job-000001", "job-000002", "job-000003"), 1
+    ):
+        job = Job(job_id, JobSpec(circuit="ctr8"), states.DONE,
+                  submitted_at=float(index))
+        svc._jobs[job_id] = job
+        os.makedirs(svc.job_dir(job_id))
+        with open(os.path.join(svc.job_dir(job_id), "blob.bin"),
+                  "wb") as handle:
+            handle.write(b"x" * 6 * 1024)
+    with svc._lock:
+        reclaimed = svc._gc_artifacts()
+    assert reclaimed >= 2 * 6 * 1024
+    # oldest two went; the newest survives under the quota
+    assert not os.path.exists(svc.job_dir("job-000001"))
+    assert not os.path.exists(svc.job_dir("job-000002"))
+    assert os.path.exists(svc.job_dir("job-000003"))
+    svc.drain(reason="test-teardown")
+
+
+def test_gc_never_touches_non_terminal_jobs(tmp_path):
+    config = ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"), artifact_quota=1,
+    )
+    svc = CampaignService(config)
+    svc.recover()
+    from repro.service.jobs import Job, JobSpec
+
+    job = Job("job-000001", JobSpec(circuit="ctr8"), states.RUNNING,
+              submitted_at=1.0)
+    svc._jobs["job-000001"] = job
+    os.makedirs(svc.job_dir("job-000001"))
+    with open(os.path.join(svc.job_dir("job-000001"), "campaign.ckpt"),
+              "wb") as handle:
+        handle.write(b"x" * 4096)
+    with svc._lock:
+        svc._gc_artifacts()
+    assert os.path.exists(svc.job_dir("job-000001")), \
+        "running jobs' artifacts are never GC targets"
+    svc.drain(reason="test-teardown")
+
+
+def test_disk_budget_sheds_507_and_recovers(tmp_path):
+    state_dir = tmp_path / "state"
+    state_dir.mkdir()
+    ballast = state_dir / "ballast.bin"
+    ballast.write_bytes(b"x" * 64 * 1024)
+    config = ServiceConfig(
+        port=0, state_dir=str(state_dir),
+        disk_budget=32 * 1024, retry_after=7,
+    )
+    svc = CampaignService(config)
+    svc.recover()
+    host, port = svc.start_http()
+    base = f"http://{host}:{port}"
+    status, headers, body = _request(base, "POST", "/jobs", SPEC)
+    assert status == 507, body
+    assert headers.get("Retry-After") == "7"
+    assert "disk budget" in body["error"]
+    assert svc.metrics.flat()["service.disk_sheds"] == 1
+    # pressure relieved: the next submission is admitted
+    ballast.unlink()
+    status, _, body = _request(base, "POST", "/jobs", SPEC)
+    assert status == 202, body
+    svc.drain(reason="test-teardown")
+
+
+def test_restart_cycles_keep_journal_bounded(tmp_path):
+    """Repeated submit/complete/restart cycles: replay cost stays
+    bounded by the live-job population, not lifetime history."""
+    state_dir = str(tmp_path / "state")
+    record_counts = []
+    job_total = 0
+    for cycle in range(5):
+        config = ServiceConfig(
+            port=0, state_dir=state_dir, executors=1,
+            journal_snapshot_every=8,
+        )
+        svc = CampaignService(config)
+        svc.recover()
+        host, port = svc.start_http()
+        base = f"http://{host}:{port}"
+        svc.start_executors()
+        for seed in (1, 2):
+            _, _, body = _request(
+                base, "POST", "/jobs", dict(SPEC, seed=seed)
+            )
+            _poll(base, body["id"], until=("done",))
+            job_total += 1
+        svc.drain(reason="cycle")
+        record_counts.append(len(_records(
+            os.path.join(state_dir, "journal.jsonl")
+        )))
+    assert job_total == 10
+    # without snapshots the journal would hold ~4 records per job plus
+    # service events — monotone growth past 40 records by cycle 5.
+    # Snapshot-on-recover and the threshold keep every cycle bounded.
+    assert max(record_counts) < 30
+    # terminal history still replays: all ten jobs visible, all done
+    jobs, _ = replay_journal(
+        os.path.join(state_dir, "journal.jsonl")
+    )
+    assert len(jobs) == 10
+    assert all(v["state"] == states.DONE for v in jobs.values())
